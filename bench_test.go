@@ -1,0 +1,335 @@
+package softlora
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the experiment from the simulated substrates and, on the
+// first iteration, prints the same rows/series the paper reports (paper
+// values alongside). Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/experiments prints the same tables without the timing harness.
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"softlora/internal/core"
+	"softlora/internal/dsp"
+	"softlora/internal/experiments"
+	"softlora/internal/lora"
+	"softlora/internal/sdr"
+)
+
+func BenchmarkTable1JammingWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintTable1(os.Stdout, rows)
+		}
+	}
+}
+
+func BenchmarkTable2OnsetError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2()
+		if i == 0 {
+			experiments.PrintTable2(os.Stdout, res)
+		}
+	}
+}
+
+func BenchmarkFig6ChirpSpectrogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6()
+		if i == 0 {
+			experiments.PrintFig6(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig7PhaseShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7()
+		if i == 0 {
+			experiments.PrintFig7(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig8BiasedChirp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8()
+		if i == 0 {
+			experiments.PrintFig8(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig9OnsetDetectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig9(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig10AICvsSNR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig10(6)
+		if i == 0 {
+			experiments.PrintFig10(os.Stdout, pts)
+		}
+	}
+}
+
+func BenchmarkFig11BiasShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11()
+		if i == 0 {
+			experiments.PrintFig11(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig12LinearRegressionFB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig12(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig13FleetFB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig13(os.Stdout, rows)
+		}
+	}
+}
+
+func BenchmarkFig14LSvsSNR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig14(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig14(os.Stdout, pts)
+		}
+	}
+}
+
+func BenchmarkFig15Building(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig15(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkFig16TxPowerFB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig16(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintFig16(os.Stdout, rows)
+		}
+	}
+}
+
+func BenchmarkSec811FullAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sec811()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintSec811(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkSec82Campus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Sec82()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintSec82(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkSec32SyncOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Sec32()
+		if i == 0 {
+			experiments.PrintSec32(os.Stdout, r)
+		}
+	}
+}
+
+func BenchmarkAblationFBEstimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationFB(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintAblationFB(os.Stdout, rows)
+		}
+	}
+}
+
+func BenchmarkAblationOnsetDetectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationOnset(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintAblationOnset(os.Stdout, rows)
+		}
+	}
+}
+
+func BenchmarkSec44RTTCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RTTCost()
+		if i == 0 {
+			experiments.PrintRTTCost(os.Stdout, r)
+		}
+	}
+}
+
+// --- Microbenchmarks of the core algorithms (CPU cost on the gateway) ---
+
+func benchChirp(rate float64) []complex128 {
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -22e3, Phase: 0.8}
+	iq := spec.Synthesize(rate)
+	rng := rand.New(rand.NewSource(7))
+	noise := dsp.GaussianNoise(rng, len(iq), 0.01)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	return iq
+}
+
+func BenchmarkOnsetAIC(b *testing.B) {
+	const rate = sdr.DefaultSampleRate
+	rng := rand.New(rand.NewSource(8))
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -22e3}
+	lead := int(2e-3 * rate)
+	iq := make([]complex128, lead+int(spec.Duration()*rate)+64)
+	spec.AddTo(iq, rate, float64(lead)/rate)
+	noise := dsp.GaussianNoise(rng, len(iq), 0.01)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	det := &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectOnset(iq, rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBLinearRegression(b *testing.B) {
+	iq := benchChirp(sdr.DefaultSampleRate)
+	est := &core.LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateFB(iq, sdr.DefaultSampleRate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBLeastSquaresDE(b *testing.B) {
+	iq := benchChirp(sdr.DefaultSampleRate)
+	rng := rand.New(rand.NewSource(9))
+	est := &core.LeastSquaresEstimator{Params: lora.DefaultParams(7), Decimation: 4, Rand: rng}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := est.EstimateFB(iq, sdr.DefaultSampleRate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.Abs(got.DeltaHz+22e3) > 500 {
+			b.Fatalf("estimate drifted: %f", got.DeltaHz)
+		}
+	}
+}
+
+func BenchmarkFBDechirpFFT(b *testing.B) {
+	iq := benchChirp(sdr.DefaultSampleRate)
+	est := &core.DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateFB(iq, sdr.DefaultSampleRate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatewayProcessUplink(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	dev := NewSimDevice("bench", -23, 40, 14, 80, 100)
+	gw.EnrollDevice("bench", dev.Transmitter.BiasHz(gw.Params()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Record(float64(i), nil)
+		if _, _, err := sim.Uplink(dev, float64(i)+0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUpDownEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationUpDown(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.PrintAblationUpDown(os.Stdout, rows)
+		}
+	}
+}

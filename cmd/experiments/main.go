@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them with the paper's measured values
+// alongside. Select a subset with -only (comma-separated ids), e.g.:
+//
+//	experiments -only table1,fig13,sec811
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softlora/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations); empty runs all")
+	quick := flag.Bool("quick", false, "reduce trial counts for a fast pass")
+	flag.Parse()
+	if err := run(*only, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, quick bool) error {
+	selected := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	trials := func(full, fast int) int {
+		if quick {
+			return fast
+		}
+		return full
+	}
+	w := os.Stdout
+
+	if want("table1") {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(w, rows)
+	}
+	if want("table2") {
+		experiments.PrintTable2(w, experiments.Table2())
+	}
+	if want("fig6") {
+		experiments.PrintFig6(w, experiments.Fig6())
+	}
+	if want("fig7") {
+		experiments.PrintFig7(w, experiments.Fig7())
+	}
+	if want("fig8") {
+		experiments.PrintFig8(w, experiments.Fig8())
+	}
+	if want("fig9") {
+		r, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig9(w, r)
+	}
+	if want("fig10") {
+		experiments.PrintFig10(w, experiments.Fig10(trials(10, 3)))
+	}
+	if want("fig11") {
+		experiments.PrintFig11(w, experiments.Fig11())
+	}
+	if want("fig12") {
+		r, err := experiments.Fig12()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig12(w, r)
+	}
+	if want("fig13") {
+		rows, err := experiments.Fig13(trials(20, 5))
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig13(w, rows)
+	}
+	if want("fig14") {
+		pts, err := experiments.Fig14(trials(3, 1))
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig14(w, pts)
+	}
+	if want("fig15") {
+		r, err := experiments.Fig15()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig15(w, r)
+	}
+	if want("fig16") {
+		rows, err := experiments.Fig16(trials(20, 6))
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig16(w, rows)
+	}
+	if want("sec811") {
+		r, err := experiments.Sec811()
+		if err != nil {
+			return err
+		}
+		experiments.PrintSec811(w, r)
+	}
+	if want("sec82") {
+		r, err := experiments.Sec82()
+		if err != nil {
+			return err
+		}
+		experiments.PrintSec82(w, r)
+	}
+	if want("sec32") {
+		experiments.PrintSec32(w, experiments.Sec32())
+	}
+	if want("ablations") {
+		fb, err := experiments.AblationFB(trials(3, 1))
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationFB(w, fb)
+		onset, err := experiments.AblationOnset(trials(5, 2))
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationOnset(w, onset)
+		ud, err := experiments.AblationUpDown(trials(4, 2))
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationUpDown(w, ud)
+		experiments.PrintRTTCost(w, experiments.RTTCost())
+	}
+	return nil
+}

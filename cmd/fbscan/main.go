@@ -1,0 +1,159 @@
+// Command fbscan analyzes a raw I/Q capture (interleaved little-endian
+// float32, the GNU Radio / rtl_sdr interchange format) with the SoftLoRa
+// PHY algorithms: it locates the LoRa preamble onset, timestamps it, and
+// estimates the transmitter's frequency bias.
+//
+// Generate a synthetic test capture, then scan it:
+//
+//	fbscan gen -out capture.iq -bias-ppm -24 -snr 10
+//	fbscan scan capture.iq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"softlora/internal/core"
+	"softlora/internal/dsp"
+	"softlora/internal/iqfile"
+	"softlora/internal/lora"
+	"softlora/internal/sdr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "scan":
+		err = runScan(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fbscan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fbscan gen  -out FILE [-sf N] [-bias-ppm P] [-snr DB] [-seed N]
+  fbscan scan [-sf N] [-estimator lr|ls|fft] FILE`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "capture.iq", "output file")
+	sf := fs.Int("sf", 7, "spreading factor")
+	biasPPM := fs.Float64("bias-ppm", -24, "transmitter oscillator bias (ppm)")
+	snr := fs.Float64("snr", 15, "capture SNR (dB)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	p := lora.DefaultParams(*sf)
+	spec := lora.ChirpSpec{
+		SF:              p.SF,
+		Bandwidth:       p.Bandwidth,
+		FrequencyOffset: p.HzFromPPM(*biasPPM),
+		Phase:           rng.Float64() * 2 * math.Pi,
+	}
+	const rate = sdr.DefaultSampleRate
+	lead := int(2e-3 * rate)
+	// Two chirps: one for the timestamp, one for the FB (§5.1).
+	total := lead + 2*int(spec.Duration()*rate) + 64
+	iq := make([]complex128, total)
+	onset := float64(lead) / rate
+	spec.AddTo(iq, rate, onset)
+	second := spec
+	second.Phase = spec.PhaseAt(spec.Duration())
+	second.AddTo(iq, rate, onset+spec.Duration())
+	noise := dsp.GaussianNoise(rng, total, 1)
+	g := dsp.NoiseForSNR(1, 1, *snr)
+	for i := range iq {
+		iq[i] += noise[i] * complex(g, 0)
+	}
+	meta := iqfile.Metadata{
+		SampleRate:      rate,
+		CenterFrequency: p.CenterFrequency,
+		Description:     fmt.Sprintf("synthetic SF%d capture, bias %.1f ppm, SNR %.0f dB", *sf, *biasPPM, *snr),
+	}
+	if err := iqfile.Save(*out, iq, meta); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d samples @%.1f Msps, true onset %.6f s, true bias %.1f ppm (%.0f Hz)\n",
+		*out, total, rate/1e6, onset, *biasPPM, p.HzFromPPM(*biasPPM))
+	return nil
+}
+
+func runScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	sf := fs.Int("sf", 7, "spreading factor")
+	estName := fs.String("estimator", "lr", "FB estimator: lr, ls, or fft")
+	seed := fs.Int64("seed", 1, "random seed (least-squares estimator)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scan needs exactly one capture file")
+	}
+	iq, meta, err := iqfile.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rate := meta.SampleRate
+	if rate == 0 {
+		rate = sdr.DefaultSampleRate
+		fmt.Fprintf(os.Stderr, "no metadata sidecar; assuming %.1f Msps\n", rate/1e6)
+	}
+	p := lora.DefaultParams(*sf)
+	if meta.CenterFrequency != 0 {
+		p.CenterFrequency = meta.CenterFrequency
+	}
+
+	det := &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	onset, err := det.DetectOnset(iq, rate)
+	if err != nil {
+		return fmt.Errorf("onset detection: %w", err)
+	}
+	var est core.FBEstimator
+	switch *estName {
+	case "lr":
+		est = &core.LinearRegressionEstimator{Params: p}
+	case "ls":
+		est = &core.LeastSquaresEstimator{Params: p, Decimation: 4, Rand: rand.New(rand.NewSource(*seed))}
+	case "fft":
+		est = &core.DechirpFFTEstimator{Params: p}
+	default:
+		return fmt.Errorf("unknown estimator %q", *estName)
+	}
+	n := int(p.SamplesPerChirp(rate))
+	second := onset.Sample + n
+	if second+n > len(iq) {
+		return fmt.Errorf("capture too short for the FB chirp (onset %d, need %d samples)", onset.Sample, second+n)
+	}
+	fb, err := est.EstimateFB(iq[second:second+n], rate)
+	if err != nil {
+		return fmt.Errorf("FB estimation: %w", err)
+	}
+	fmt.Printf("capture: %d samples @%.1f Msps", len(iq), rate/1e6)
+	if meta.Description != "" {
+		fmt.Printf(" (%s)", meta.Description)
+	}
+	fmt.Println()
+	fmt.Printf("preamble onset: sample %d = %.6f s (capture time %.6f s)\n",
+		onset.Sample, onset.Time, meta.StartTime+onset.Time)
+	fmt.Printf("frequency bias [%s]: %.1f Hz = %.3f ppm of %.2f MHz\n",
+		est.Name(), fb.DeltaHz, p.PPM(fb.DeltaHz), p.CenterFrequency/1e6)
+	return nil
+}

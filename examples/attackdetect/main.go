@@ -1,0 +1,129 @@
+// Attack detection: the complete frame delay attack (stealthy jamming +
+// delayed replay, §4 of the paper) against a SoftLoRa gateway.
+//
+// The adversary jams the gateway inside the effective attack window
+// (silent drop — no alert), records the waveform near the device, and
+// replays it τ seconds later through a USRP whose oscillator adds ≈0.7 ppm
+// of frequency bias. LoRaWAN's cryptography accepts the replay (bit-exact
+// frame, unseen counter); SoftLoRa's FB monitor rejects it.
+//
+//	go run ./examples/attackdetect
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"softlora"
+	"softlora/internal/attack"
+	"softlora/internal/chip"
+	"softlora/internal/lora"
+	"softlora/internal/lorawan"
+	"softlora/internal/sdr"
+	"softlora/internal/timestamp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "attackdetect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(7))
+	p := lora.DefaultParams(7)
+
+	gw, err := softlora.NewGateway(softlora.Config{Params: p, Rand: rng})
+	if err != nil {
+		return err
+	}
+	const deviceBias = -20.5e3
+	gw.EnrollDevice("meter-17", deviceBias)
+
+	// The LoRaWAN layer: device session + network server, to show the
+	// crypto accepting the delayed frame.
+	session := lorawan.Session{
+		DevAddr: 0x2601AB17,
+		NwkSKey: lorawan.AES128Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		AppSKey: lorawan.AES128Key{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+	}
+	device := lorawan.NewDevice(session, p)
+	ns := lorawan.NewNetworkServer()
+	ns.Register(session)
+	mac, err := device.BuildUplink(10, []byte("kWh=5210"))
+	if err != nil {
+		return err
+	}
+	phyPayload, err := mac.Marshal()
+	if err != nil {
+		return err
+	}
+
+	// The attack.
+	receiver := chip.NewReceiver(p)
+	scn := &attack.Scenario{
+		Params:     p,
+		SampleRate: sdr.DefaultSampleRate,
+		Rand:       rng,
+		Gateway:    receiver,
+
+		DeviceTxPowerdBm:     14,
+		DeviceGatewayLossdB:  95,
+		GatewayNoiseFloordBm: -105,
+
+		JammerTxPowerdBm:    14,
+		JammerGatewayLossdB: 40,
+		JamOnsetAfter:       attack.PickJamOnset(receiver, len(phyPayload), 0.4),
+
+		DeviceEaveLossdB:      40,
+		JammerEaveLossdB:      95,
+		EaveNoiseFloordBm:     -105,
+		ReplayerGatewayLossdB: 40,
+		Replayer: attack.Replayer{
+			FrequencyBiasHz: -620,
+			TxPowerdBm:      7,
+			Delay:           45,
+			JitterHz:        20,
+			Rand:            rng,
+		},
+	}
+	const t0 = 500.0
+	frame := lora.Frame{Params: p, Payload: phyPayload}
+	res, err := scn.Execute(frame, lora.Impairments{FrequencyBias: deviceBias, InitialPhase: 0.4}, t0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Frame delay attack against a SoftLoRa gateway")
+	fmt.Printf("  [jam]    outcome %v, stealthy=%v\n", res.JamOutcome, res.Stealthy)
+	fmt.Printf("  [record] eavesdropper SINR %.1f dB\n", res.EavesdropSINRdB)
+	fmt.Printf("  [replay] τ=%.0f s, RSSI %.1f dBm\n", res.InjectedDelay, res.ReplayRSSIdBm)
+
+	// LoRaWAN accepts the bit-exact delayed frame.
+	if _, _, payload, err := ns.HandleUplink(phyPayload); err != nil {
+		return fmt.Errorf("network server rejected the replay (unexpected): %w", err)
+	} else {
+		fmt.Printf("  [crypto] network server accepts the delayed frame: payload %q, MIC valid, counter fresh\n", payload)
+	}
+
+	// SoftLoRa's PHY check rejects it.
+	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: -105, Rand: rng}
+	cap, err := sim.CaptureEmission(res.ReplayEmission)
+	if err != nil {
+		return err
+	}
+	report, err := gw.ProcessUplink(cap, "meter-17",
+		[]timestamp.FrameRecord{{Elapsed: 1500}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  [phy]    estimated FB %.0f Hz vs enrolled %.0f Hz → verdict %s\n",
+		report.FrequencyBiasHz, deviceBias, report.Verdict)
+	if report.Verdict == softlora.VerdictReplay {
+		fmt.Println("result: cryptography passed, PHY fingerprint failed — attack detected, timestamps protected")
+	} else {
+		fmt.Println("result: ATTACK MISSED")
+	}
+	return nil
+}

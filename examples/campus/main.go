@@ -1,0 +1,61 @@
+// Campus long-range link: the paper's §8.2 experiment — an end device on a
+// roof top and a SoftLoRa gateway 1.07 km away in another building. The
+// example runs four timestamped uplinks over the free-space link (with the
+// paper's heavy-rain margin) and reports microsecond-level PHY
+// timestamping despite the distance.
+//
+//	go run ./examples/campus
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"softlora"
+	"softlora/internal/radio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "campus: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(82))
+	link := radio.DefaultCampusLink()
+
+	gw, err := softlora.NewGateway(softlora.Config{Rand: rng})
+	if err != nil {
+		return err
+	}
+	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: link.NoiseFloordBm, Rand: rng}
+
+	fmt.Println("Campus long-distance deployment (§8.2)")
+	fmt.Printf("distance %.0f m | path loss %.1f dB | link SNR %.1f dB | propagation %.2f µs\n\n",
+		link.Distance, link.LossdB(), link.SNRdB(14), link.PropagationDelay()*1e6)
+
+	dev := softlora.NewSimDevice("rooftop-1", -23, 40, 14, link.LossdB(), link.Distance)
+	gw.EnrollDevice("rooftop-1", dev.Transmitter.BiasHz(gw.Params()))
+
+	now := 100.0
+	for trial := 0; trial < 4; trial++ {
+		dev.Record(now-1, []byte{byte(trial)})
+		report, _, err := sim.Uplink(dev, now)
+		if err != nil {
+			return err
+		}
+		// The true arrival is now + flight time; the PHY timestamp should
+		// match it to microseconds (paper trials: 0.23-6.43 µs).
+		trueArrival := now + link.PropagationDelay()
+		arrErr := math.Abs(report.ArrivalTime-trueArrival) * 1e6
+		fmt.Printf("trial %d: arrival error %.2f µs, verdict=%s, datum error %.2f ms\n",
+			trial+1, arrErr, report.Verdict, math.Abs(report.Timestamps[0]-(now-1))*1e3)
+		now += 60
+	}
+	fmt.Println("\npaper trials: 3.52, 2.27, 6.43, 0.23 µs — microseconds over a kilometre")
+	return nil
+}

@@ -1,0 +1,109 @@
+// Fingerprint: the adversary-side view of §4.2.1/§7.1 — an eavesdropper
+// profiles a fleet of end devices by frequency bias and received signal
+// strength, then identifies which device is transmitting in order to attack
+// it selectively. Devices with near-identical oscillator biases (the
+// paper's nodes 3/8/14 observation) are ambiguous by FB alone but separate
+// once RSSI joins the profile.
+//
+//	go run ./examples/fingerprint
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"softlora/internal/attack"
+	"softlora/internal/core"
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+	"softlora/internal/sdr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fingerprint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(3))
+	p := lora.DefaultParams(7)
+	est := &core.LinearRegressionEstimator{Params: p}
+
+	// A small fleet; two devices share almost the same oscillator bias but
+	// sit at different distances from the eavesdropper.
+	type node struct {
+		id      string
+		biasPPM float64
+		rssidBm float64
+	}
+	fleet := []node{
+		{"node-3", -24.15, -62},
+		{"node-8", -24.22, -88}, // nearly the same bias, much farther away
+		{"node-11", -20.4, -75},
+	}
+
+	observe := func(n node) (fbHz, rssi float64, err error) {
+		tx := &lora.Transmitter{ID: n.id, BiasPPM: n.biasPPM, JitterHz: 25}
+		imp := tx.NextImpairments(p, rng)
+		spec := lora.ChirpSpec{
+			SF: p.SF, Bandwidth: p.Bandwidth,
+			FrequencyOffset: imp.FrequencyBias,
+			Phase:           imp.InitialPhase,
+		}
+		iq := spec.Synthesize(sdr.DefaultSampleRate)
+		noise := dsp.GaussianNoise(rng, len(iq), 0.01)
+		for i := range iq {
+			iq[i] += noise[i]
+		}
+		e, err := est.EstimateFB(iq, sdr.DefaultSampleRate)
+		if err != nil {
+			return 0, 0, err
+		}
+		return e.DeltaHz, n.rssidBm + rng.NormFloat64()*0.8, nil
+	}
+
+	// Profiling phase: the eavesdropper learns each device.
+	var fp attack.Fingerprinter
+	fmt.Println("Adversary profiling phase:")
+	for _, n := range fleet {
+		fb, rssi, err := observe(n)
+		if err != nil {
+			return err
+		}
+		fp.Learn(n.id, fb, rssi)
+		fmt.Printf("  %-8s FB %8.2f kHz  RSSI %6.1f dBm\n", n.id, fb/1e3, rssi)
+	}
+
+	// Identification phase: node-8 transmits.
+	fmt.Println("\nnode-8 transmits; the adversary classifies the frame:")
+	fb, rssi, err := observe(fleet[1])
+	if err != nil {
+		return err
+	}
+	idFB, marginFB, err := fp.ClassifyFB(fb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  FB only:   identified %-8s (margin %.1f — %s)\n",
+		idFB, marginFB, confidence(marginFB))
+	idJoint, marginJoint, err := fp.Classify(fb, rssi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  FB + RSSI: identified %-8s (margin %.1f — %s)\n",
+		idJoint, marginJoint, confidence(marginJoint))
+	fmt.Println("\npaper §7.1: similar FBs (nodes 3, 8, 14) make FB-only fingerprinting")
+	fmt.Println("ambiguous; joint FB+RSSI profiles separate them. SoftLoRa's DEFENSE does")
+	fmt.Println("not need uniqueness — it detects the replay-induced CHANGE per device.")
+	return nil
+}
+
+func confidence(margin float64) string {
+	if margin >= 3 {
+		return "confident"
+	}
+	return "ambiguous"
+}

@@ -1,0 +1,62 @@
+// Quickstart: one end device, one SoftLoRa gateway, synchronization-free
+// data timestamping.
+//
+// The device records two sensor readings with its drifting local clock,
+// rewrites them as elapsed times right before transmitting (18 bits each —
+// no synchronization protocol, no absolute timestamps on air), and the
+// gateway reconstructs global timestamps from the PHY-timestamped frame
+// arrival.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"softlora"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(1))
+
+	// A SoftLoRa gateway on the default EU868 channel (869.75 MHz, SF7).
+	gw, err := softlora.NewGateway(softlora.Config{Rand: rng})
+	if err != nil {
+		return err
+	}
+	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+
+	// An end device 200 m away: RN2483-like oscillator (−24 ppm), a 40 ppm
+	// drifting clock, 14 dBm transmit power, 85 dB path loss.
+	dev := softlora.NewSimDevice("sensor-1", -24, 40, 14, 85, 200)
+	gw.EnrollDevice("sensor-1", dev.Transmitter.BiasHz(gw.Params()))
+
+	// Sensor readings at t = 120 s and t = 150 s; uplink at t = 180 s.
+	dev.Record(120, []byte{0x11})
+	dev.Record(150, []byte{0x22})
+	report, _, err := sim.Uplink(dev, 180)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("SoftLoRa quickstart")
+	fmt.Printf("  frame arrival (PHY timestamp): %.6f s\n", report.ArrivalTime)
+	fmt.Printf("  transmitter frequency bias:    %.2f ppm (%.0f Hz)\n",
+		report.FrequencyBiasPPM, report.FrequencyBiasHz)
+	fmt.Printf("  replay verdict:                %s\n", report.Verdict)
+	for i, ts := range report.Timestamps {
+		truth := []float64{120, 150}[i]
+		fmt.Printf("  datum %d: reconstructed %.3f s (true %.0f, error %+.1f ms)\n",
+			i, ts, truth, (ts-truth)*1e3)
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package softlora
+
+// Integration and failure-injection tests for the full gateway pipeline:
+// collisions, clipping, drift tracking over long sessions, attacks in the
+// middle of sessions, and spreading-factor sweeps.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"softlora/internal/attack"
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+	"softlora/internal/radio"
+	"softlora/internal/sdr"
+	"softlora/internal/timestamp"
+)
+
+func TestLongSessionWithTemperatureDrift(t *testing.T) {
+	// A device whose oscillator drifts 10 Hz per frame (temperature ramp —
+	// slow relative to the frame rate, as in practice) stays genuine over
+	// a long session because the gateway tracks the drift (§7.2), and a
+	// replay injected afterwards is still caught. Note the inherent
+	// trade-off: drift fast enough to outrun the tracker's lag would eat
+	// into the detection margin.
+	rng := rand.New(rand.NewSource(200))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	dev := NewSimDevice("drifting", -24, 40, 14, 80, 100)
+	dev.Transmitter.TempDriftHzPerFrame = 10
+	dev.Transmitter.JitterHz = 20
+
+	var lastGenuineFB float64
+	const frames = 60
+	for i := 0; i < frames; i++ {
+		now := float64(i) * 30
+		dev.Record(now-1, nil)
+		report, _, err := sim.Uplink(dev, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 3 && report.Verdict != VerdictGenuine {
+			t.Fatalf("frame %d: verdict = %s (fb %.0f Hz)", i, report.Verdict, report.FrequencyBiasHz)
+		}
+		lastGenuineFB = report.FrequencyBiasHz
+	}
+	// Total drift 60*25 = 1.5 kHz — far beyond the static tolerance, yet
+	// tracked. Now a replayer shifts the next frame by −620 Hz.
+	p := gw.Params()
+	spec := lora.ChirpSpec{
+		SF:              p.SF,
+		Bandwidth:       p.Bandwidth,
+		FrequencyOffset: lastGenuineFB - 620,
+		Phase:           1.0,
+	}
+	lead := 2e-3
+	iq := make([]complex128, int((lead+3*spec.Duration())*sdr.DefaultSampleRate))
+	spec.AddTo(iq, sdr.DefaultSampleRate, lead)
+	second := spec
+	second.Phase = spec.EndPhase()
+	second.AddTo(iq, sdr.DefaultSampleRate, lead+spec.Duration())
+	noise := dsp.GaussianNoise(rng, len(iq), 1e-6)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	cap := &radio.Capture{IQ: iq, Rate: sdr.DefaultSampleRate}
+	report, err := gw.ProcessUplink(cap, "drifting", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != VerdictReplay {
+		t.Errorf("post-drift replay verdict = %s (fb %.0f vs last genuine %.0f)",
+			report.Verdict, report.FrequencyBiasHz, lastGenuineFB)
+	}
+}
+
+func TestAttackMidSessionDoesNotPoisonDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -105, Rand: rng}
+	dev := NewSimDevice("victim", -22, 40, 14, 75, 60)
+
+	uplink := func(now float64) *UplinkReport {
+		t.Helper()
+		dev.Record(now-1, nil)
+		report, _, err := sim.Uplink(dev, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	for i := 0; i < 5; i++ {
+		uplink(float64(i) * 20)
+	}
+	meanBefore, _, _ := gw.DeviceBias("victim")
+
+	// Replay attack in the middle of the session.
+	replayer := attack.Replayer{FrequencyBiasHz: -650, Delay: 40}
+	frame := lora.Frame{Params: gw.Params(), Payload: []byte("x")}
+	wf, err := frame.Modulate(lora.Impairments{FrequencyBias: dev.Transmitter.BiasHz(gw.Params())}, sdr.DefaultSampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := radio.Emission{
+		Waveform:   replayer.Reemit(wf, sdr.DefaultSampleRate),
+		StartTime:  140,
+		TxPowerdBm: 0,
+		PathLossdB: 40,
+		Distance:   1,
+	}
+	cap, err := sim.CaptureEmission(em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := gw.ProcessUplink(cap, "victim", []timestamp.FrameRecord{{Elapsed: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != VerdictReplay {
+		t.Fatalf("attack verdict = %s", report.Verdict)
+	}
+	meanAfter, _, _ := gw.DeviceBias("victim")
+	if meanAfter != meanBefore {
+		t.Errorf("replay poisoned database: %.1f -> %.1f", meanBefore, meanAfter)
+	}
+	// Subsequent genuine frames still pass.
+	if r := uplink(200); r.Verdict != VerdictGenuine {
+		t.Errorf("post-attack genuine frame: %s", r.Verdict)
+	}
+}
+
+func TestCollisionDoesNotCrashPipeline(t *testing.T) {
+	// Two frames from different devices colliding in the same capture:
+	// the pipeline must return a defined result or a clean error — never
+	// a bogus genuine verdict for the wrong device at a wildly different
+	// bias.
+	rng := rand.New(rand.NewSource(202))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gw.Params()
+	const rate = sdr.DefaultSampleRate
+	lead := 2e-3
+	dur := 4 * p.ChirpTime()
+	iq := make([]complex128, int((lead+dur)*rate))
+	a := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -21e3, Phase: 0.2}
+	b := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -18e3, Phase: 1.7, Amplitude: 0.9}
+	for c := 0; c < 3; c++ {
+		off := float64(c) * p.ChirpTime()
+		ac := a
+		ac.Phase = a.PhaseAt(off)
+		ac.AddTo(iq, rate, lead+off)
+		bc := b
+		bc.Phase = b.PhaseAt(off)
+		bc.AddTo(iq, rate, lead+off+0.3e-3) // partially overlapping
+	}
+	noise := dsp.GaussianNoise(rng, len(iq), 1e-4)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	gw.EnrollDevice("a", -21e3)
+	cap := &radio.Capture{IQ: iq, Rate: rate}
+	report, err := gw.ProcessUplink(cap, "a", nil)
+	if err != nil {
+		return // clean error is acceptable under collision
+	}
+	// If it decodes, the estimate must either match device a (the Choir
+	// observation: distinct FBs disentangle colliders) or be flagged.
+	if report.Verdict == VerdictGenuine {
+		if math.Abs(report.FrequencyBiasHz+21e3) > 500 {
+			t.Errorf("collision produced genuine verdict at wrong bias %.0f", report.FrequencyBiasHz)
+		}
+	}
+}
+
+func TestClippedCaptureStillProcessed(t *testing.T) {
+	// A strong interferer saturates the ADC for part of the capture; the
+	// pipeline should survive (AGC + clipping) and still process the
+	// frame.
+	rng := rand.New(rand.NewSource(203))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gw.Params()
+	const rate = sdr.DefaultSampleRate
+	lead := 2e-3
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -22e3}
+	iq := make([]complex128, int((lead+3*spec.Duration())*rate))
+	spec.AddTo(iq, rate, lead)
+	second := spec
+	second.Phase = spec.EndPhase()
+	second.AddTo(iq, rate, lead+spec.Duration())
+	// Impulsive interferer 30 dB hotter over a short burst before the
+	// frame.
+	for i := 100; i < 400; i++ {
+		iq[i] += complex(30*math.Cos(float64(i)), 30*math.Sin(float64(i)))
+	}
+	noise := dsp.GaussianNoise(rng, len(iq), 1e-4)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	gw.EnrollDevice("n", -22e3)
+	cap := &radio.Capture{IQ: iq, Rate: rate}
+	report, err := gw.ProcessUplink(cap, "n", nil)
+	if err != nil {
+		t.Fatalf("pipeline failed under clipping: %v", err)
+	}
+	// The burst must not masquerade as the onset.
+	if report.OnsetSample < 450 {
+		t.Errorf("onset %d landed inside the interference burst", report.OnsetSample)
+	}
+}
+
+func TestPipelineAcrossSpreadingFactors(t *testing.T) {
+	for _, sf := range []int{7, 8, 9} {
+		sf := sf
+		t.Run(fmt.Sprintf("SF%d", sf), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(204 + int64(sf)))
+			p := lora.DefaultParams(sf)
+			p.LowDataRateOptimize = false
+			gw, err := NewGateway(Config{Params: p, Rand: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+			dev := NewSimDevice("n", -23, 40, 14, 80, 100)
+			gw.EnrollDevice("n", dev.Transmitter.BiasHz(p))
+			dev.Record(9, nil)
+			report, _, err := sim.Uplink(dev, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Verdict != VerdictGenuine {
+				t.Errorf("SF%d verdict = %s (fb %.0f)", sf, report.Verdict, report.FrequencyBiasHz)
+			}
+			if math.Abs(report.ArrivalTime-10) > 1e-4 {
+				t.Errorf("SF%d arrival = %f", sf, report.ArrivalTime)
+			}
+		})
+	}
+}
+
+func TestColdStartNewDeviceEnrollsThenProtects(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	gw, err := NewGateway(Config{Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	dev := NewSimDevice("fresh", -26, 40, 14, 78, 90)
+	verdicts := make([]Verdict, 0, 5)
+	for i := 0; i < 5; i++ {
+		dev.Record(float64(i*10), nil)
+		report, _, err := sim.Uplink(dev, float64(i*10)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts = append(verdicts, report.Verdict)
+	}
+	for i, v := range verdicts[:3] {
+		if v != VerdictEnrolling {
+			t.Errorf("frame %d: %s, want enrolling", i, v)
+		}
+	}
+	for i, v := range verdicts[3:] {
+		if v != VerdictGenuine {
+			t.Errorf("frame %d: %s, want genuine", i+3, v)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package attack
+
+import (
+	"errors"
+	"math"
+)
+
+// Fingerprinter implements the adversary-side device identification the
+// paper discusses in §4.2.1 and §7.1: the eavesdropper wants to attack a
+// specific node, so it fingerprints transmitters by their frequency bias —
+// and, because some nodes share similar biases (Fig. 13's nodes 3, 8, 14),
+// "the adversary may jointly use the FBs and the received signal strengths
+// that are affected by the transmitters' geographic locations".
+type Fingerprinter struct {
+	// FBScaleHz normalizes the FB axis of the nearest-neighbor distance
+	// (default 200 Hz, roughly the per-frame estimation spread).
+	FBScaleHz float64
+	// RSSIScaledB normalizes the RSSI axis (default 2 dB).
+	RSSIScaledB float64
+
+	devices map[string]fingerprint
+}
+
+type fingerprint struct {
+	fbHz    float64
+	rssidBm float64
+}
+
+// ErrNoProfiles is returned when classifying before any Learn call.
+var ErrNoProfiles = errors.New("attack: fingerprinter has no learned profiles")
+
+// Learn records (or updates) a device's observed profile.
+func (f *Fingerprinter) Learn(deviceID string, fbHz, rssidBm float64) {
+	if f.devices == nil {
+		f.devices = make(map[string]fingerprint)
+	}
+	f.devices[deviceID] = fingerprint{fbHz: fbHz, rssidBm: rssidBm}
+}
+
+func (f *Fingerprinter) scales() (fb, rssi float64) {
+	fb = f.FBScaleHz
+	if fb <= 0 {
+		fb = 200
+	}
+	rssi = f.RSSIScaledB
+	if rssi <= 0 {
+		rssi = 2
+	}
+	return fb, rssi
+}
+
+// ClassifyFB identifies the transmitter by frequency bias alone
+// (nearest neighbor). Ambiguity is reported via the margin: the ratio of
+// the runner-up distance to the winner distance (≤ ~1 means ambiguous).
+func (f *Fingerprinter) ClassifyFB(fbHz float64) (deviceID string, margin float64, err error) {
+	if len(f.devices) == 0 {
+		return "", 0, ErrNoProfiles
+	}
+	fbScale, _ := f.scales()
+	best, second := math.Inf(1), math.Inf(1)
+	var bestID string
+	for id, fp := range f.devices {
+		d := math.Abs(fp.fbHz-fbHz) / fbScale
+		switch {
+		case d < best:
+			second = best
+			best = d
+			bestID = id
+		case d < second:
+			second = d
+		}
+	}
+	return bestID, marginOf(best, second), nil
+}
+
+// Classify identifies the transmitter from the joint (FB, RSSI) profile.
+func (f *Fingerprinter) Classify(fbHz, rssidBm float64) (deviceID string, margin float64, err error) {
+	if len(f.devices) == 0 {
+		return "", 0, ErrNoProfiles
+	}
+	fbScale, rssiScale := f.scales()
+	best, second := math.Inf(1), math.Inf(1)
+	var bestID string
+	for id, fp := range f.devices {
+		dfb := (fp.fbHz - fbHz) / fbScale
+		drssi := (fp.rssidBm - rssidBm) / rssiScale
+		d := math.Sqrt(dfb*dfb + drssi*drssi)
+		switch {
+		case d < best:
+			second = best
+			best = d
+			bestID = id
+		case d < second:
+			second = d
+		}
+	}
+	return bestID, marginOf(best, second), nil
+}
+
+// marginOf returns second/best with care for degenerate values.
+func marginOf(best, second float64) float64 {
+	if math.IsInf(second, 1) {
+		return math.Inf(1)
+	}
+	if best == 0 {
+		return math.Inf(1)
+	}
+	return second / best
+}

@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFingerprinterNoProfiles(t *testing.T) {
+	var f Fingerprinter
+	if _, _, err := f.ClassifyFB(-20e3); !errors.Is(err, ErrNoProfiles) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := f.Classify(-20e3, -80); !errors.Is(err, ErrNoProfiles) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFingerprinterDistinctBiases(t *testing.T) {
+	var f Fingerprinter
+	f.Learn("node-1", -24e3, -80)
+	f.Learn("node-2", -18e3, -95)
+	id, margin, err := f.ClassifyFB(-23.9e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "node-1" {
+		t.Errorf("id = %s", id)
+	}
+	if margin < 5 {
+		t.Errorf("margin = %f, want confident", margin)
+	}
+}
+
+func TestFingerprinterSimilarBiasesAmbiguousByFBAlone(t *testing.T) {
+	// The Fig. 13 situation: nodes 3, 8, 14 share similar FBs. FB-only
+	// classification is ambiguous; FB+RSSI separates them (§4.2.1/§7.1).
+	var f Fingerprinter
+	f.Learn("node-3", -21000, -70) // near the eavesdropper
+	f.Learn("node-8", -21080, -95) // far away
+	// Observed frame: FB between the two, RSSI matching node-8.
+	fb, rssi := -21050.0, -94.0
+	_, fbMargin, err := f.ClassifyFB(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fbMargin > 3 {
+		t.Errorf("FB-only margin = %f, expected ambiguous (<3)", fbMargin)
+	}
+	id, jointMargin, err := f.Classify(fb, rssi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "node-8" {
+		t.Errorf("joint id = %s, want node-8", id)
+	}
+	if jointMargin < 3 {
+		t.Errorf("joint margin = %f, want confident", jointMargin)
+	}
+}
+
+func TestFingerprinterExactMatchInfiniteMargin(t *testing.T) {
+	var f Fingerprinter
+	f.Learn("only", -20e3, -80)
+	id, margin, err := f.Classify(-20e3, -80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "only" || !math.IsInf(margin, 1) {
+		t.Errorf("id=%s margin=%f", id, margin)
+	}
+}
+
+func TestFingerprinterLearnUpdates(t *testing.T) {
+	var f Fingerprinter
+	f.Learn("n", -20e3, -80)
+	f.Learn("n", -21e3, -80) // device re-profiled
+	id, _, err := f.ClassifyFB(-21e3)
+	if err != nil || id != "n" {
+		t.Errorf("id=%s err=%v", id, err)
+	}
+}

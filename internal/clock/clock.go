@@ -1,0 +1,93 @@
+// Package clock models the oscillators behind data timestamping: drifting
+// device crystals, the GPS-disciplined gateway clock, and the arithmetic of
+// §3.2 of the paper that compares synchronization-based and
+// synchronization-free timestamping overheads.
+package clock
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Typical crystal drift rates (ppm) for microcontrollers and PCs, per the
+// paper's §3.2 (30-50 ppm; the paper's worked example uses 40).
+const (
+	TypicalDriftPPMLow  = 30
+	TypicalDriftPPMHigh = 50
+	PaperExampleDrift   = 40
+)
+
+// ErrNegativeDuration is returned for negative time spans.
+var ErrNegativeDuration = errors.New("clock: negative duration")
+
+// Oscillator models a free-running clock with a constant drift rate and
+// optional white jitter on readings.
+type Oscillator struct {
+	// DriftPPM is the rate error in parts-per-million: a positive value
+	// makes the local clock run fast.
+	DriftPPM float64
+	// OffsetSeconds is the initial phase error against global time.
+	OffsetSeconds float64
+	// JitterSeconds is the standard deviation of per-reading noise
+	// (crystal + read-out quantization). Zero disables jitter.
+	JitterSeconds float64
+	// Rand supplies jitter; required only when JitterSeconds > 0.
+	Rand *rand.Rand
+}
+
+// LocalAt converts a global time (seconds since the oscillator's epoch)
+// into the oscillator's local reading.
+func (o *Oscillator) LocalAt(global float64) float64 {
+	local := o.OffsetSeconds + global*(1+o.DriftPPM*1e-6)
+	if o.JitterSeconds > 0 && o.Rand != nil {
+		local += o.Rand.NormFloat64() * o.JitterSeconds
+	}
+	return local
+}
+
+// DriftOver returns the clock error accumulated over a global time span dt.
+func (o *Oscillator) DriftOver(dt float64) float64 {
+	return dt * o.DriftPPM * 1e-6
+}
+
+// SyncSessionsPerHour returns how many clock-synchronization sessions per
+// hour a device needs to keep its clock error below maxError seconds at the
+// given drift rate. The paper's example: 40 ppm and sub-10 ms error →
+// 14 sessions/hour.
+func SyncSessionsPerHour(maxError, driftPPM float64) float64 {
+	if maxError <= 0 || driftPPM <= 0 {
+		return 0
+	}
+	interval := maxError / (driftPPM * 1e-6)
+	return 3600 / interval
+}
+
+// MaxBufferTime returns how long a record may sit in the device's buffer
+// before transmission while keeping the local-clock drift below maxDrift
+// seconds (the sync-free approach's §3.2 bound: 10 ms at 40 ppm →
+// 4.1 minutes).
+func MaxBufferTime(maxDrift, driftPPM float64) float64 {
+	if maxDrift <= 0 || driftPPM <= 0 {
+		return 0
+	}
+	return maxDrift / (driftPPM * 1e-6)
+}
+
+// GPSClock models the gateway's GPS-disciplined clock: unbiased with small
+// bounded error.
+type GPSClock struct {
+	// ErrorBoundSeconds is the ± accuracy of readings (tens of ns for real
+	// GPS; configurable for sensitivity studies).
+	ErrorBoundSeconds float64
+	// Rand supplies the per-reading error; required when
+	// ErrorBoundSeconds > 0.
+	Rand *rand.Rand
+}
+
+// Now returns the GPS reading for the given true global time.
+func (g *GPSClock) Now(global float64) float64 {
+	if g.ErrorBoundSeconds > 0 && g.Rand != nil {
+		return global + (g.Rand.Float64()*2-1)*g.ErrorBoundSeconds
+	}
+	return global
+}

@@ -1,0 +1,87 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOscillatorDrift(t *testing.T) {
+	o := &Oscillator{DriftPPM: 40}
+	// After 250 s of global time, a +40 ppm clock is 10 ms ahead.
+	local := o.LocalAt(250)
+	if math.Abs(local-250.01) > 1e-9 {
+		t.Errorf("local = %f, want 250.01", local)
+	}
+	if got := o.DriftOver(250); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("drift = %f, want 0.01", got)
+	}
+}
+
+func TestOscillatorOffset(t *testing.T) {
+	o := &Oscillator{OffsetSeconds: 5}
+	if got := o.LocalAt(0); got != 5 {
+		t.Errorf("local = %f, want 5", got)
+	}
+}
+
+func TestOscillatorJitter(t *testing.T) {
+	o := &Oscillator{JitterSeconds: 1e-3, Rand: rand.New(rand.NewSource(80))}
+	a := o.LocalAt(100)
+	b := o.LocalAt(100)
+	if a == b {
+		t.Error("jittered readings should differ")
+	}
+	if math.Abs(a-100) > 0.01 {
+		t.Errorf("reading %f too far from 100", a)
+	}
+}
+
+func TestSyncSessionsPerHourPaperExample(t *testing.T) {
+	// Paper §3.2: 40 ppm drift, sub-10 ms error → 14 sessions/hour.
+	got := SyncSessionsPerHour(0.010, 40)
+	if math.Abs(got-14.4) > 0.1 {
+		t.Errorf("sessions/hour = %f, want 14.4", got)
+	}
+	if SyncSessionsPerHour(0, 40) != 0 || SyncSessionsPerHour(0.01, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestMaxBufferTimePaperExample(t *testing.T) {
+	// Paper §3.2: 10 ms bound at 40 ppm → 250 s ≈ 4.1 minutes.
+	got := MaxBufferTime(0.010, 40)
+	if math.Abs(got-250) > 1e-9 {
+		t.Errorf("buffer time = %f, want 250", got)
+	}
+	if got/60 < 4.0 || got/60 > 4.2 {
+		t.Errorf("buffer time = %f min, want ~4.1", got/60)
+	}
+}
+
+func TestSyncSessionsInverseOfBufferTime(t *testing.T) {
+	f := func(errRaw, ppmRaw uint8) bool {
+		maxErr := 0.001 + float64(errRaw)/1000
+		ppm := 1 + float64(ppmRaw)
+		sessions := SyncSessionsPerHour(maxErr, ppm)
+		buffer := MaxBufferTime(maxErr, ppm)
+		return math.Abs(sessions*buffer-3600) < 1e-6*3600
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGPSClock(t *testing.T) {
+	g := &GPSClock{}
+	if got := g.Now(123.456); got != 123.456 {
+		t.Errorf("ideal GPS = %f", got)
+	}
+	g2 := &GPSClock{ErrorBoundSeconds: 1e-6, Rand: rand.New(rand.NewSource(81))}
+	for i := 0; i < 100; i++ {
+		if d := math.Abs(g2.Now(50) - 50); d > 1e-6 {
+			t.Fatalf("GPS error %g exceeds bound", d)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+)
+
+// CollidingBias is one transmitter found in a collided chirp window.
+type CollidingBias struct {
+	// DeltaHz is the transmitter's apparent frequency bias.
+	DeltaHz float64
+	// RelativePower is the peak power relative to the strongest collider.
+	RelativePower float64
+}
+
+// DisentangleCollision finds the distinct frequency biases of transmitters
+// whose preamble chirps overlap in the window — the Choir observation the
+// paper builds on ([8]: "exploits the diverse FBs of the LoRaWAN end
+// devices to decode colliding frames"): each collider's chirp dechirps to
+// its own tone at its own δ, so multiple spectral peaks reveal multiple
+// transmitters.
+//
+// minSeparationHz merges peaks closer than that (default: one chip width),
+// and floorFraction discards peaks below that fraction of the strongest
+// (default 0.25). Results are sorted strongest first.
+func DisentangleCollision(p lora.Params, seg []complex128, sampleRate float64, minSeparationHz, floorFraction float64) []CollidingBias {
+	n := int(p.SamplesPerChirp(sampleRate))
+	if len(seg) < n || n < 8 {
+		return nil
+	}
+	if minSeparationHz <= 0 {
+		minSeparationHz = p.Bandwidth / float64(p.ChipsPerSymbol())
+	}
+	if floorFraction <= 0 {
+		floorFraction = 0.25
+	}
+	ref := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, Down: true}
+	dt := 1 / sampleRate
+	prod := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		ph := ref.PhaseAt(float64(i) * dt)
+		prod[i] = seg[i] * cmplx.Exp(complex(0, ph))
+	}
+	padded := make([]complex128, dsp.NextPow2(4*n))
+	copy(padded, prod)
+	spec := dsp.FFT(padded)
+	mags := make([]float64, len(spec))
+	maxMag := 0.0
+	for i, v := range spec {
+		mags[i] = cmplx.Abs(v)
+		if mags[i] > maxMag {
+			maxMag = mags[i]
+		}
+	}
+	if maxMag == 0 {
+		return nil
+	}
+	// Local maxima above the floor, restricted to plausible oscillator
+	// offsets (±W/2).
+	nb := len(spec)
+	var peaks []CollidingBias
+	for i := range mags {
+		f := dsp.BinFrequency(i, nb, sampleRate)
+		if math.Abs(f) > p.Bandwidth/2 {
+			continue
+		}
+		prev := mags[(i-1+nb)%nb]
+		next := mags[(i+1)%nb]
+		if mags[i] < prev || mags[i] <= next {
+			continue
+		}
+		if mags[i] < floorFraction*maxMag {
+			continue
+		}
+		frac := dsp.InterpolatePeak(spec, i)
+		peaks = append(peaks, CollidingBias{
+			DeltaHz:       f + frac*sampleRate/float64(nb),
+			RelativePower: (mags[i] / maxMag) * (mags[i] / maxMag),
+		})
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].RelativePower > peaks[b].RelativePower })
+	// Merge peaks within the separation (side lobes of the same tone).
+	var out []CollidingBias
+	for _, pk := range peaks {
+		dup := false
+		for _, kept := range out {
+			if math.Abs(kept.DeltaHz-pk.DeltaHz) < minSeparationHz {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, pk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+)
+
+func dirSegment(t *testing.T, rng *rand.Rand, down bool, snrDB float64) []complex128 {
+	t.Helper()
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{
+		SF:              p.SF,
+		Bandwidth:       p.Bandwidth,
+		Down:            down,
+		FrequencyOffset: -21e3,
+		Phase:           rng.Float64() * 6,
+	}
+	iq := spec.Synthesize(testRate)
+	noise := dsp.GaussianNoise(rng, len(iq), 1)
+	g := dsp.NoiseForSNR(1, 1, snrDB)
+	for i := range iq {
+		iq[i] += noise[i] * complex(g, 0)
+	}
+	return iq
+}
+
+func TestDirectionDetectorWithinOneChirp(t *testing.T) {
+	// §4.2.2: the adversary senses the direction within a chirp time.
+	rng := rand.New(rand.NewSource(150))
+	det := &DirectionDetector{Params: lora.DefaultParams(7)}
+	for trial := 0; trial < 10; trial++ {
+		if got := det.Classify(dirSegment(t, rng, false, 10), testRate); got != DirectionUplink {
+			t.Errorf("trial %d: up chirp classified %v", trial, got)
+		}
+		if got := det.Classify(dirSegment(t, rng, true, 10), testRate); got != DirectionDownlink {
+			t.Errorf("trial %d: down chirp classified %v", trial, got)
+		}
+	}
+}
+
+func TestDirectionDetectorNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	det := &DirectionDetector{Params: lora.DefaultParams(7)}
+	noise := dsp.GaussianNoise(rng, 4096, 1)
+	if got := det.Classify(noise, testRate); got != DirectionUnknown {
+		t.Errorf("noise classified %v", got)
+	}
+	if got := det.Classify(nil, testRate); got != DirectionUnknown {
+		t.Errorf("empty classified %v", got)
+	}
+}
+
+func TestDirectionDetectorLowSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	det := &DirectionDetector{Params: lora.DefaultParams(7), MinConcentration: 0.05}
+	correct := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		if det.Classify(dirSegment(t, rng, false, -10), testRate) == DirectionUplink {
+			correct++
+		}
+	}
+	if correct < 8 {
+		t.Errorf("only %d/%d correct at -10 dB", correct, trials)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirectionUplink.String() != "uplink" ||
+		DirectionDownlink.String() != "downlink" ||
+		DirectionUnknown.String() != "unknown" {
+		t.Error("String() mismatch")
+	}
+}
+
+func TestDisentangleCollisionTwoTransmitters(t *testing.T) {
+	// Two colliding preamble chirps with distinct biases (the Choir
+	// observation): both peaks recoverable.
+	rng := rand.New(rand.NewSource(153))
+	p := lora.DefaultParams(7)
+	a := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -22e3, Phase: 0.4}
+	b := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -17e3, Phase: 2.2, Amplitude: 0.7}
+	iq := a.Synthesize(testRate)
+	bIQ := b.Synthesize(testRate)
+	for i := range iq {
+		iq[i] += bIQ[i]
+	}
+	noise := dsp.GaussianNoise(rng, len(iq), 0.01)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	got := DisentangleCollision(p, iq, testRate, 0, 0)
+	if len(got) != 2 {
+		t.Fatalf("colliders found = %d, want 2 (%+v)", len(got), got)
+	}
+	// Strongest first: transmitter a (amplitude 1) then b (0.7).
+	if abs := got[0].DeltaHz + 22e3; abs > 200 || -abs > 200 {
+		t.Errorf("strongest collider at %f, want −22 kHz", got[0].DeltaHz)
+	}
+	if abs := got[1].DeltaHz + 17e3; abs > 200 || -abs > 200 {
+		t.Errorf("second collider at %f, want −17 kHz", got[1].DeltaHz)
+	}
+	if got[1].RelativePower >= got[0].RelativePower {
+		t.Error("ordering by power broken")
+	}
+}
+
+func TestDisentangleCollisionSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -20e3}
+	iq := spec.Synthesize(testRate)
+	noise := dsp.GaussianNoise(rng, len(iq), 0.01)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	got := DisentangleCollision(p, iq, testRate, 0, 0)
+	if len(got) != 1 {
+		t.Fatalf("peaks = %d, want 1", len(got))
+	}
+}
+
+func TestDisentangleCollisionDegenerate(t *testing.T) {
+	p := lora.DefaultParams(7)
+	if got := DisentangleCollision(p, nil, testRate, 0, 0); got != nil {
+		t.Error("expected nil for empty segment")
+	}
+	if got := DisentangleCollision(p, make([]complex128, 4096), testRate, 0, 0); got != nil {
+		t.Error("expected nil for silent segment")
+	}
+}
+
+func TestDirectionDetectorOnModulatedFrames(t *testing.T) {
+	// Cross-validation against the full PHY modulator: uplink and downlink
+	// frames classified from their first preamble chirp, as the adversary
+	// does in §4.2.2.
+	rng := rand.New(rand.NewSource(155))
+	p := lora.DefaultParams(7)
+	det := &DirectionDetector{Params: p}
+	for _, downlink := range []bool{false, true} {
+		f := lora.Frame{Params: p, Payload: []byte("dir"), Downlink: downlink}
+		iq, err := f.Modulate(lora.Impairments{FrequencyBias: -20e3, InitialPhase: rng.Float64()}, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DirectionUplink
+		if downlink {
+			want = DirectionDownlink
+		}
+		if got := det.Classify(iq, testRate); got != want {
+			t.Errorf("downlink=%v: classified %v, want %v", downlink, got, want)
+		}
+	}
+}

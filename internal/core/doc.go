@@ -1,0 +1,21 @@
+// Package core implements the SoftLoRa gateway's PHY-layer defense — the
+// paper's primary contribution:
+//
+//   - Microsecond-accurate LoRa signal timestamping (§6): preamble onset
+//     detection on the SDR's I/Q traces with an envelope detector (Hilbert
+//     transform + amplitude-ratio maximization) and an Akaike Information
+//     Criterion detector, both threshold-free. Ablation detectors the paper
+//     dismisses (spectrogram, matched filter) are included for comparison.
+//
+//   - Frequency-bias estimation (§7.1): the linear-regression estimator
+//     (unwrap the instantaneous phase, subtract the known quadratic chirp
+//     phase, fit the residual line whose slope is 2πδ) and the
+//     least-squares estimator solved with differential evolution, which
+//     stays accurate below the demodulation SNR floor. A dechirp-FFT
+//     estimator is provided as a fast extension.
+//
+//   - Frame delay attack detection (§7.2): a per-device frequency-bias
+//     database; a received frame whose estimated bias falls outside the
+//     claimed source's learned range is flagged as a replay and its bias is
+//     not folded back into the database.
+package core

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+)
+
+// cleanChirp synthesizes one SF7 chirp with the given δ and θ at the SDR
+// rate, plus noise at snrDB (math.Inf(1) for noiseless).
+func cleanChirp(rng *rand.Rand, deltaHz, theta, snrDB float64) []complex128 {
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{
+		SF:              p.SF,
+		Bandwidth:       p.Bandwidth,
+		FrequencyOffset: deltaHz,
+		Phase:           theta,
+	}
+	iq := spec.Synthesize(testRate)
+	if !math.IsInf(snrDB, 1) {
+		noise := dsp.GaussianNoise(rng, len(iq), 1)
+		g := dsp.NoiseForSNR(dsp.Power(iq), 1, snrDB)
+		for i := range iq {
+			iq[i] += noise[i] * complex(g, 0)
+		}
+	}
+	return iq
+}
+
+func TestLinearRegressionRecoversKnownBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	est := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	for _, delta := range []float64{-25e3, -22.8e3, -5e3, 0, 1e3, 25e3} {
+		iq := cleanChirp(rng, delta, 1.2, 35)
+		got, err := est.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.DeltaHz-delta) > 30 {
+			t.Errorf("δ = %f: estimated %f", delta, got.DeltaHz)
+		}
+		// R² is only meaningful when the residual line has slope (δ ≠ 0:
+		// a flat residual has no variance to explain).
+		if math.Abs(delta) > 1e3 && got.Quality < 0.99 {
+			t.Errorf("δ = %f: R² = %f", delta, got.Quality)
+		}
+	}
+}
+
+func TestLinearRegressionDiagnosticsFig12(t *testing.T) {
+	// Reproduce Fig. 12: the residual must be a straight line whose slope
+	// is 2πδ (the paper's example estimates −22.8 kHz).
+	rng := rand.New(rand.NewSource(101))
+	est := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	iq := cleanChirp(rng, -22.8e3, 0.7, 30)
+	d, err := est.Extract(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Atan2) != len(d.Rectified) || len(d.Residual) != len(d.Atan2) {
+		t.Fatal("diagnostic lengths differ")
+	}
+	// Wrapped phase stays in (-π, π].
+	for _, v := range d.Atan2 {
+		if v <= -math.Pi || v > math.Pi {
+			t.Fatalf("wrapped phase %f out of range", v)
+		}
+	}
+	// Rectified phase for a negative bias decreases overall (Fig. 12(c)).
+	if d.Rectified[len(d.Rectified)-1] >= d.Rectified[0] {
+		t.Error("rectified phase should decrease for negative δ")
+	}
+	if math.Abs(d.Fit.Slope/(2*math.Pi)+22.8e3) > 30 {
+		t.Errorf("slope/2π = %f, want −22.8 kHz", d.Fit.Slope/(2*math.Pi))
+	}
+	if d.Fit.R2 < 0.999 {
+		t.Errorf("R² = %f: residual not a line", d.Fit.R2)
+	}
+}
+
+func TestLinearRegressionPropertyRandomBias(t *testing.T) {
+	est := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	f := func(seed int64, deltaRaw int16, thetaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		delta := float64(deltaRaw) // ±32.7 kHz
+		theta := float64(thetaRaw) / 256 * 2 * math.Pi
+		iq := cleanChirp(rng, delta, theta, 40)
+		got, err := est.EstimateFB(iq, testRate)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.DeltaHz-delta) < 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearRegressionDegradesAtLowSNR(t *testing.T) {
+	// §7.1.1: "the inverse tangent rectification is susceptible to low
+	// received SNRs" — the motivation for the least-squares estimator.
+	rng := rand.New(rand.NewSource(102))
+	est := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	errAt := func(snr float64) float64 {
+		var sum float64
+		const trials = 5
+		for i := 0; i < trials; i++ {
+			iq := cleanChirp(rng, -20e3, 1, snr)
+			got, err := est.EstimateFB(iq, testRate)
+			if err != nil {
+				return math.Inf(1)
+			}
+			sum += math.Abs(got.DeltaHz + 20e3)
+		}
+		return sum / trials
+	}
+	high := errAt(30)
+	low := errAt(-15)
+	if low < 10*high {
+		t.Errorf("LR error at -15 dB (%.0f Hz) should be far worse than at 30 dB (%.1f Hz)", low, high)
+	}
+}
+
+func TestLeastSquaresHighSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	est := &LeastSquaresEstimator{
+		Params:     lora.DefaultParams(7),
+		Decimation: 8,
+		Rand:       rng,
+	}
+	iq := cleanChirp(rng, -17.4e3, 2.5, 30)
+	got, err := est.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.DeltaHz+17.4e3) > 60 {
+		t.Errorf("δ estimated %f, want −17.4 kHz", got.DeltaHz)
+	}
+}
+
+func TestLeastSquaresLowSNRWithinPaperResolution(t *testing.T) {
+	// Paper Fig. 14: estimation error below 120 Hz (0.14 ppm) down to
+	// −25 dB SNR.
+	rng := rand.New(rand.NewSource(104))
+	var worst float64
+	for trial := 0; trial < 3; trial++ {
+		est := &LeastSquaresEstimator{
+			Params:     lora.DefaultParams(7),
+			Decimation: 2,
+			NoisePower: 0, // amplitude from total power; bias is small
+			Rand:       rng,
+			DE:         dsp.DEConfig{MaxGenerations: 150, PopulationSize: 40, Rand: rng},
+		}
+		const want = -19.1e3
+		iq := cleanChirp(rng, want, 0.9, -20)
+		est.NoisePower = dsp.Power(iq) * (1 - 1/(1+math.Pow(10, -2))) // known -20 dB mix
+		got, err := est.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(got.DeltaHz - want); e > worst {
+			worst = e
+		}
+	}
+	if worst > 120 {
+		t.Errorf("worst LS error at −20 dB = %.0f Hz, want ≤ 120 (paper resolution)", worst)
+	}
+}
+
+func TestLeastSquaresRecoversTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	est := &LeastSquaresEstimator{Params: lora.DefaultParams(7), Decimation: 8, Rand: rng}
+	const theta = 1.8
+	iq := cleanChirp(rng, -10e3, theta, 35)
+	got, err := est.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := math.Mod(got.Theta-theta+3*math.Pi, 2*math.Pi) - math.Pi
+	if math.Abs(d) > 0.3 {
+		t.Errorf("θ estimated %f, want %f", got.Theta, theta)
+	}
+}
+
+func TestDechirpFFTEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	est := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	for _, delta := range []float64{-25e3, -543, 0, 743, 22e3} {
+		iq := cleanChirp(rng, delta, 1.1, 20)
+		got, err := est.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.DeltaHz-delta) > 120 {
+			t.Errorf("δ = %f: estimated %f", delta, got.DeltaHz)
+		}
+	}
+}
+
+func TestDechirpFFTLowSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	est := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	var sum float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		iq := cleanChirp(rng, -21e3, 0.4, -20)
+		got, err := est.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Abs(got.DeltaHz + 21e3)
+	}
+	if avg := sum / trials; avg > 150 {
+		t.Errorf("dechirp-FFT mean error at −20 dB = %.0f Hz", avg)
+	}
+}
+
+func TestEstimatorsAgreeOnRealisticChirp(t *testing.T) {
+	// Cross-validation: all three estimators within 150 Hz of each other
+	// at moderate SNR.
+	rng := rand.New(rand.NewSource(108))
+	iq := cleanChirp(rng, -23.5e3, 2.0, 15)
+	lr := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	ls := &LeastSquaresEstimator{Params: lora.DefaultParams(7), Decimation: 4, Rand: rng}
+	df := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	a, err := lr.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ls.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := df.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.DeltaHz-b.DeltaHz) > 150 || math.Abs(b.DeltaHz-c.DeltaHz) > 150 {
+		t.Errorf("estimators disagree: LR %f LS %f FFT %f", a.DeltaHz, b.DeltaHz, c.DeltaHz)
+	}
+}
+
+func TestEstimateFBErrors(t *testing.T) {
+	short := make([]complex128, 16)
+	lr := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	if _, err := lr.EstimateFB(short, testRate); err == nil {
+		t.Error("LR should reject short capture")
+	}
+	ls := &LeastSquaresEstimator{Params: lora.DefaultParams(7)}
+	if _, err := ls.EstimateFB(short, testRate); err == nil {
+		t.Error("LS should reject short capture")
+	}
+	df := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	if _, err := df.EstimateFB(short, testRate); err == nil {
+		t.Error("FFT should reject short capture")
+	}
+	// LS without randomness configured.
+	rng := rand.New(rand.NewSource(1))
+	full := cleanChirp(rng, 0, 0, 30)
+	ls2 := &LeastSquaresEstimator{Params: lora.DefaultParams(7)}
+	if _, err := ls2.EstimateFB(full, testRate); err == nil {
+		t.Error("LS should require a random source")
+	}
+}
+
+func TestReplayerAddsDetectableBias(t *testing.T) {
+	// Fig. 13's core fact: a replayed chirp carries the replayer's extra
+	// FB (−543 to −743 Hz), which exceeds the 120 Hz resolution.
+	rng := rand.New(rand.NewSource(109))
+	est := &LinearRegressionEstimator{Params: lora.DefaultParams(7)}
+	original := cleanChirp(rng, -22e3, 1.0, 25)
+	replayed := cleanChirp(rng, -22e3-620, 2.9, 25) // replayer adds −620 Hz
+	a, err := est.EstimateFB(original, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := est.EstimateFB(replayed, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := a.DeltaHz - b.DeltaHz
+	if shift < 500 || shift > 750 {
+		t.Errorf("replay-induced shift = %f Hz, want ~620", shift)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Replay-detection defaults.
+const (
+	// DefaultToleranceHz is the FB deviation beyond which a frame is
+	// flagged as replayed. The paper's estimation resolution is 120 Hz
+	// (0.14 ppm) and a USRP replayer adds ≥543 Hz (0.62 ppm); 360 Hz
+	// (3× the resolution) separates the two with margin on both sides.
+	DefaultToleranceHz = 360
+	// DefaultEWMAAlpha is the database update weight for tracking slow
+	// temperature-induced skew (§7.2: "continuously update the database
+	// entries based on the FBs estimated from recent frames").
+	DefaultEWMAAlpha = 0.2
+	// DefaultEnrollFrames is how many frames are used to learn a new
+	// device's bias before detection becomes active for it.
+	DefaultEnrollFrames = 3
+	// DefaultDevMultiplier widens the acceptance band to this multiple of
+	// the tracked per-frame estimation deviation. At low SNR the per-frame
+	// FB estimate inherits jitter from the PHY onset timestamp
+	// (δ' = δ + k·Δτ, see fb.go), so a device observed through a noisy
+	// link legitimately spreads wider than the nominal tolerance.
+	DefaultDevMultiplier = 4.0
+)
+
+// Verdict classifies a received frame.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictGenuine: the FB is consistent with the claimed device.
+	VerdictGenuine Verdict = iota + 1
+	// VerdictReplay: the FB deviates beyond tolerance — the frame delay
+	// attack's replay step is detected.
+	VerdictReplay
+	// VerdictEnrolling: the device is still being learned; no decision.
+	VerdictEnrolling
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictGenuine:
+		return "genuine"
+	case VerdictReplay:
+		return "replay"
+	case VerdictEnrolling:
+		return "enrolling"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// BiasRecord is the learned frequency-bias state for one device.
+type BiasRecord struct {
+	// Mean is the EWMA-tracked bias in Hz.
+	Mean float64 `json:"mean_hz"`
+	// Dev is the EWMA-tracked mean absolute per-frame deviation in Hz —
+	// the device's observed estimation jitter through this gateway's
+	// pipeline (grows on low-SNR links).
+	Dev float64 `json:"dev_hz"`
+	// Min and Max track the observed genuine range.
+	Min float64 `json:"min_hz"`
+	Max float64 `json:"max_hz"`
+	// Count is the number of genuine frames folded in.
+	Count int `json:"count"`
+}
+
+// Band returns the acceptance half-width for the record given the nominal
+// tolerance and deviation multiplier.
+func (rec BiasRecord) Band(toleranceHz, devMultiplier float64) float64 {
+	if b := devMultiplier * rec.Dev; b > toleranceHz {
+		return b
+	}
+	return toleranceHz
+}
+
+// ReplayDetector implements §7.2: per-device FB history with
+// deviation-based replay detection. The acceptance band adapts to the
+// device's observed estimation jitter, implementing the paper's
+// "continuously update the database entries based on the FBs estimated
+// from recent frames". It is safe for concurrent use.
+type ReplayDetector struct {
+	// ToleranceHz is the minimum acceptance half-width around the tracked
+	// mean (default DefaultToleranceHz).
+	ToleranceHz float64
+	// DevMultiplier scales the tracked per-frame deviation into the
+	// adaptive band (default DefaultDevMultiplier).
+	DevMultiplier float64
+	// Alpha is the EWMA update weight (default DefaultEWMAAlpha).
+	Alpha float64
+	// EnrollFrames is the learning period per device (default
+	// DefaultEnrollFrames).
+	EnrollFrames int
+
+	mu      sync.Mutex
+	devices map[string]*BiasRecord
+}
+
+// NewReplayDetector returns a detector with the paper-calibrated defaults.
+func NewReplayDetector() *ReplayDetector {
+	return &ReplayDetector{
+		ToleranceHz:   DefaultToleranceHz,
+		DevMultiplier: DefaultDevMultiplier,
+		Alpha:         DefaultEWMAAlpha,
+		EnrollFrames:  DefaultEnrollFrames,
+		devices:       make(map[string]*BiasRecord),
+	}
+}
+
+func (r *ReplayDetector) defaults() (tol, devMul, alpha float64, enroll int) {
+	tol = r.ToleranceHz
+	if tol <= 0 {
+		tol = DefaultToleranceHz
+	}
+	devMul = r.DevMultiplier
+	if devMul <= 0 {
+		devMul = DefaultDevMultiplier
+	}
+	alpha = r.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	enroll = r.EnrollFrames
+	if enroll <= 0 {
+		enroll = DefaultEnrollFrames
+	}
+	return tol, devMul, alpha, enroll
+}
+
+// Check classifies a frame from the claimed device with the given estimated
+// FB (Hz) and updates the database according to the paper's policy: genuine
+// and enrolling estimates update the record; a replay-flagged estimate is
+// NOT folded in ("the FB estimated from a frame that is detected to be a
+// replayed one should not be used to update the database").
+func (r *ReplayDetector) Check(deviceID string, fbHz float64) Verdict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tol, devMul, alpha, enroll := r.defaults()
+	if r.devices == nil {
+		r.devices = make(map[string]*BiasRecord)
+	}
+	rec, ok := r.devices[deviceID]
+	if !ok {
+		r.devices[deviceID] = &BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: 1}
+		return VerdictEnrolling
+	}
+	if rec.Count < enroll {
+		r.fold(rec, fbHz, alpha)
+		return VerdictEnrolling
+	}
+	if math.Abs(fbHz-rec.Mean) > rec.Band(tol, devMul) {
+		return VerdictReplay
+	}
+	r.fold(rec, fbHz, alpha)
+	return VerdictGenuine
+}
+
+// fold updates a record with a genuine estimate.
+func (r *ReplayDetector) fold(rec *BiasRecord, fbHz, alpha float64) {
+	dev := math.Abs(fbHz - rec.Mean)
+	rec.Dev = (1-alpha)*rec.Dev + alpha*dev
+	rec.Mean = (1-alpha)*rec.Mean + alpha*fbHz
+	if fbHz < rec.Min {
+		rec.Min = fbHz
+	}
+	if fbHz > rec.Max {
+		rec.Max = fbHz
+	}
+	rec.Count++
+}
+
+// Record returns a copy of the learned state for a device and whether it
+// exists.
+func (r *ReplayDetector) Record(deviceID string) (BiasRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.devices[deviceID]
+	if !ok {
+		return BiasRecord{}, false
+	}
+	return *rec, true
+}
+
+// Devices returns the number of devices in the database.
+func (r *ReplayDetector) Devices() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.devices)
+}
+
+// Enroll pre-loads a device record (offline database construction, §7.2).
+func (r *ReplayDetector) Enroll(deviceID string, fbHz float64, frames int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.devices == nil {
+		r.devices = make(map[string]*BiasRecord)
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	r.devices[deviceID] = &BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: frames}
+}
+
+// ErrBadDatabase is returned when loading a malformed database.
+var ErrBadDatabase = errors.New("core: malformed bias database")
+
+// Save serializes the database as JSON.
+func (r *ReplayDetector) Save(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.devices); err != nil {
+		return fmt.Errorf("core: saving bias database: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database from JSON previously written by Save.
+func (r *ReplayDetector) Load(reader io.Reader) error {
+	var devices map[string]*BiasRecord
+	if err := json.NewDecoder(reader).Decode(&devices); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if devices == nil {
+		devices = make(map[string]*BiasRecord)
+	}
+	r.devices = devices
+	return nil
+}

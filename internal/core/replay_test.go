@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestVerdictString(t *testing.T) {
+	tests := []struct {
+		v    Verdict
+		want string
+	}{
+		{VerdictGenuine, "genuine"},
+		{VerdictReplay, "replay"},
+		{VerdictEnrolling, "enrolling"},
+		{Verdict(9), "Verdict(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestDetectorEnrollThenDetect(t *testing.T) {
+	d := NewReplayDetector()
+	// First frames: enrolling.
+	for i := 0; i < DefaultEnrollFrames; i++ {
+		if v := d.Check("node-1", -22000+float64(i)*10); v != VerdictEnrolling {
+			t.Fatalf("frame %d: verdict = %v, want enrolling", i, v)
+		}
+	}
+	// Genuine frame within tolerance.
+	if v := d.Check("node-1", -22050); v != VerdictGenuine {
+		t.Errorf("genuine frame: verdict = %v", v)
+	}
+	// Replay: USRP adds −543..−743 Hz (paper Fig. 13).
+	if v := d.Check("node-1", -22000-620); v != VerdictReplay {
+		t.Errorf("replayed frame: verdict = %v, want replay", v)
+	}
+}
+
+func TestDetectorReplayDoesNotPoisonDatabase(t *testing.T) {
+	d := NewReplayDetector()
+	d.Enroll("node-1", -22000, 10)
+	before, _ := d.Record("node-1")
+	if v := d.Check("node-1", -22700); v != VerdictReplay {
+		t.Fatalf("verdict = %v", v)
+	}
+	after, _ := d.Record("node-1")
+	if after.Mean != before.Mean || after.Count != before.Count {
+		t.Error("replay estimate must not update the database (§7.2)")
+	}
+}
+
+func TestDetectorTracksTemperatureDrift(t *testing.T) {
+	// §7.2: the gateway continuously updates entries so slow skew (e.g.
+	// temperature) stays within tolerance while the replay step's sudden
+	// jump is still caught.
+	d := NewReplayDetector()
+	d.Enroll("node-1", -22000, 10)
+	fb := -22000.0
+	for i := 0; i < 200; i++ {
+		fb += 20 // 20 Hz per frame: slow drift, 4 kHz total
+		if v := d.Check("node-1", fb); v != VerdictGenuine {
+			t.Fatalf("drift frame %d (fb %f): verdict = %v", i, fb, v)
+		}
+	}
+	// After drifting 4 kHz, a replayer's extra −620 Hz must still trip.
+	if v := d.Check("node-1", fb-620); v != VerdictReplay {
+		t.Errorf("post-drift replay: verdict = %v", v)
+	}
+}
+
+func TestDetectorSimilarBiasesAcrossNodes(t *testing.T) {
+	// The paper stresses detection needs no uniqueness: two nodes may
+	// share a bias (Fig. 13's nodes 3, 8, 14) and detection still works
+	// per-node.
+	d := NewReplayDetector()
+	d.Enroll("node-3", -21000, 10)
+	d.Enroll("node-8", -21010, 10)
+	if v := d.Check("node-3", -21020); v != VerdictGenuine {
+		t.Errorf("node-3: %v", v)
+	}
+	if v := d.Check("node-8", -21640); v != VerdictReplay {
+		t.Errorf("node-8 replay: %v", v)
+	}
+}
+
+func TestDetectorColdStart(t *testing.T) {
+	d := NewReplayDetector()
+	if v := d.Check("newcomer", -20000); v != VerdictEnrolling {
+		t.Errorf("first frame: %v", v)
+	}
+	if d.Devices() != 1 {
+		t.Errorf("devices = %d", d.Devices())
+	}
+	if _, ok := d.Record("missing"); ok {
+		t.Error("missing device should not have a record")
+	}
+}
+
+func TestDetectorZeroValueUsable(t *testing.T) {
+	// Zero-value detector must work with defaults (guide: useful zero
+	// values).
+	var d ReplayDetector
+	if v := d.Check("n", 100); v != VerdictEnrolling {
+		t.Errorf("verdict = %v", v)
+	}
+}
+
+func TestDetectorMinMaxTracking(t *testing.T) {
+	d := NewReplayDetector()
+	d.Enroll("n", -22000, 10)
+	d.Check("n", -22100)
+	d.Check("n", -21900)
+	rec, ok := d.Record("n")
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if rec.Min != -22100 || rec.Max != -21900 {
+		t.Errorf("range = [%f, %f]", rec.Min, rec.Max)
+	}
+	if rec.Count != 12 {
+		t.Errorf("count = %d", rec.Count)
+	}
+}
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	d := NewReplayDetector()
+	d.Enroll("node-1", -22000, 5)
+	d.Enroll("node-2", -18000, 7)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewReplayDetector()
+	if err := d2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Devices() != 2 {
+		t.Fatalf("devices = %d", d2.Devices())
+	}
+	rec, ok := d2.Record("node-2")
+	if !ok || rec.Mean != -18000 || rec.Count != 7 {
+		t.Errorf("record = %+v ok=%v", rec, ok)
+	}
+	// Detection still works post-load.
+	if v := d2.Check("node-1", -22620); v != VerdictReplay {
+		t.Errorf("post-load replay check: %v", v)
+	}
+}
+
+func TestDetectorLoadMalformed(t *testing.T) {
+	d := NewReplayDetector()
+	if err := d.Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("expected error for malformed database")
+	}
+}
+
+func TestDetectorConcurrentUse(t *testing.T) {
+	d := NewReplayDetector()
+	rng := rand.New(rand.NewSource(110))
+	ids := []string{"a", "b", "c", "d"}
+	for _, id := range ids {
+		d.Enroll(id, -20000, 10)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		seed := rng.Int63()
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := ids[r.Intn(len(ids))]
+				d.Check(id, -20000+r.NormFloat64()*50)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if v := d.Check(id, -20620); v != VerdictReplay {
+			t.Errorf("%s: %v", id, v)
+		}
+	}
+}
+
+func TestDetectorFalsePositiveRate(t *testing.T) {
+	// Genuine frames with realistic per-frame jitter (σ = 30-50 Hz, Fig. 13
+	// error bars) must essentially never be flagged.
+	d := NewReplayDetector()
+	d.Enroll("n", -22000, 10)
+	rng := rand.New(rand.NewSource(111))
+	flagged := 0
+	const frames = 2000
+	for i := 0; i < frames; i++ {
+		fb := -22000 + rng.NormFloat64()*50
+		if d.Check("n", fb) == VerdictReplay {
+			flagged++
+		}
+	}
+	if flagged > 0 {
+		t.Errorf("false positives: %d/%d", flagged, frames)
+	}
+}
+
+func TestDetectorTruePositiveRate(t *testing.T) {
+	// Replays with the paper's measured extra FB (−543..−743 Hz) must
+	// always be flagged despite estimation noise.
+	d := NewReplayDetector()
+	d.Enroll("n", -22000, 10)
+	rng := rand.New(rand.NewSource(112))
+	const frames = 2000
+	for i := 0; i < frames; i++ {
+		extra := -543 - rng.Float64()*200
+		fb := -22000 + extra + rng.NormFloat64()*50
+		if v := d.Check("n", fb); v != VerdictReplay {
+			t.Fatalf("frame %d (fb %f): verdict = %v", i, fb, v)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+)
+
+// frameCapture modulates a minimal frame with lead-in noise and returns the
+// capture plus the exact onset sample position (float).
+func frameCapture(t *testing.T, rng *rand.Rand, deltaHz, theta, snrDB float64) (iq []complex128, onset float64) {
+	t.Helper()
+	p := lora.DefaultParams(7)
+	f := lora.Frame{Params: p, Payload: []byte{0x42}}
+	lead := 1.5e-3
+	dur, err := f.ModulatedDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq = make([]complex128, int((lead+dur+1e-3)*testRate))
+	err = f.ModulateAt(iq, lora.Impairments{FrequencyBias: deltaHz, InitialPhase: theta}, testRate, lead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := dsp.GaussianNoise(rng, len(iq), 1)
+	g := dsp.NoiseForSNR(1, 1, snrDB)
+	for i := range iq {
+		iq[i] += noise[i] * complex(g, 0)
+	}
+	return iq, lead * testRate
+}
+
+func TestUpDownRecoversBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	est := &UpDownEstimator{Params: lora.DefaultParams(7)}
+	for _, delta := range []float64{-25e3, -620, 0, 15e3} {
+		iq, onset := frameCapture(t, rng, delta, 0.9, 30)
+		res, err := est.Estimate(iq, int(onset), testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.DeltaHz-delta) > 60 {
+			t.Errorf("δ = %f: estimated %f", delta, res.DeltaHz)
+		}
+	}
+}
+
+func TestUpDownImmuneToOnsetMisalignment(t *testing.T) {
+	// The headline property: feed the estimator a deliberately wrong onset
+	// and the bias estimate must not move, while the single-chirp
+	// estimator degrades by k·Δτ.
+	rng := rand.New(rand.NewSource(141))
+	const delta = -21e3
+	iq, onset := frameCapture(t, rng, delta, 1.4, 30)
+	p := lora.DefaultParams(7)
+	ud := &UpDownEstimator{Params: p}
+	lr := &LinearRegressionEstimator{Params: p}
+	n := int(p.SamplesPerChirp(testRate))
+	k := p.Bandwidth * p.Bandwidth / float64(p.ChipsPerSymbol())
+	for _, misalign := range []int{-24, -8, 8, 24} { // samples
+		at := int(onset) + misalign
+		udRes, err := ud.Estimate(iq, at, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(udRes.DeltaHz-delta) > 80 {
+			t.Errorf("misalign %d: up/down δ = %f, want %f", misalign, udRes.DeltaHz, delta)
+		}
+		// The timing correction must expose the misalignment.
+		wantCorr := -float64(misalign) / testRate
+		if math.Abs(udRes.TimingCorrection-wantCorr) > 2.5/testRate {
+			t.Errorf("misalign %d: correction = %g, want %g", misalign, udRes.TimingCorrection, wantCorr)
+		}
+		// Single-chirp estimator absorbs k·Δτ.
+		lrRes, err := lr.EstimateFB(iq[at+n:at+2*n], testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inducedErr := math.Abs(lrRes.DeltaHz - delta)
+		wantInduced := k * math.Abs(float64(misalign)) / testRate
+		if math.Abs(inducedErr-wantInduced) > wantInduced/2+60 {
+			t.Errorf("misalign %d: LR induced error %f, expected ≈ %f", misalign, inducedErr, wantInduced)
+		}
+	}
+}
+
+func TestUpDownPropertyRandomMisalignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	est := &UpDownEstimator{Params: lora.DefaultParams(7)}
+	iq, onset := frameCapture(t, rng, -19.5e3, 0.2, 25)
+	f := func(misRaw int8) bool {
+		mis := int(misRaw) / 4 // ±32 samples
+		res, err := est.Estimate(iq, int(onset)+mis, testRate)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.DeltaHz+19.5e3) < 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpDownLowSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	est := &UpDownEstimator{Params: lora.DefaultParams(7)}
+	var sum float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		iq, onset := frameCapture(t, rng, -22e3, rng.Float64()*2*math.Pi, -15)
+		res, err := est.Estimate(iq, int(onset), testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Abs(res.DeltaHz + 22e3)
+	}
+	if avg := sum / trials; avg > 150 {
+		t.Errorf("mean error at −15 dB = %.0f Hz", avg)
+	}
+}
+
+func TestUpDownErrors(t *testing.T) {
+	est := &UpDownEstimator{Params: lora.DefaultParams(7)}
+	if _, err := est.Estimate(make([]complex128, 100), 0, testRate); err == nil {
+		t.Error("expected error for capture without SFD")
+	}
+	if _, err := est.Estimate(make([]complex128, 100), -1, testRate); err == nil {
+		t.Error("expected error for negative onset")
+	}
+	bad := &UpDownEstimator{Params: lora.Params{SF: 99}}
+	if _, err := bad.Estimate(nil, 0, testRate); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestUpDownDiagnosticsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	est := &UpDownEstimator{Params: lora.DefaultParams(7)}
+	iq, onset := frameCapture(t, rng, -20e3, 0.5, 30)
+	res, err := est.Estimate(iq, int(onset), testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (res.FUp + res.FDown) / 2; math.Abs(got-res.DeltaHz) > 1e-9 {
+		t.Error("DeltaHz inconsistent with raw tones")
+	}
+	k := 125e3 * 125e3 / 128
+	if got := -(res.FUp - res.FDown) / (2 * k); math.Abs(got-res.TimingCorrection) > 1e-15 {
+		t.Error("TimingCorrection inconsistent with raw tones")
+	}
+}

@@ -1,0 +1,192 @@
+package dsp
+
+import "math"
+
+// AICOnset picks the onset sample of a transient in a real-valued trace
+// using the Akaike Information Criterion picker of Maeda (the on-line
+// variant of the AR-AIC picker of Sleeman & van Eck used by the paper,
+// §6.1.2). For every candidate split point k the trace is modelled as two
+// stationary segments; the k minimizing
+//
+//	AIC(k) = k*ln(var(x[0:k])) + (n-k-1)*ln(var(x[k:n]))
+//
+// is returned. The detector is threshold-free. It returns -1 for traces
+// shorter than 2*margin+2 samples.
+//
+// margin excludes the first and last margin samples from the candidate set,
+// where one of the two segment variances would be estimated from too few
+// samples to be meaningful.
+func AICOnset(x []float64, margin int) int {
+	n := len(x)
+	if margin < 1 {
+		margin = 1
+	}
+	if n < 2*margin+2 {
+		return -1
+	}
+	// Prefix sums for O(1) segment variance.
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i, v := range x {
+		sum[i+1] = sum[i] + v
+		sumSq[i+1] = sumSq[i] + v*v
+	}
+	varSeg := func(a, b int) float64 { // variance of x[a:b]
+		m := float64(b - a)
+		if m <= 0 {
+			return 0
+		}
+		mean := (sum[b] - sum[a]) / m
+		v := (sumSq[b]-sumSq[a])/m - mean*mean
+		if v < 1e-300 {
+			v = 1e-300
+		}
+		return v
+	}
+	best := math.Inf(1)
+	bestK := -1
+	for k := margin; k < n-margin; k++ {
+		aic := float64(k)*math.Log(varSeg(0, k)) +
+			float64(n-k-1)*math.Log(varSeg(k, n))
+		if aic < best {
+			best = aic
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+// AICCurve returns the AIC value at every candidate split point (NaN inside
+// the margins), for plotting Fig. 9(b)-style diagnostics.
+func AICCurve(x []float64, margin int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	if margin < 1 {
+		margin = 1
+	}
+	if n < 2*margin+2 {
+		return out
+	}
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i, v := range x {
+		sum[i+1] = sum[i] + v
+		sumSq[i+1] = sumSq[i] + v*v
+	}
+	varSeg := func(a, b int) float64 {
+		m := float64(b - a)
+		if m <= 0 {
+			return 0
+		}
+		mean := (sum[b] - sum[a]) / m
+		v := (sumSq[b]-sumSq[a])/m - mean*mean
+		if v < 1e-300 {
+			v = 1e-300
+		}
+		return v
+	}
+	for k := margin; k < n-margin; k++ {
+		out[k] = float64(k)*math.Log(varSeg(0, k)) +
+			float64(n-k-1)*math.Log(varSeg(k, n))
+	}
+	return out
+}
+
+// BurgAR fits an autoregressive model of the given order to a real trace
+// with Burg's method and returns the AR coefficients a[1..order] (in a slice
+// of length order) and the final prediction-error power.
+func BurgAR(x []float64, order int) (coeffs []float64, noiseVar float64) {
+	n := len(x)
+	if n <= order || order < 1 {
+		return nil, PowerReal(x)
+	}
+	f := make([]float64, n)
+	b := make([]float64, n)
+	copy(f, x)
+	copy(b, x)
+	a := make([]float64, order)
+	e := PowerReal(x) * float64(n)
+	prev := make([]float64, order)
+	for m := 0; m < order; m++ {
+		var num, den float64
+		for i := m + 1; i < n; i++ {
+			num += f[i] * b[i-1]
+			den += f[i]*f[i] + b[i-1]*b[i-1]
+		}
+		var k float64
+		if den != 0 {
+			k = -2 * num / den
+		}
+		copy(prev, a[:m])
+		a[m] = k
+		for i := 0; i < m; i++ {
+			a[i] = prev[i] + k*prev[m-1-i]
+		}
+		for i := n - 1; i > m; i-- {
+			fi := f[i]
+			f[i] = fi + k*b[i-1]
+			b[i] = b[i-1] + k*fi
+		}
+		e *= 1 - k*k
+	}
+	nv := e / float64(n)
+	if nv < 0 {
+		nv = 0
+	}
+	return a, nv
+}
+
+// ARAICOnset picks a transient onset using the full autoregressive AIC
+// formulation (Sleeman & van Eck 1999): for each candidate split point, AR
+// models of the given order are fitted to the segments before and after the
+// candidate and the AIC is computed from the two prediction-error variances.
+// To keep the cost manageable the candidate grid is evaluated every step
+// samples and the best cell is refined with the variance-based AICOnset.
+// It returns -1 when the trace is too short.
+func ARAICOnset(x []float64, order, step int) int {
+	n := len(x)
+	if step < 1 {
+		step = 1
+	}
+	minSeg := 4 * (order + 1)
+	if n < 2*minSeg+step {
+		return AICOnset(x, order+1)
+	}
+	best := math.Inf(1)
+	bestK := -1
+	for k := minSeg; k < n-minSeg; k += step {
+		_, v1 := BurgAR(x[:k], order)
+		_, v2 := BurgAR(x[k:], order)
+		if v1 < 1e-300 {
+			v1 = 1e-300
+		}
+		if v2 < 1e-300 {
+			v2 = 1e-300
+		}
+		aic := float64(k)*math.Log(v1) + float64(n-k)*math.Log(v2)
+		if aic < best {
+			best = aic
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return -1
+	}
+	// Refine within the winning cell using the cheap variance picker.
+	lo := bestK - step
+	if lo < 0 {
+		lo = 0
+	}
+	hi := bestK + step
+	if hi > n {
+		hi = n
+	}
+	fine := AICOnset(x[lo:hi], 2)
+	if fine < 0 {
+		return bestK
+	}
+	return lo + fine
+}

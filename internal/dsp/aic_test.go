@@ -1,0 +1,143 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// burstTrace builds noise followed by a higher-variance oscillation starting
+// at onset.
+func burstTrace(rng *rand.Rand, n, onset int, noiseSigma, amp float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * noiseSigma
+	}
+	for i := onset; i < n; i++ {
+		x[i] += amp * math.Sin(2*math.Pi*0.05*float64(i-onset))
+	}
+	return x
+}
+
+func TestAICOnsetFindsBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const n, onset = 4000, 1700
+	x := burstTrace(rng, n, onset, 0.05, 1)
+	got := AICOnset(x, 10)
+	if d := got - onset; d < -5 || d > 5 {
+		t.Errorf("AICOnset = %d, want ~%d", got, onset)
+	}
+}
+
+func TestAICOnsetShortTrace(t *testing.T) {
+	if got := AICOnset([]float64{1, 2, 3}, 5); got != -1 {
+		t.Errorf("short trace onset = %d, want -1", got)
+	}
+	if got := AICOnset(nil, 1); got != -1 {
+		t.Errorf("nil trace onset = %d, want -1", got)
+	}
+}
+
+func TestAICOnsetProperty(t *testing.T) {
+	// Over random onsets and moderate noise, the picker should land within
+	// 20 samples of the true onset.
+	f := func(seed int64, onsetSel uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3000
+		onset := 500 + int(onsetSel)%2000
+		x := burstTrace(rng, n, onset, 0.1, 1)
+		got := AICOnset(x, 10)
+		d := got - onset
+		return d >= -20 && d <= 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAICCurveMinimumAtPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := burstTrace(rng, 2000, 900, 0.05, 1)
+	pick := AICOnset(x, 10)
+	curve := AICCurve(x, 10)
+	minV := math.Inf(1)
+	minI := -1
+	for i, v := range curve {
+		if !math.IsNaN(v) && v < minV {
+			minV = v
+			minI = i
+		}
+	}
+	if minI != pick {
+		t.Errorf("curve minimum at %d, pick at %d", minI, pick)
+	}
+	if !math.IsNaN(curve[0]) || !math.IsNaN(curve[len(curve)-1]) {
+		t.Error("margins should be NaN")
+	}
+}
+
+func TestBurgARWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	coeffs, nv := BurgAR(x, 4)
+	if len(coeffs) != 4 {
+		t.Fatalf("coeffs len = %d", len(coeffs))
+	}
+	// White noise: AR coefficients ~0, prediction error ~ input variance.
+	for i, c := range coeffs {
+		if math.Abs(c) > 0.1 {
+			t.Errorf("coeff[%d] = %f, want ~0", i, c)
+		}
+	}
+	if math.Abs(nv-1) > 0.15 {
+		t.Errorf("noise var = %f, want ~1", nv)
+	}
+}
+
+func TestBurgARPredictsAR1(t *testing.T) {
+	// x[n] = 0.8 x[n-1] + e[n]: Burg should recover a1 ≈ -0.8 (prediction
+	// convention) and residual variance ≈ sigma_e^2.
+	rng := rand.New(rand.NewSource(13))
+	const rho = 0.8
+	x := make([]float64, 8192)
+	for i := 1; i < len(x); i++ {
+		x[i] = rho*x[i-1] + rng.NormFloat64()
+	}
+	coeffs, nv := BurgAR(x, 1)
+	if math.Abs(coeffs[0]+rho) > 0.05 {
+		t.Errorf("a1 = %f, want ~%f", coeffs[0], -rho)
+	}
+	if math.Abs(nv-1) > 0.15 {
+		t.Errorf("residual var = %f, want ~1", nv)
+	}
+}
+
+func TestBurgARDegenerate(t *testing.T) {
+	coeffs, _ := BurgAR([]float64{1, 2}, 5)
+	if coeffs != nil {
+		t.Error("expected nil coeffs for order >= len")
+	}
+}
+
+func TestARAICOnsetFindsBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n, onset = 4000, 2100
+	x := burstTrace(rng, n, onset, 0.05, 1)
+	got := ARAICOnset(x, 4, 50)
+	if d := got - onset; d < -30 || d > 30 {
+		t.Errorf("ARAICOnset = %d, want ~%d", got, onset)
+	}
+}
+
+func TestARAICOnsetShortFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := burstTrace(rng, 60, 30, 0.05, 1)
+	got := ARAICOnset(x, 4, 10)
+	if d := got - 30; d < -10 || d > 10 {
+		t.Errorf("short-trace onset = %d, want ~30", got)
+	}
+}

@@ -1,0 +1,11 @@
+// Package dsp provides the signal-processing substrate used by the SoftLoRa
+// gateway: complex baseband (I/Q) trace manipulation, FFT and spectrograms,
+// Hilbert-transform envelopes, FIR filtering and decimation, phase
+// unwrapping, linear regression, autoregressive modelling with the Akaike
+// Information Criterion, differential-evolution optimization, and noise
+// generation calibrated to a target SNR.
+//
+// All routines operate on discrete-time complex baseband traces sampled at a
+// caller-supplied rate. The package is deterministic: every stochastic
+// routine takes an explicit *rand.Rand so experiments are reproducible.
+package dsp

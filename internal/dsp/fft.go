@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two that is >= n, and 1 for n <= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the discrete Fourier transform of x using an iterative
+// radix-2 Cooley-Tukey algorithm. If len(x) is not a power of two, x is
+// zero-padded to the next power of two. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	n := NextPow2(len(x))
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, zero-padding to
+// a power of two if needed. The 1/N normalization is applied.
+func IFFT(x []complex128) []complex128 {
+	n := NextPow2(len(x))
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// fftInPlace runs an in-place radix-2 FFT. len(x) must be a power of two.
+// When inverse is true the conjugate (inverse) transform is computed without
+// normalization.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// FFTShift rotates the spectrum so the zero-frequency bin is at the center.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// BinFrequency returns the signal frequency (Hz) corresponding to FFT bin k
+// of an n-point transform at the given sample rate, mapping bins above n/2
+// to negative frequencies.
+func BinFrequency(k, n int, sampleRate float64) float64 {
+	if k > n/2 {
+		k -= n
+	}
+	return float64(k) * sampleRate / float64(n)
+}
+
+// PeakBin returns the index and magnitude of the largest-magnitude bin of
+// the spectrum.
+func PeakBin(spectrum []complex128) (bin int, magnitude float64) {
+	for i, v := range spectrum {
+		if m := cmplx.Abs(v); m > magnitude {
+			magnitude = m
+			bin = i
+		}
+	}
+	return bin, magnitude
+}
+
+// InterpolatePeak refines a spectral peak location to sub-bin accuracy by
+// fitting a parabola to the log-magnitudes of the peak bin and its two
+// neighbors (with wraparound). It returns the fractional bin offset in
+// [-0.5, 0.5] to add to the integer peak index.
+func InterpolatePeak(spectrum []complex128, bin int) float64 {
+	n := len(spectrum)
+	if n < 3 {
+		return 0
+	}
+	mag := func(i int) float64 {
+		m := cmplx.Abs(spectrum[((i%n)+n)%n])
+		if m <= 0 {
+			m = 1e-300
+		}
+		return math.Log(m)
+	}
+	alpha, beta, gamma := mag(bin-1), mag(bin), mag(bin+1)
+	denom := alpha - 2*beta + gamma
+	if denom == 0 {
+		return 0
+	}
+	d := 0.5 * (alpha - gamma) / denom
+	if d > 0.5 {
+		d = 0.5
+	} else if d < -0.5 {
+		d = -0.5
+	}
+	return d
+}
+
+// Spectrogram computes a short-time Fourier transform power spectrogram of
+// the complex trace x. Each column is the power spectral density of one
+// window of windowLen samples; consecutive windows overlap by overlap
+// samples. The window function w must have length windowLen (use
+// KaiserWindow to match the paper's Fig. 6 setup).
+//
+// The returned matrix is indexed as psd[frame][bin] with bins in FFT order.
+func Spectrogram(x []complex128, w []float64, overlap int) [][]float64 {
+	windowLen := len(w)
+	if windowLen == 0 || len(x) < windowLen {
+		return nil
+	}
+	hop := windowLen - overlap
+	if hop < 1 {
+		hop = 1
+	}
+	nFrames := (len(x)-windowLen)/hop + 1
+	out := make([][]float64, 0, nFrames)
+	buf := make([]complex128, NextPow2(windowLen))
+	for f := 0; f < nFrames; f++ {
+		start := f * hop
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := 0; i < windowLen; i++ {
+			buf[i] = x[start+i] * complex(w[i], 0)
+		}
+		fftInPlace(buf, false)
+		psd := make([]float64, len(buf))
+		for i, v := range buf {
+			re, im := real(v), imag(v)
+			psd[i] = re*re + im*im
+		}
+		out = append(out, psd)
+	}
+	return out
+}

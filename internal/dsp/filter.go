@@ -1,0 +1,121 @@
+package dsp
+
+import "math"
+
+// FIRFilter is a finite-impulse-response filter described by its tap
+// coefficients.
+type FIRFilter struct {
+	Taps []float64
+}
+
+// LowPassFIR designs a linear-phase low-pass FIR filter with the windowed-
+// sinc method. cutoff is the -6 dB edge in Hz, sampleRate the sampling rate
+// in Hz, and taps the (odd, >= 3) filter length; even values are rounded up.
+func LowPassFIR(cutoff, sampleRate float64, taps int) *FIRFilter {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoff / sampleRate // normalized cutoff (cycles/sample)
+	mid := taps / 2
+	h := make([]float64, taps)
+	w := HannWindow(taps)
+	var sum float64
+	for i := 0; i < taps; i++ {
+		k := float64(i - mid)
+		var v float64
+		if k == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*k) / (math.Pi * k)
+		}
+		h[i] = v * w[i]
+		sum += h[i]
+	}
+	// Normalize for unity DC gain.
+	if sum != 0 {
+		for i := range h {
+			h[i] /= sum
+		}
+	}
+	return &FIRFilter{Taps: h}
+}
+
+// Apply convolves the filter with a complex trace and returns a trace of the
+// same length. Group delay (len(Taps)/2 samples) is compensated so features
+// stay time-aligned with the input.
+func (f *FIRFilter) Apply(x []complex128) []complex128 {
+	n := len(x)
+	m := len(f.Taps)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	delay := m / 2
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var acc complex128
+		// out[i] corresponds to input centered at i (delay-compensated).
+		for j := 0; j < m; j++ {
+			k := i + delay - j
+			if k < 0 || k >= n {
+				continue
+			}
+			acc += x[k] * complex(f.Taps[j], 0)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// ApplyReal convolves the filter with a real trace, delay-compensated.
+func (f *FIRFilter) ApplyReal(x []float64) []float64 {
+	n := len(x)
+	m := len(f.Taps)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	delay := m / 2
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < m; j++ {
+			k := i + delay - j
+			if k < 0 || k >= n {
+				continue
+			}
+			acc += x[k] * f.Taps[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Decimate keeps every factor-th sample of x, starting at sample 0. The
+// caller is responsible for prior anti-alias filtering (see LowPassFIR).
+func Decimate(x []complex128, factor int) []complex128 {
+	if factor <= 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]complex128, 0, len(x)/factor+1)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// DecimateFiltered low-pass filters x to the new Nyquist frequency and then
+// decimates by factor. sampleRate is the input rate in Hz.
+func DecimateFiltered(x []complex128, sampleRate float64, factor int) []complex128 {
+	if factor <= 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	newNyquist := sampleRate / float64(factor) / 2
+	f := LowPassFIR(newNyquist*0.9, sampleRate, 4*factor+1)
+	return Decimate(f.Apply(x), factor)
+}

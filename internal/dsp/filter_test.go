@@ -1,0 +1,132 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func tone(n int, freq, rate float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*freq*float64(i)/rate))
+	}
+	return x
+}
+
+func TestLowPassFIRPassesAndStops(t *testing.T) {
+	const rate = 10000.0
+	f := LowPassFIR(1000, rate, 129)
+	pass := f.Apply(tone(4096, 300, rate))
+	stop := f.Apply(tone(4096, 3000, rate))
+	passP := Power(pass[200 : len(pass)-200])
+	stopP := Power(stop[200 : len(stop)-200])
+	if passP < 0.8 {
+		t.Errorf("passband power = %f, want ~1", passP)
+	}
+	if stopP > 0.01*passP {
+		t.Errorf("stopband power = %f, want << passband %f", stopP, passP)
+	}
+}
+
+func TestLowPassFIRUnityDCGain(t *testing.T) {
+	f := LowPassFIR(100, 1000, 65)
+	var sum float64
+	for _, h := range f.Taps {
+		sum += h
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("DC gain = %f, want 1", sum)
+	}
+}
+
+func TestLowPassFIROddTaps(t *testing.T) {
+	f := LowPassFIR(100, 1000, 64)
+	if len(f.Taps)%2 != 1 {
+		t.Errorf("taps = %d, want odd", len(f.Taps))
+	}
+	f2 := LowPassFIR(100, 1000, 1)
+	if len(f2.Taps) < 3 {
+		t.Errorf("taps = %d, want >= 3", len(f2.Taps))
+	}
+}
+
+func TestFilterDelayCompensation(t *testing.T) {
+	// A step through the filter should transition near the original step
+	// index, not shifted by the group delay.
+	const n = 1000
+	x := make([]complex128, n)
+	for i := n / 2; i < n; i++ {
+		x[i] = 1
+	}
+	f := LowPassFIR(100, 1000, 51)
+	y := f.Apply(x)
+	// Find where output crosses 0.5.
+	cross := -1
+	for i := 1; i < n; i++ {
+		if real(y[i-1]) < 0.5 && real(y[i]) >= 0.5 {
+			cross = i
+			break
+		}
+	}
+	if cross < 0 {
+		t.Fatal("no crossing found")
+	}
+	if d := cross - n/2; d < -3 || d > 3 {
+		t.Errorf("step crossing at %d, want near %d (delta %d)", cross, n/2, d)
+	}
+}
+
+func TestApplyRealMatchesComplex(t *testing.T) {
+	f := LowPassFIR(100, 1000, 31)
+	xr := make([]float64, 256)
+	xc := make([]complex128, 256)
+	for i := range xr {
+		v := math.Sin(2 * math.Pi * 30 * float64(i) / 1000)
+		xr[i] = v
+		xc[i] = complex(v, 0)
+	}
+	yr := f.ApplyReal(xr)
+	yc := f.Apply(xc)
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []complex128{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(x, 3)
+	want := []complex128{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decimate = %v, want %v", got, want)
+		}
+	}
+	id := Decimate(x, 1)
+	if len(id) != len(x) {
+		t.Fatal("factor 1 should copy")
+	}
+	id[0] = 99
+	if x[0] == 99 {
+		t.Fatal("Decimate factor 1 must copy")
+	}
+}
+
+func TestDecimateFilteredPreservesBaseband(t *testing.T) {
+	const rate = 8000.0
+	x := tone(8192, 200, rate)
+	y := DecimateFiltered(x, rate, 4)
+	if len(y) != len(x)/4 {
+		t.Fatalf("len = %d, want %d", len(y), len(x)/4)
+	}
+	// The tone survives decimation with ~unity power.
+	p := Power(y[100 : len(y)-100])
+	if p < 0.7 || p > 1.3 {
+		t.Errorf("decimated tone power = %f, want ~1", p)
+	}
+}

@@ -1,0 +1,45 @@
+package dsp
+
+import "math/cmplx"
+
+// AnalyticSignal computes the analytic signal of a real-valued trace via the
+// FFT method: the negative-frequency half of the spectrum is zeroed and the
+// positive half doubled. The returned trace has the same length as x.
+func AnalyticSignal(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	m := NextPow2(n)
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftInPlace(buf, false)
+	// h[k] multiplier: 1 for DC and Nyquist, 2 for positive freqs, 0 for
+	// negative freqs.
+	for k := 1; k < m/2; k++ {
+		buf[k] *= 2
+	}
+	for k := m/2 + 1; k < m; k++ {
+		buf[k] = 0
+	}
+	fftInPlace(buf, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = buf[i] * inv
+	}
+	return out
+}
+
+// Envelope returns the amplitude envelope |analytic(x)| of a real trace,
+// as used by the paper's envelope-based preamble onset detector (§6.1.2).
+func Envelope(x []float64) []float64 {
+	a := AnalyticSignal(x)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIQSplitCombine(t *testing.T) {
+	x := []complex128{complex(1, 2), complex(-3, 4), complex(0, -5)}
+	iData, qData := I(x), Q(x)
+	wantI := []float64{1, -3, 0}
+	wantQ := []float64{2, 4, -5}
+	for i := range x {
+		if iData[i] != wantI[i] || qData[i] != wantQ[i] {
+			t.Fatalf("split mismatch at %d", i)
+		}
+	}
+	back := Complex(iData, qData)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("combine mismatch at %d: %v vs %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestComplexShorterInput(t *testing.T) {
+	got := Complex([]float64{1, 2, 3}, []float64{4})
+	if len(got) != 1 || got[0] != complex(1, 4) {
+		t.Fatalf("Complex = %v", got)
+	}
+}
+
+func TestPower(t *testing.T) {
+	x := []complex128{complex(3, 4), complex(0, 0)}
+	if got := Power(x); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("Power = %f, want 12.5", got)
+	}
+	if Power(nil) != 0 {
+		t.Error("Power(nil) != 0")
+	}
+}
+
+func TestScaleAndPowerProperty(t *testing.T) {
+	f := func(seed int64, gRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := 0.1 + float64(gRaw)/64
+		x := make([]complex128, 64)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		p0 := Power(x)
+		p1 := Power(Scale(x, g))
+		return math.Abs(p1-g*g*p0) < 1e-9*(1+p0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddLengths(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{10, 20, 30}
+	got := Add(a, b)
+	want := []complex128{11, 22, 30}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Add = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddInPlaceOffsets(t *testing.T) {
+	a := make([]complex128, 5)
+	b := []complex128{1, 1, 1}
+	AddInPlace(a, b, 3) // clips last sample
+	if a[3] != 1 || a[4] != 1 || a[2] != 0 {
+		t.Errorf("positive offset: %v", a)
+	}
+	a2 := make([]complex128, 5)
+	AddInPlace(a2, b, -2) // only b[2] lands at a2[0]
+	if a2[0] != 1 || a2[1] != 0 {
+		t.Errorf("negative offset: %v", a2)
+	}
+}
+
+func TestSegmentClamping(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	tests := []struct {
+		start, n  int
+		wantLen   int
+		wantFirst complex128
+	}{
+		{0, 2, 2, 1},
+		{2, 10, 2, 3},
+		{-1, 2, 2, 1},
+		{10, 2, 0, 0},
+		{1, -1, 3, 2},
+	}
+	for _, tt := range tests {
+		got := Segment(x, tt.start, tt.n)
+		if len(got) != tt.wantLen {
+			t.Errorf("Segment(%d,%d) len = %d, want %d", tt.start, tt.n, len(got), tt.wantLen)
+			continue
+		}
+		if tt.wantLen > 0 && got[0] != tt.wantFirst {
+			t.Errorf("Segment(%d,%d)[0] = %v, want %v", tt.start, tt.n, got[0], tt.wantFirst)
+		}
+	}
+}
+
+func TestSegmentIsCopy(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	s := Segment(x, 0, 3)
+	s[0] = 99
+	if x[0] != 1 {
+		t.Error("Segment must copy, not alias")
+	}
+}
+
+func TestMulConj(t *testing.T) {
+	a := []complex128{complex(1, 1)}
+	b := Conj(a)
+	if b[0] != complex(1, -1) {
+		t.Fatalf("Conj = %v", b[0])
+	}
+	p := Mul(a, b)
+	if p[0] != complex(2, 0) {
+		t.Fatalf("Mul = %v", p[0])
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := TodB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("TodB(100) = %f", got)
+	}
+	if got := FromdB(30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("FromdB(30) = %f", got)
+	}
+	if got := SNRdB(10, 1); math.Abs(got-10) > 1e-12 {
+		t.Errorf("SNRdB = %f", got)
+	}
+	if !math.IsInf(SNRdB(1, 0), 1) {
+		t.Error("SNRdB with zero noise should be +Inf")
+	}
+}
+
+func TestDBRoundTripProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		db := float64(raw) / 100 // -327..327 dB
+		return math.Abs(TodB(FromdB(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseMagnitude(t *testing.T) {
+	x := []complex128{complex(0, 2)}
+	if got := Phase(x)[0]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("Phase = %f", got)
+	}
+	if got := Magnitude(x)[0]; math.Abs(got-2) > 1e-12 {
+		t.Errorf("Magnitude = %f", got)
+	}
+}

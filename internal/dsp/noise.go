@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianNoise returns n samples of circular complex white Gaussian noise
+// with total (I+Q) average power power.
+func GaussianNoise(rng *rand.Rand, n int, power float64) []complex128 {
+	out := make([]complex128, n)
+	sigma := math.Sqrt(power / 2)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return out
+}
+
+// ColoredNoiseConfig parameterizes the synthetic "real building noise" model
+// used for Fig. 14's second curve: low-pass-colored Gaussian background plus
+// sparse impulsive interference bursts, the standard model for indoor
+// ISM-band noise.
+type ColoredNoiseConfig struct {
+	// CutoffFraction is the low-pass cutoff as a fraction of Nyquist in
+	// (0, 1]. Default 0.5.
+	CutoffFraction float64
+	// ImpulseRate is the expected number of impulsive bursts per 1000
+	// samples. Zero selects the default of 0.5; a negative value disables
+	// impulses entirely.
+	ImpulseRate float64
+	// ImpulsePowerRatio is the per-burst power relative to the background.
+	// Default 30 (≈15 dB hotter).
+	ImpulsePowerRatio float64
+	// ImpulseLen is the burst length in samples. Default 24.
+	ImpulseLen int
+}
+
+func (c ColoredNoiseConfig) withDefaults() ColoredNoiseConfig {
+	if c.CutoffFraction <= 0 || c.CutoffFraction > 1 {
+		c.CutoffFraction = 0.5
+	}
+	if c.ImpulseRate == 0 {
+		c.ImpulseRate = 0.5
+	}
+	if c.ImpulseRate < 0 {
+		c.ImpulseRate = 0
+	}
+	if c.ImpulsePowerRatio <= 0 {
+		c.ImpulsePowerRatio = 30
+	}
+	if c.ImpulseLen <= 0 {
+		c.ImpulseLen = 24
+	}
+	return c
+}
+
+// ColoredNoise returns n samples of colored, impulsive noise with total
+// average power normalized to power.
+func ColoredNoise(rng *rand.Rand, n int, power float64, cfg ColoredNoiseConfig) []complex128 {
+	cfg = cfg.withDefaults()
+	if n == 0 {
+		return nil
+	}
+	white := GaussianNoise(rng, n, 1)
+	// Color the spectrum with a windowed-sinc low pass at the configured
+	// fraction of Nyquist (sample rate normalized to 1).
+	f := LowPassFIR(cfg.CutoffFraction*0.5, 1, 101)
+	colored := f.Apply(white)
+	// Inject impulsive bursts.
+	expected := cfg.ImpulseRate * float64(n) / 1000
+	bursts := int(expected)
+	if rng.Float64() < expected-float64(bursts) {
+		bursts++
+	}
+	burstSigma := math.Sqrt(cfg.ImpulsePowerRatio / 2)
+	for b := 0; b < bursts; b++ {
+		at := rng.Intn(n)
+		for i := 0; i < cfg.ImpulseLen && at+i < n; i++ {
+			colored[at+i] += complex(rng.NormFloat64()*burstSigma, rng.NormFloat64()*burstSigma)
+		}
+	}
+	// Normalize to the requested power.
+	p := Power(colored)
+	if p > 0 {
+		ScaleInPlace(colored, math.Sqrt(power/p))
+	}
+	return colored
+}
+
+// AddNoiseSNR adds noise to signal scaled so that the resulting trace has
+// the requested SNR in dB, where SNR = signalPower/noisePower. The noise
+// trace must be at least as long as the signal; extra noise samples are
+// ignored. A fresh slice is returned.
+func AddNoiseSNR(signal, noise []complex128, snrDB float64) []complex128 {
+	sp := Power(signal)
+	np := Power(noise[:min(len(noise), len(signal))])
+	out := make([]complex128, len(signal))
+	copy(out, signal)
+	if sp == 0 || np == 0 {
+		return out
+	}
+	targetNP := sp / FromdB(snrDB)
+	g := complex(math.Sqrt(targetNP/np), 0)
+	for i := range out {
+		if i < len(noise) {
+			out[i] += noise[i] * g
+		}
+	}
+	return out
+}
+
+// NoiseForSNR returns the gain to apply to a noise trace of power np so a
+// signal of power sp observes the requested SNR in dB.
+func NoiseForSNR(sp, np, snrDB float64) float64 {
+	if sp == 0 || np == 0 {
+		return 0
+	}
+	return math.Sqrt(sp / FromdB(snrDB) / np)
+}

@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDESphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	sphere := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += (v - 1.5) * (v - 1.5)
+		}
+		return s
+	}
+	res := DifferentialEvolution(sphere,
+		[]float64{-10, -10, -10}, []float64{10, 10, 10},
+		DEConfig{Rand: rng, MaxGenerations: 200})
+	if res.Cost > 1e-4 {
+		t.Fatalf("cost = %g, want ~0 (x = %v)", res.Cost, res.X)
+	}
+	for _, v := range res.X {
+		if math.Abs(v-1.5) > 0.02 {
+			t.Errorf("x = %v, want all ~1.5", res.X)
+		}
+	}
+}
+
+func TestDERastrigin(t *testing.T) {
+	// Multimodal: DE should still find the global optimum at 0 in 2D.
+	rng := rand.New(rand.NewSource(21))
+	rastrigin := func(x []float64) float64 {
+		s := 10.0 * float64(len(x))
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}
+	res := DifferentialEvolution(rastrigin,
+		[]float64{-5.12, -5.12}, []float64{5.12, 5.12},
+		DEConfig{Rand: rng, MaxGenerations: 300, PopulationSize: 40})
+	if res.Cost > 0.01 {
+		t.Fatalf("cost = %g at %v, want ~0", res.Cost, res.X)
+	}
+}
+
+func TestDERespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// Optimum outside the box: result must sit on the boundary.
+	fn := func(x []float64) float64 { return (x[0] - 100) * (x[0] - 100) }
+	res := DifferentialEvolution(fn, []float64{-1}, []float64{2},
+		DEConfig{Rand: rng})
+	if res.X[0] < -1 || res.X[0] > 2 {
+		t.Fatalf("x = %f outside bounds", res.X[0])
+	}
+	if math.Abs(res.X[0]-2) > 1e-6 {
+		t.Errorf("x = %f, want boundary 2", res.X[0])
+	}
+}
+
+func TestDEInvalidInputs(t *testing.T) {
+	res := DifferentialEvolution(func([]float64) float64 { return 0 },
+		nil, nil, DEConfig{Rand: rand.New(rand.NewSource(1))})
+	if !math.IsInf(res.Cost, 1) {
+		t.Error("expected +Inf cost for empty bounds")
+	}
+	res = DifferentialEvolution(func([]float64) float64 { return 0 },
+		[]float64{0}, []float64{1}, DEConfig{})
+	if !math.IsInf(res.Cost, 1) {
+		t.Error("expected +Inf cost for nil Rand")
+	}
+}
+
+func TestDEDeterministicForSeed(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }
+	run := func() DEResult {
+		return DifferentialEvolution(fn, []float64{-3, -3}, []float64{3, 3},
+			DEConfig{Rand: rand.New(rand.NewSource(99)), MaxGenerations: 50})
+	}
+	a, b := run(), run()
+	if a.Cost != b.Cost || a.X[0] != b.X[0] || a.X[1] != b.X[1] {
+		t.Error("same seed should give identical results")
+	}
+}
+
+func TestDEEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	fn := func(x []float64) float64 { return 0 } // flat: converges instantly
+	res := DifferentialEvolution(fn, []float64{0}, []float64{1},
+		DEConfig{Rand: rng, MaxGenerations: 1000})
+	if res.Generations >= 1000 {
+		t.Errorf("generations = %d, expected early stop", res.Generations)
+	}
+}

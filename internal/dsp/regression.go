@@ -1,0 +1,89 @@
+package dsp
+
+// LinearFit holds the result of an ordinary least-squares straight-line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination in [0, 1]; 1 means a perfect
+	// fit. It is 0 when y has no variance.
+	R2 float64
+}
+
+// LinearRegression fits a straight line to the points (x[i], y[i]) by
+// ordinary least squares. Inputs must have equal, non-zero length; otherwise
+// a zero-valued fit is returned.
+func LinearRegression(x, y []float64) LinearFit {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return LinearFit{}
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{Intercept: my}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		ssRes := syy - slope*sxy
+		fit.R2 = 1 - ssRes/syy
+		if fit.R2 < 0 {
+			fit.R2 = 0
+		}
+	}
+	return fit
+}
+
+// LinearRegressionUniform fits y against uniformly spaced x values
+// x[i] = x0 + i*dx, avoiding the allocation of an explicit abscissa slice.
+func LinearRegressionUniform(y []float64, x0, dx float64) LinearFit {
+	n := len(y)
+	if n == 0 || dx == 0 {
+		return LinearFit{}
+	}
+	// Closed form using sums over i.
+	fn := float64(n)
+	mi := (fn - 1) / 2 // mean of i
+	var sy, siy float64
+	for i, v := range y {
+		sy += v
+		siy += float64(i) * v
+	}
+	my := sy / fn
+	// sum((i-mi)^2) = n(n^2-1)/12
+	sii := fn * (fn*fn - 1) / 12
+	if sii == 0 {
+		return LinearFit{Intercept: my}
+	}
+	siyC := siy - mi*sy
+	slopeI := siyC / sii // slope per index step
+	slope := slopeI / dx
+	intercept := my - slopeI*mi - slope*x0
+	var syy, ssRes float64
+	for i, v := range y {
+		dy := v - my
+		syy += dy * dy
+		r := v - (slope*(x0+float64(i)*dx) + intercept)
+		ssRes += r * r
+	}
+	fit := LinearFit{Slope: slope, Intercept: intercept}
+	if syy > 0 {
+		fit.R2 = 1 - ssRes/syy
+		if fit.R2 < 0 {
+			fit.R2 = 0
+		}
+	}
+	return fit
+}

@@ -1,0 +1,29 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrates. Each experiment returns
+// structured rows and can print them in the same layout the paper reports,
+// alongside the paper's measured values where applicable.
+//
+// The package is consumed by the repository's bench harness
+// (bench_test.go, one benchmark per table/figure) and by cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Seed is the deterministic seed all experiments derive their randomness
+// from, so printed tables are reproducible run to run.
+const Seed = 20200707 // ICDCS 2020 presentation week
+
+// newRand returns the deterministic random source for an experiment,
+// offset so experiments are independent.
+func newRand(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(Seed + offset))
+}
+
+// section prints a table/figure header.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"softlora/internal/core"
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+	"softlora/internal/sdr"
+)
+
+// Fig10Point is one SNR point of the AIC timestamping-error curve, plus
+// the dechirp-onset extension's error for comparison.
+type Fig10Point struct {
+	SNRdB       float64
+	MeanErrorUs float64
+	MaxErrorUs  float64
+	// DechirpMeanUs is the despreading-based extension detector's mean
+	// error on the same captures (DESIGN.md §6).
+	DechirpMeanUs float64
+}
+
+// Fig10 measures AIC timestamping error vs SNR by adding calibrated
+// Gaussian noise to high-SNR captures, like the paper's Fig. 10
+// (SNR −20…40 dB).
+func Fig10(trials int) []Fig10Point {
+	if trials <= 0 {
+		trials = 8
+	}
+	rng := newRand(10)
+	const rate = sdr.DefaultSampleRate
+	p := lora.DefaultParams(7)
+	var out []Fig10Point
+	for snr := -20.0; snr <= 40; snr += 5 {
+		var sum, maxE, dcSum float64
+		for trial := 0; trial < trials; trial++ {
+			spec := lora.ChirpSpec{
+				SF:              p.SF,
+				Bandwidth:       p.Bandwidth,
+				FrequencyOffset: -22e3,
+				Phase:           rng.Float64() * 2 * math.Pi,
+			}
+			lead := int(2e-3 * rate)
+			// Two preamble chirps: the dechirp detector needs both flanks
+			// of the first boundary (the AIC detector only uses the
+			// first).
+			total := lead + 2*int(spec.Duration()*rate) + 64
+			iq := make([]complex128, total)
+			want := (float64(lead) + rng.Float64())
+			spec.AddTo(iq, rate, want/rate)
+			second := spec
+			second.Phase = spec.EndPhase()
+			second.AddTo(iq, rate, want/rate+spec.Duration())
+			noise := dsp.GaussianNoise(rng, total, 1)
+			g := dsp.NoiseForSNR(1, 1, snr)
+			for i := range iq {
+				iq[i] += noise[i] * complex(g, 0)
+			}
+			det := &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+			on, err := det.DetectOnset(iq, rate)
+			if err != nil {
+				continue
+			}
+			e := math.Abs(float64(on.Sample)-want) / rate * 1e6
+			sum += e
+			if e > maxE {
+				maxE = e
+			}
+			dc := &core.DechirpOnsetDetector{Params: p}
+			dcOn, err := dc.DetectOnset(iq, rate)
+			if err != nil {
+				continue
+			}
+			dcSum += math.Abs(float64(dcOn.Sample)-want) / rate * 1e6
+		}
+		out = append(out, Fig10Point{
+			SNRdB:         snr,
+			MeanErrorUs:   sum / float64(trials),
+			MaxErrorUs:    maxE,
+			DechirpMeanUs: dcSum / float64(trials),
+		})
+	}
+	return out
+}
+
+// PrintFig10 renders the error-vs-SNR series.
+func PrintFig10(w io.Writer, pts []Fig10Point) {
+	section(w, "Fig. 10: AIC timestamping error vs SNR")
+	fmt.Fprintf(w, "%8s %12s %12s %16s\n", "SNR(dB)", "mean(µs)", "max(µs)", "dechirp-ext(µs)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.0f %12.2f %12.2f %16.2f\n", p.SNRdB, p.MeanErrorUs, p.MaxErrorUs, p.DechirpMeanUs)
+	}
+	fmt.Fprintf(w, "paper: ≤20 µs for SNR ≥ −1 dB; ~25 µs at −20 dB (see EXPERIMENTS.md on the low-SNR tail;\n")
+	fmt.Fprintf(w, "the dechirp extension column shows despreading gain recovering µs accuracy down to ~−10 dB)\n")
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"softlora/internal/chip"
+	"softlora/internal/lora"
+)
+
+// Table1Row is one configuration of the jamming-window experiment.
+type Table1Row struct {
+	SF         int
+	PayloadLen int
+	// Model windows, milliseconds.
+	W1, W2, W3 float64
+	// Paper-measured windows, milliseconds (Table 1).
+	PaperW1, PaperW2, PaperW3 float64
+}
+
+// paperTable1 holds the RN2483 measurements reported in Table 1.
+var paperTable1 = []Table1Row{
+	{SF: 7, PayloadLen: 10, PaperW1: 5, PaperW2: 28, PaperW3: 141},
+	{SF: 7, PayloadLen: 20, PaperW1: 5, PaperW2: 38, PaperW3: 156},
+	{SF: 7, PayloadLen: 30, PaperW1: 6, PaperW2: 41, PaperW3: 165},
+	{SF: 7, PayloadLen: 40, PaperW1: 6, PaperW2: 54, PaperW3: 178},
+	{SF: 8, PayloadLen: 30, PaperW1: 10, PaperW2: 82, PaperW3: 208},
+	{SF: 9, PayloadLen: 30, PaperW1: 22, PaperW2: 156, PaperW3: 274},
+}
+
+// Table1 measures the jamming windows w1/w2/w3 by sweeping the jamming
+// onset over the frame timeline with the behavioural chip model, exactly
+// the way the paper measures its Table 1.
+func Table1() ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(paperTable1))
+	for _, row := range paperTable1 {
+		p := lora.DefaultParams(row.SF)
+		p.LowDataRateOptimize = false
+		r := chip.NewReceiver(p)
+		w1, w2, w3, err := r.SweepWindows(row.PayloadLen, 1e-4)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 1 sweep SF%d/%dB: %w", row.SF, row.PayloadLen, err)
+		}
+		row.W1 = w1 * 1e3
+		row.W2 = w2 * 1e3
+		row.W3 = w3 * 1e3
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows next to the paper's measurements.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	section(w, "Table 1: jamming attack time windows (ms)")
+	fmt.Fprintf(w, "%-4s %-8s | %7s %7s %7s | %7s %7s %7s\n",
+		"SF", "payload", "w1", "w2", "w3", "paper1", "paper2", "paper3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4d %-8d | %7.1f %7.1f %7.1f | %7.0f %7.0f %7.0f\n",
+			r.SF, r.PayloadLen, r.W1, r.W2, r.W3, r.PaperW1, r.PaperW2, r.PaperW3)
+	}
+}

@@ -1,0 +1,129 @@
+// Package iqfile reads and writes baseband captures in the de-facto SDR
+// interchange format: interleaved little-endian float32 I/Q pairs (the
+// format GNU Radio file sinks and rtl_sdr post-processing tools use), with
+// an optional JSON sidecar carrying sample rate and timing metadata.
+package iqfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Metadata is the JSON sidecar describing a capture.
+type Metadata struct {
+	// SampleRate in samples/s.
+	SampleRate float64 `json:"sample_rate"`
+	// StartTime of sample 0 on the capture timeline, seconds.
+	StartTime float64 `json:"start_time"`
+	// CenterFrequency of the tuned channel in Hz (informational).
+	CenterFrequency float64 `json:"center_frequency,omitempty"`
+	// Description is free-form.
+	Description string `json:"description,omitempty"`
+}
+
+// Errors.
+var (
+	ErrOddFloatCount = errors.New("iqfile: trailing I sample without Q")
+	ErrBadMetadata   = errors.New("iqfile: malformed metadata")
+)
+
+// Write streams the capture as interleaved float32 I/Q.
+func Write(w io.Writer, iq []complex128) error {
+	bw := bufio.NewWriter(w)
+	var buf [8]byte
+	for _, v := range iq {
+		binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(float32(real(v))))
+		binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(float32(imag(v))))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("iqfile: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("iqfile: %w", err)
+	}
+	return nil
+}
+
+// Read consumes interleaved float32 I/Q until EOF.
+func Read(r io.Reader) ([]complex128, error) {
+	br := bufio.NewReader(r)
+	var out []complex128
+	var buf [8]byte
+	for {
+		n, err := io.ReadFull(br, buf[:])
+		switch {
+		case err == nil:
+			i := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+			q := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+			out = append(out, complex(float64(i), float64(q)))
+		case errors.Is(err, io.EOF) && n == 0:
+			return out, nil
+		case errors.Is(err, io.ErrUnexpectedEOF) && n == 4:
+			return nil, ErrOddFloatCount
+		default:
+			return nil, fmt.Errorf("iqfile: %w", err)
+		}
+	}
+}
+
+// metaPath returns the sidecar path for an IQ file path.
+func metaPath(iqPath string) string { return iqPath + ".json" }
+
+// Save writes the capture and its metadata sidecar to path and path+".json".
+func Save(path string, iq []complex128, meta Metadata) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("iqfile: %w", err)
+	}
+	if err := Write(f, iq); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("iqfile: %w", err)
+	}
+	mf, err := os.Create(metaPath(path))
+	if err != nil {
+		return fmt.Errorf("iqfile: %w", err)
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("iqfile: %w", err)
+	}
+	return nil
+}
+
+// Load reads a capture and its metadata sidecar. A missing sidecar yields
+// zero-valued metadata without error.
+func Load(path string) ([]complex128, Metadata, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Metadata{}, fmt.Errorf("iqfile: %w", err)
+	}
+	defer f.Close()
+	iq, err := Read(f)
+	if err != nil {
+		return nil, Metadata{}, err
+	}
+	var meta Metadata
+	mf, err := os.Open(metaPath(path))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return iq, meta, nil
+		}
+		return nil, Metadata{}, fmt.Errorf("iqfile: %w", err)
+	}
+	defer mf.Close()
+	if err := json.NewDecoder(mf).Decode(&meta); err != nil {
+		return nil, Metadata{}, fmt.Errorf("%w: %v", ErrBadMetadata, err)
+	}
+	return iq, meta, nil
+}

@@ -1,0 +1,150 @@
+package iqfile
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	iq := make([]complex128, 1000)
+	for i := range iq {
+		iq[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, iq); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8*len(iq) {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), 8*len(iq))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(iq) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range iq {
+		// float32 round trip: relative 1e-6.
+		if math.Abs(real(got[i])-real(iq[i])) > 1e-5 || math.Abs(imag(got[i])-imag(iq[i])) > 1e-5 {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], iq[i])
+		}
+	}
+}
+
+func TestWriteReadProperty(t *testing.T) {
+	f := func(res []float64) bool {
+		if len(res)%2 == 1 {
+			res = res[:len(res)-1]
+		}
+		iq := make([]complex128, len(res)/2)
+		for i := range iq {
+			a := float64(float32(res[2*i]))
+			b := float64(float32(res[2*i+1]))
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return true
+			}
+			iq[i] = complex(a, b)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, iq); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(iq) {
+			return false
+		}
+		for i := range iq {
+			if got[i] != iq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadOddFloatCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 12)) // 1.5 samples
+	if _, err := Read(&buf); !errors.Is(err, ErrOddFloatCount) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %d samples, err %v", len(got), err)
+	}
+}
+
+func TestSaveLoadWithMetadata(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "capture.iq")
+	iq := []complex128{complex(1, 2), complex(3, 4)}
+	meta := Metadata{SampleRate: 2.4e6, StartTime: 1.5, CenterFrequency: 869.75e6, Description: "test"}
+	if err := Save(path, iq, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != complex(1, 2) {
+		t.Errorf("iq = %v", got)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta = %+v", gotMeta)
+	}
+}
+
+func TestLoadMissingSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bare.iq")
+	if err := Save(path, []complex128{1}, Metadata{SampleRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove sidecar manually by saving to a fresh file without one.
+	if err := Write(mustCreate(t, filepath.Join(dir, "nosidecar.iq")), []complex128{1}); err != nil {
+		t.Fatal(err)
+	}
+	iq, meta, err := Load(filepath.Join(dir, "nosidecar.iq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iq) != 1 || meta.SampleRate != 0 {
+		t.Errorf("iq %v meta %+v", iq, meta)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := Load(filepath.Join(t.TempDir(), "missing.iq")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLoadBadSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.iq")
+	if err := Write(mustCreate(t, path), []complex128{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path+".json", "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); !errors.Is(err, ErrBadMetadata) {
+		t.Errorf("err = %v", err)
+	}
+}

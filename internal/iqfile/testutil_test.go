@@ -1,0 +1,23 @@
+package iqfile
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// mustCreate opens a file for writing and registers cleanup.
+func mustCreate(t *testing.T, path string) io.Writer {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// writeFile writes a string to a path.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

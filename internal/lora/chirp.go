@@ -1,0 +1,136 @@
+package lora
+
+import "math"
+
+// ChirpSpec describes one CSS chirp at equivalent baseband.
+type ChirpSpec struct {
+	// SF and Bandwidth define the sweep: duration 2^SF/W, sweep width W.
+	SF        int
+	Bandwidth float64
+	// Symbol is the cyclic shift encoding data, in [0, 2^SF). Zero yields
+	// the base chirp used in preambles.
+	Symbol int
+	// Down selects a down chirp (frequency sweeping from +W/2 to −W/2),
+	// used by the LoRa SFD and by LoRaWAN downlink preambles.
+	Down bool
+	// Amplitude is the waveform amplitude A (default 0 means 1).
+	Amplitude float64
+	// Phase is the phase θ at the chirp start, in radians.
+	Phase float64
+	// FrequencyOffset is the oscillator bias δ in Hz, rotating the whole
+	// chirp by exp(j*2π*δ*t).
+	FrequencyOffset float64
+}
+
+// Duration returns the chirp duration 2^SF / W in seconds.
+func (c ChirpSpec) Duration() float64 {
+	return float64(int(1)<<c.SF) / c.Bandwidth
+}
+
+// amplitude returns the effective amplitude (1 when unset).
+func (c ChirpSpec) amplitude() float64 {
+	if c.Amplitude == 0 {
+		return 1
+	}
+	return c.Amplitude
+}
+
+// PhaseAt returns the instantaneous phase (radians) of the chirp at time
+// tau seconds after its start, for tau in [0, Duration].
+//
+// For the base up chirp (Symbol 0, Down false) this is the paper's Eq. (5):
+//
+//	Θ(τ) = π*W²/2^SF * τ² − π*W*τ + 2π*δ*τ + θ.
+//
+// Data symbols shift the start frequency by Symbol*W/2^SF and fold back by W
+// when the sweep reaches +W/2 (up) or −W/2 (down), keeping phase continuous.
+func (c ChirpSpec) PhaseAt(tau float64) float64 {
+	w := c.Bandwidth
+	n := float64(int(1) << c.SF)
+	k := w * w / n // sweep rate in Hz/s
+	s := float64(c.Symbol) * w / n
+	var phase float64
+	if !c.Down {
+		f0 := -w/2 + s
+		foldTau := (w/2 - f0) / k // time at which the sweep hits +W/2
+		phase = 2 * math.Pi * (f0*tau + k*tau*tau/2)
+		if tau > foldTau {
+			phase -= 2 * math.Pi * w * (tau - foldTau)
+		}
+	} else {
+		f0 := w/2 - s
+		foldTau := (f0 + w/2) / k // time at which the sweep hits −W/2
+		phase = 2 * math.Pi * (f0*tau - k*tau*tau/2)
+		if tau > foldTau {
+			phase += 2 * math.Pi * w * (tau - foldTau)
+		}
+	}
+	return phase + 2*math.Pi*c.FrequencyOffset*tau + c.Phase
+}
+
+// EndPhase returns the phase at the end of the chirp, used to keep a
+// multi-chirp waveform phase-continuous.
+func (c ChirpSpec) EndPhase() float64 { return c.PhaseAt(c.Duration()) }
+
+// FrequencyAt returns the instantaneous baseband frequency (Hz) at time tau
+// after the chirp start (before folding is applied modulo W this is the
+// derivative of PhaseAt / 2π).
+func (c ChirpSpec) FrequencyAt(tau float64) float64 {
+	w := c.Bandwidth
+	n := float64(int(1) << c.SF)
+	k := w * w / n
+	s := float64(c.Symbol) * w / n
+	var f float64
+	if !c.Down {
+		f = -w/2 + s + k*tau
+		for f >= w/2 {
+			f -= w
+		}
+	} else {
+		f = w/2 - s - k*tau
+		for f < -w/2 {
+			f += w
+		}
+	}
+	return f + c.FrequencyOffset
+}
+
+// Synthesize renders the chirp on a uniform sample grid starting at the
+// chirp onset. The trace has floor(Duration*sampleRate) samples.
+func (c ChirpSpec) Synthesize(sampleRate float64) []complex128 {
+	n := int(c.Duration() * sampleRate)
+	out := make([]complex128, n)
+	a := c.amplitude()
+	dt := 1 / sampleRate
+	for i := range out {
+		p := c.PhaseAt(float64(i) * dt)
+		out[i] = complex(a*math.Cos(p), a*math.Sin(p))
+	}
+	return out
+}
+
+// AddTo adds the chirp into dst, where dst sample i represents continuous
+// time i/sampleRate and the chirp starts at startTime seconds (which may
+// fall between samples — this is how sub-sample onset offsets are
+// simulated). Samples outside dst or outside the chirp support are ignored.
+func (c ChirpSpec) AddTo(dst []complex128, sampleRate, startTime float64) {
+	dur := c.Duration()
+	a := c.amplitude()
+	first := int(math.Ceil(startTime * sampleRate))
+	if first < 0 {
+		first = 0
+	}
+	last := int(math.Floor((startTime + dur) * sampleRate))
+	if last >= len(dst) {
+		last = len(dst) - 1
+	}
+	dt := 1 / sampleRate
+	for i := first; i <= last; i++ {
+		tau := float64(i)*dt - startTime
+		if tau < 0 || tau >= dur {
+			continue
+		}
+		p := c.PhaseAt(tau)
+		dst[i] += complex(a*math.Cos(p), a*math.Sin(p))
+	}
+}

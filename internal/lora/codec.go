@@ -1,0 +1,277 @@
+package lora
+
+import "fmt"
+
+// The LoRa PHY data path: payload bytes are whitened, split into nibbles,
+// Hamming-encoded at rate 4/(4+CR), diagonally interleaved in blocks of SF
+// codewords, and Gray-mapped onto chirp cyclic shifts. This file implements
+// each stage and its inverse so frames survive a modulate→demodulate round
+// trip and single-chip errors are correctable at CR=4.
+
+// GrayEncode maps a binary value to its Gray code.
+func GrayEncode(v int) int { return v ^ (v >> 1) }
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g int) int {
+	v := 0
+	for g != 0 {
+		v ^= g
+		g >>= 1
+	}
+	return v
+}
+
+// Whiten XORs data with the LoRa whitening sequence (PRBS9, x^9 + x^5 + 1)
+// in place-free fashion: a new slice is returned. Whitening is an
+// involution: applying it twice restores the input.
+func Whiten(data []byte) []byte {
+	out := make([]byte, len(data))
+	state := uint16(0x1FF)
+	for i, b := range data {
+		var w byte
+		for bit := 0; bit < 8; bit++ {
+			fb := ((state >> 8) ^ (state >> 4)) & 1
+			w = w<<1 | byte(state>>8&1)
+			state = state<<1&0x1FF | fb
+		}
+		out[i] = b ^ w
+	}
+	return out
+}
+
+// hamming74Encode encodes a nibble into a Hamming(7,4) codeword with parity
+// bits p1 p2 p4 at positions 1, 2, 4 (1-indexed).
+func hamming74Encode(nibble byte) byte {
+	d := [4]byte{nibble & 1, nibble >> 1 & 1, nibble >> 2 & 1, nibble >> 3 & 1}
+	p1 := d[0] ^ d[1] ^ d[3]
+	p2 := d[0] ^ d[2] ^ d[3]
+	p4 := d[1] ^ d[2] ^ d[3]
+	// Codeword bit layout (LSB first): p1 p2 d0 p4 d1 d2 d3.
+	return p1 | p2<<1 | d[0]<<2 | p4<<3 | d[1]<<4 | d[2]<<5 | d[3]<<6
+}
+
+// hamming74Decode decodes a 7-bit codeword, correcting up to one bit error.
+// It returns the nibble and whether a correction was applied.
+func hamming74Decode(cw byte) (nibble byte, corrected bool) {
+	bit := func(i int) byte { return cw >> i & 1 } // 0-indexed position
+	// Syndrome over 1-indexed positions.
+	s1 := bit(0) ^ bit(2) ^ bit(4) ^ bit(6)
+	s2 := bit(1) ^ bit(2) ^ bit(5) ^ bit(6)
+	s4 := bit(3) ^ bit(4) ^ bit(5) ^ bit(6)
+	syndrome := int(s1) | int(s2)<<1 | int(s4)<<2
+	if syndrome != 0 {
+		cw ^= 1 << (syndrome - 1)
+		corrected = true
+	}
+	nibble = cw >> 2 & 1
+	nibble |= cw >> 4 & 1 << 1
+	nibble |= cw >> 5 & 1 << 2
+	nibble |= cw >> 6 & 1 << 3
+	return nibble, corrected
+}
+
+// HammingEncode encodes a nibble at coding rate 4/(4+cr):
+//
+//	cr=1: nibble + even parity bit (detection only)
+//	cr=2: nibble + two checksum bits (detection only)
+//	cr=3: Hamming(7,4) (single-error correction)
+//	cr=4: Hamming(8,4) — (7,4) plus overall parity (single-error
+//	      correction, double-error detection)
+func HammingEncode(nibble byte, cr int) (codeword uint16, bits int) {
+	nibble &= 0x0F
+	switch cr {
+	case 1:
+		p := nibble ^ nibble>>1 ^ nibble>>2 ^ nibble>>3 & 1
+		p = p & 1
+		return uint16(nibble) | uint16(p)<<4, 5
+	case 2:
+		p1 := (nibble ^ nibble>>1 ^ nibble>>3) & 1
+		p2 := (nibble ^ nibble>>2 ^ nibble>>3) & 1
+		return uint16(nibble) | uint16(p1)<<4 | uint16(p2)<<5, 6
+	case 3:
+		return uint16(hamming74Encode(nibble)), 7
+	case 4:
+		cw := hamming74Encode(nibble)
+		var par byte
+		for i := 0; i < 7; i++ {
+			par ^= cw >> i & 1
+		}
+		return uint16(cw) | uint16(par)<<7, 8
+	default:
+		return uint16(nibble), 4
+	}
+}
+
+// HammingDecode inverts HammingEncode. ok reports whether the codeword was
+// consistent (after correction at cr>=3).
+func HammingDecode(codeword uint16, cr int) (nibble byte, ok bool) {
+	switch cr {
+	case 1:
+		n := byte(codeword & 0x0F)
+		p := byte(codeword >> 4 & 1)
+		want := (n ^ n>>1 ^ n>>2 ^ n>>3) & 1
+		return n, p == want
+	case 2:
+		n := byte(codeword & 0x0F)
+		p1 := byte(codeword >> 4 & 1)
+		p2 := byte(codeword >> 5 & 1)
+		w1 := (n ^ n>>1 ^ n>>3) & 1
+		w2 := (n ^ n>>2 ^ n>>3) & 1
+		return n, p1 == w1 && p2 == w2
+	case 3:
+		n, _ := hamming74Decode(byte(codeword & 0x7F))
+		return n, true
+	case 4:
+		cw := byte(codeword & 0x7F)
+		par := byte(codeword >> 7 & 1)
+		var got byte
+		for i := 0; i < 7; i++ {
+			got ^= cw >> i & 1
+		}
+		n, corrected := hamming74Decode(cw)
+		if corrected && got == par {
+			// Syndrome nonzero but overall parity consistent: two errors.
+			return n, false
+		}
+		return n, true
+	default:
+		return byte(codeword & 0x0F), true
+	}
+}
+
+// InterleaveBlock diagonally interleaves sf codewords of (4+cr) bits each
+// into (4+cr) symbols of sf bits each: symbol j carries bit
+// codewords[i]>>((i+j) mod (4+cr)) at position i. This is LoRa's diagonal
+// interleaver, which spreads each codeword across all symbols of the block
+// so that one corrupted chirp damages at most one bit per codeword.
+func InterleaveBlock(codewords []uint16, sf, cr int) ([]int, error) {
+	if len(codewords) != sf {
+		return nil, fmt.Errorf("lora: interleave block needs %d codewords, got %d", sf, len(codewords))
+	}
+	width := 4 + cr
+	symbols := make([]int, width)
+	for j := 0; j < width; j++ {
+		var sym int
+		for i := 0; i < sf; i++ {
+			bit := int(codewords[i]>>((i+j)%width)) & 1
+			sym |= bit << i
+		}
+		symbols[j] = sym
+	}
+	return symbols, nil
+}
+
+// DeinterleaveBlock inverts InterleaveBlock.
+func DeinterleaveBlock(symbols []int, sf, cr int) ([]uint16, error) {
+	width := 4 + cr
+	if len(symbols) != width {
+		return nil, fmt.Errorf("lora: deinterleave block needs %d symbols, got %d", width, len(symbols))
+	}
+	codewords := make([]uint16, sf)
+	for j := 0; j < width; j++ {
+		for i := 0; i < sf; i++ {
+			bit := uint16(symbols[j]>>i) & 1
+			codewords[i] |= bit << ((i + j) % width)
+		}
+	}
+	return codewords, nil
+}
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum (poly 0x1021, init 0xFFFF)
+// used for the LoRa payload CRC.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// EncodePayload runs the full transmit data path for one frame's bytes:
+// whitening → nibble split → Hamming(4/(4+cr)) → diagonal interleaving →
+// Gray mapping. The nibble stream is zero-padded to fill the final
+// interleaving block. The returned symbols are chirp cyclic shifts in
+// [0, 2^sf).
+func EncodePayload(data []byte, sf, cr int) ([]int, error) {
+	if sf < MinSF || sf > MaxSF {
+		return nil, fmt.Errorf("%w: got %d", ErrBadSpreadingFactor, sf)
+	}
+	if cr < 1 || cr > 4 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadCodingRate, cr)
+	}
+	white := Whiten(data)
+	nibbles := make([]byte, 0, 2*len(white))
+	for _, b := range white {
+		nibbles = append(nibbles, b&0x0F, b>>4)
+	}
+	// Pad to a whole number of interleaving blocks.
+	for len(nibbles)%sf != 0 {
+		nibbles = append(nibbles, 0)
+	}
+	symbols := make([]int, 0, len(nibbles)/sf*(4+cr))
+	block := make([]uint16, sf)
+	for at := 0; at < len(nibbles); at += sf {
+		for i := 0; i < sf; i++ {
+			block[i], _ = HammingEncode(nibbles[at+i], cr)
+		}
+		blockSyms, err := InterleaveBlock(block, sf, cr)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range blockSyms {
+			symbols = append(symbols, GrayEncode(s))
+		}
+	}
+	return symbols, nil
+}
+
+// DecodePayload inverts EncodePayload. dataLen is the expected decoded
+// length in bytes (padding nibbles are discarded). ok reports whether all
+// codewords were consistent; with cr>=3 single-chip errors are corrected
+// and ok stays true.
+func DecodePayload(symbols []int, dataLen, sf, cr int) (data []byte, ok bool, err error) {
+	if sf < MinSF || sf > MaxSF {
+		return nil, false, fmt.Errorf("%w: got %d", ErrBadSpreadingFactor, sf)
+	}
+	if cr < 1 || cr > 4 {
+		return nil, false, fmt.Errorf("%w: got %d", ErrBadCodingRate, cr)
+	}
+	width := 4 + cr
+	if len(symbols)%width != 0 {
+		return nil, false, fmt.Errorf("lora: symbol stream length %d not a multiple of %d", len(symbols), width)
+	}
+	ok = true
+	nibbles := make([]byte, 0, len(symbols)/width*sf)
+	blockSyms := make([]int, width)
+	for at := 0; at < len(symbols); at += width {
+		for j := 0; j < width; j++ {
+			blockSyms[j] = GrayDecode(symbols[at+j])
+		}
+		codewords, derr := DeinterleaveBlock(blockSyms, sf, cr)
+		if derr != nil {
+			return nil, false, derr
+		}
+		for _, cw := range codewords {
+			n, cwOK := HammingDecode(cw, cr)
+			if !cwOK {
+				ok = false
+			}
+			nibbles = append(nibbles, n)
+		}
+	}
+	if 2*dataLen > len(nibbles) {
+		return nil, false, fmt.Errorf("lora: need %d nibbles for %d bytes, have %d", 2*dataLen, dataLen, len(nibbles))
+	}
+	data = make([]byte, dataLen)
+	for i := range data {
+		data[i] = nibbles[2*i] | nibbles[2*i+1]<<4
+	}
+	return Whiten(data), ok, nil
+}

@@ -1,0 +1,270 @@
+package lora
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrayRoundTrip(t *testing.T) {
+	for v := 0; v < 4096; v++ {
+		if got := GrayDecode(GrayEncode(v)); got != v {
+			t.Fatalf("gray round trip failed for %d: %d", v, got)
+		}
+	}
+}
+
+func TestGrayAdjacentValuesDifferInOneBit(t *testing.T) {
+	for v := 0; v < 1023; v++ {
+		a, b := GrayEncode(v), GrayEncode(v+1)
+		diff := a ^ b
+		if diff&(diff-1) != 0 {
+			t.Fatalf("gray codes of %d and %d differ in >1 bit", v, v+1)
+		}
+	}
+}
+
+func TestWhitenInvolution(t *testing.T) {
+	data := []byte("softlora gateway frame payload")
+	if !bytes.Equal(Whiten(Whiten(data)), data) {
+		t.Error("whitening must be an involution")
+	}
+}
+
+func TestWhitenChangesData(t *testing.T) {
+	data := make([]byte, 32) // all zeros
+	w := Whiten(data)
+	if bytes.Equal(w, data) {
+		t.Error("whitening must alter an all-zero payload")
+	}
+	// The whitening sequence should look balanced: roughly half ones.
+	ones := 0
+	for _, b := range w {
+		for i := 0; i < 8; i++ {
+			ones += int(b >> i & 1)
+		}
+	}
+	if ones < 32*8/4 || ones > 32*8*3/4 {
+		t.Errorf("whitening sequence has %d/256 ones, want roughly balanced", ones)
+	}
+}
+
+func TestHammingRoundTripAllRates(t *testing.T) {
+	for cr := 1; cr <= 4; cr++ {
+		for n := byte(0); n < 16; n++ {
+			cw, bits := HammingEncode(n, cr)
+			if bits != 4+cr {
+				t.Fatalf("cr %d: bits = %d, want %d", cr, bits, 4+cr)
+			}
+			got, ok := HammingDecode(cw, cr)
+			if !ok || got != n {
+				t.Fatalf("cr %d nibble %d: decode = %d ok=%v", cr, n, got, ok)
+			}
+		}
+	}
+}
+
+func TestHamming74CorrectsSingleBitErrors(t *testing.T) {
+	for n := byte(0); n < 16; n++ {
+		cw, _ := HammingEncode(n, 3)
+		for bit := 0; bit < 7; bit++ {
+			corrupted := cw ^ 1<<bit
+			got, ok := HammingDecode(corrupted, 3)
+			if !ok || got != n {
+				t.Fatalf("nibble %d bit %d: decode = %d ok=%v", n, bit, got, ok)
+			}
+		}
+	}
+}
+
+func TestHamming84CorrectsSingleDetectsDouble(t *testing.T) {
+	for n := byte(0); n < 16; n++ {
+		cw, _ := HammingEncode(n, 4)
+		for bit := 0; bit < 8; bit++ {
+			got, ok := HammingDecode(cw^1<<bit, 4)
+			if !ok || got != n {
+				t.Fatalf("single error nibble %d bit %d: got %d ok=%v", n, bit, got, ok)
+			}
+		}
+		// Double errors in the (7,4) part must be flagged.
+		_, ok := HammingDecode(cw^0b11, 4)
+		if ok {
+			t.Fatalf("nibble %d: double error not detected", n)
+		}
+	}
+}
+
+func TestHammingParityDetectsSingleError(t *testing.T) {
+	for _, cr := range []int{1, 2} {
+		for n := byte(0); n < 16; n++ {
+			cw, bits := HammingEncode(n, cr)
+			// Flip one data bit: parity check must fail.
+			_, ok := HammingDecode(cw^1, cr)
+			if ok {
+				t.Fatalf("cr %d nibble %d: single data-bit error not detected", cr, n)
+			}
+			_ = bits
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, sf := range []int{7, 9, 12} {
+		for cr := 1; cr <= 4; cr++ {
+			cw := make([]uint16, sf)
+			for i := range cw {
+				cw[i] = uint16(rng.Intn(1 << (4 + cr)))
+			}
+			syms, err := InterleaveBlock(cw, sf, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(syms) != 4+cr {
+				t.Fatalf("symbols = %d, want %d", len(syms), 4+cr)
+			}
+			for _, s := range syms {
+				if s < 0 || s >= 1<<sf {
+					t.Fatalf("symbol %d out of range for SF%d", s, sf)
+				}
+			}
+			back, err := DeinterleaveBlock(syms, sf, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cw {
+				if back[i] != cw[i] {
+					t.Fatalf("SF%d CR%d: codeword %d mismatch", sf, cr, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInterleaveBlockSizeErrors(t *testing.T) {
+	if _, err := InterleaveBlock(make([]uint16, 3), 7, 1); err == nil {
+		t.Error("expected error for wrong block size")
+	}
+	if _, err := DeinterleaveBlock(make([]int, 3), 7, 1); err == nil {
+		t.Error("expected error for wrong symbol count")
+	}
+}
+
+func TestInterleaverSpreadsChirpErrors(t *testing.T) {
+	// Corrupting one symbol must damage at most one bit per codeword —
+	// that is the point of the diagonal interleaver.
+	sf, cr := 7, 4
+	cw := make([]uint16, sf)
+	for i := range cw {
+		cw[i] = uint16(i * 31 % 256)
+	}
+	syms, err := InterleaveBlock(cw, sf, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms[3] ^= 0x5A // corrupt one chirp
+	back, err := DeinterleaveBlock(syms, sf, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cw {
+		diff := back[i] ^ cw[i]
+		popcount := 0
+		for diff != 0 {
+			popcount += int(diff & 1)
+			diff >>= 1
+		}
+		if popcount > 1 {
+			t.Fatalf("codeword %d has %d corrupted bits, want <= 1", i, popcount)
+		}
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 = %#x, want 0x29B1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Errorf("CRC16(nil) = %#x, want 0xFFFF (init)", got)
+	}
+}
+
+func TestEncodeDecodePayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, sf := range []int{7, 8, 12} {
+		for cr := 1; cr <= 4; cr++ {
+			data := make([]byte, 23)
+			rng.Read(data)
+			syms, err := EncodePayload(data, sf, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := DecodePayload(syms, len(data), sf, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("SF%d CR%d: codec flagged inconsistency", sf, cr)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("SF%d CR%d: round trip mismatch", sf, cr)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodePayloadProperty(t *testing.T) {
+	f := func(data []byte, sfSel, crSel uint8) bool {
+		if len(data) > 200 {
+			data = data[:200]
+		}
+		sf := 7 + int(sfSel)%6
+		cr := 1 + int(crSel)%4
+		syms, err := EncodePayload(data, sf, cr)
+		if err != nil {
+			return false
+		}
+		got, ok, err := DecodePayload(syms, len(data), sf, cr)
+		return err == nil && ok && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePayloadCorrectsChipErrorAtCR4(t *testing.T) {
+	data := []byte("attack-aware timestamping")
+	syms, err := EncodePayload(data, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit of one chirp symbol: CR4/8 + interleaving must recover.
+	syms[5] ^= 1 << 3
+	got, ok, err := DecodePayload(syms, len(data), 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("codec should stay consistent after one corrected chip error")
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("payload not recovered after single chip error")
+	}
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	if _, _, err := DecodePayload([]int{1, 2, 3}, 1, 7, 1); err == nil {
+		t.Error("expected error for stream not multiple of block width")
+	}
+	if _, _, err := DecodePayload(make([]int, 5), 99, 7, 1); err == nil {
+		t.Error("expected error for dataLen exceeding stream")
+	}
+	if _, err := EncodePayload(nil, 2, 1); err == nil {
+		t.Error("expected error for bad SF")
+	}
+	if _, err := EncodePayload(nil, 7, 9); err == nil {
+		t.Error("expected error for bad CR")
+	}
+}

@@ -1,0 +1,386 @@
+package lora
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// Demodulation errors.
+var (
+	ErrNoPreamble   = errors.New("lora: no preamble detected")
+	ErrNoSyncWord   = errors.New("lora: sync word not found")
+	ErrTruncated    = errors.New("lora: capture truncated before frame end")
+	ErrHeaderCRC    = errors.New("lora: header checksum failed")
+	ErrShortCapture = errors.New("lora: capture shorter than one chirp")
+)
+
+// Demodulator decodes LoRa frames from baseband I/Q captures. It implements
+// the standard dechirp-FFT receiver: each chirp-time window is multiplied by
+// the conjugate base up chirp, turning a chirp of symbol s into a tone at
+// s*W/2^SF (+ the transmitter/receiver frequency offset), and the FFT peak
+// yields the symbol. Blind synchronization aligns to the chirp grid by
+// maximizing the dechirp peak (a misaligned window splits its energy into
+// two tones W apart) and then anchors the frame on the sync-word symbols,
+// which also separates the frequency offset from the timing offset.
+type Demodulator struct {
+	Params     Params
+	SampleRate float64
+}
+
+// SyncInfo reports the blind synchronization outcome.
+type SyncInfo struct {
+	// FrameStart is the sample index of the first preamble chirp.
+	FrameStart int
+	// DataStart is the sample index of the first data (header) symbol.
+	DataStart int
+	// OffsetHz is the apparent frequency offset of the transmission
+	// (δ = δTx − δRx) as seen on the chirp grid, with chip-level plus
+	// FFT-interpolation resolution. This is a coarse estimate; the
+	// high-precision estimators live in the core package.
+	OffsetHz float64
+	// BaseSymbol is the preamble's apparent symbol q = round(δ/(W/2^SF)),
+	// subtracted from every data symbol during decoding.
+	BaseSymbol int
+}
+
+// DemodResult reports a decoded frame and receiver-side metadata.
+type DemodResult struct {
+	// Payload is the decoded payload (nil when decode failed).
+	Payload []byte
+	// CRCOK reports whether the payload CRC-16 matched.
+	CRCOK bool
+	// CodecOK reports whether all FEC codewords were consistent.
+	CodecOK bool
+	// Header is the decoded explicit header.
+	Header Header
+	// Sync is the synchronization info the decode was based on.
+	Sync SyncInfo
+	// Symbols is the raw (offset-corrected) data symbol sequence.
+	Symbols []int
+}
+
+// chirpSamples returns the integer number of samples per chirp.
+func (d *Demodulator) chirpSamples() int {
+	return int(d.Params.SamplesPerChirp(d.SampleRate))
+}
+
+// chirpBoundary returns the sample index of the k-th chirp boundary after
+// base. Chirp boundaries sit at fractional positions when the sample rate
+// is not a multiple of the symbol rate (2457.6 samples per SF7 chirp at
+// 2.4 Msps), so each boundary is rounded independently — stepping by the
+// truncated integer would drift by ~0.6 samples per symbol and misalign
+// long frames.
+func (d *Demodulator) chirpBoundary(base int, k float64) int {
+	return base + int(math.Round(k*d.Params.SamplesPerChirp(d.SampleRate)))
+}
+
+// dechirpPeak multiplies the chirp-long window at start with the conjugate
+// base up chirp and returns the strongest tone's frequency (Hz,
+// parabolic-interpolated) and magnitude. A window that is chirp-aligned
+// concentrates all its energy in one tone.
+func (d *Demodulator) dechirpPeak(iq []complex128, start int) (freqHz, magnitude float64) {
+	n := d.chirpSamples()
+	if start < 0 || start >= len(iq) {
+		return 0, 0
+	}
+	avail := len(iq) - start
+	if avail < n {
+		// Tolerate a small overhang at the capture end (grid alignment may
+		// land a few samples late); missing samples are zero.
+		if n-avail > n/4 {
+			return 0, 0
+		}
+	} else {
+		avail = n
+	}
+	ref := ChirpSpec{SF: d.Params.SF, Bandwidth: d.Params.Bandwidth, Down: true}
+	dt := 1 / d.SampleRate
+	buf := make([]complex128, n)
+	for i := 0; i < avail; i++ {
+		p := ref.PhaseAt(float64(i) * dt)
+		buf[i] = iq[start+i] * complex(math.Cos(p), math.Sin(p))
+	}
+	spec := fftComplex(buf)
+	nb := len(spec)
+	bestBin, bestMag := 0, 0.0
+	for i, v := range spec {
+		if m := cmplx.Abs(v); m > bestMag {
+			bestMag = m
+			bestBin = i
+		}
+	}
+	frac := interpolatePeakBin(spec, bestBin)
+	f := (float64(bestBin) + frac) / float64(nb) * d.SampleRate
+	if f > d.SampleRate/2 {
+		f -= d.SampleRate
+	}
+	return f, bestMag
+}
+
+// interpolatePeakBin refines a peak to sub-bin accuracy with a parabolic
+// fit over log magnitudes.
+func interpolatePeakBin(spec []complex128, bin int) float64 {
+	n := len(spec)
+	if n < 3 {
+		return 0
+	}
+	mag := func(i int) float64 {
+		m := cmplx.Abs(spec[((i%n)+n)%n])
+		if m <= 0 {
+			m = 1e-300
+		}
+		return math.Log(m)
+	}
+	alpha, beta, gamma := mag(bin-1), mag(bin), mag(bin+1)
+	denom := alpha - 2*beta + gamma
+	if denom == 0 {
+		return 0
+	}
+	dd := 0.5 * (alpha - gamma) / denom
+	if dd > 0.5 {
+		dd = 0.5
+	} else if dd < -0.5 {
+		dd = -0.5
+	}
+	return dd
+}
+
+// strongPeak reports whether a dechirp peak magnitude indicates a CSS
+// signal rather than noise, via the energy-concentration ratio
+// |peak|²/(n·energy): a perfectly dechirped tone scores 1, white noise
+// scores ~ln(n)/n. Requiring 10 % keeps partially-filled windows (which
+// the alignment stage refines) while rejecting noise.
+func (d *Demodulator) strongPeak(iq []complex128, start int, mag float64) bool {
+	n := d.chirpSamples()
+	if start < 0 || start+n > len(iq) {
+		return false
+	}
+	var energy float64
+	for _, v := range iq[start : start+n] {
+		energy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if energy == 0 {
+		return false
+	}
+	return mag*mag > 0.1*float64(n)*energy
+}
+
+// chipHz returns the frequency spacing of one chip: W / 2^SF.
+func (d *Demodulator) chipHz() float64 {
+	return d.Params.Bandwidth / float64(d.Params.ChipsPerSymbol())
+}
+
+// symbolFromFreq maps a dechirped tone frequency to a chirp symbol value,
+// wrapping modulo the bandwidth.
+func (d *Demodulator) symbolFromFreq(f float64) int {
+	chips := d.Params.ChipsPerSymbol()
+	s := int(math.Round(f / d.chipHz()))
+	return ((s % chips) + chips) % chips
+}
+
+// Synchronize performs blind frame synchronization: coarse energy search,
+// chirp-grid alignment, frequency-offset estimation, and sync-word
+// anchoring.
+func (d *Demodulator) Synchronize(iq []complex128) (*SyncInfo, error) {
+	n := d.chirpSamples()
+	if n == 0 || len(iq) < 2*n {
+		return nil, ErrShortCapture
+	}
+	// 1. Coarse scan: first window with a strong dechirp peak.
+	coarse := -1
+	for at := 0; at+n <= len(iq); at += n / 2 {
+		_, mag := d.dechirpPeak(iq, at)
+		if d.strongPeak(iq, at, mag) {
+			coarse = at
+			break
+		}
+	}
+	if coarse < 0 {
+		return nil, ErrNoPreamble
+	}
+	// 2. Grid alignment: maximize the peak magnitude over one chirp of
+	// offsets (coarse-to-fine).
+	align := func(lo, hi, step int) int {
+		best, bestMag := lo, -1.0
+		for at := lo; at <= hi; at += step {
+			if at < 0 || at+n > len(iq) {
+				continue
+			}
+			_, mag := d.dechirpPeak(iq, at)
+			if mag > bestMag {
+				bestMag = mag
+				best = at
+			}
+		}
+		return best
+	}
+	step1 := n / 64
+	if step1 < 1 {
+		step1 = 1
+	}
+	// The coarse window may have caught only a sliver of the first chirp
+	// at its trailing edge (the concentration gate measures coherence, not
+	// fill), so the nearest true boundary can sit up to a full chirp after
+	// the coarse position: search 2 chirps of offsets.
+	g := align(coarse-n/2, coarse+3*n/2, step1)
+	g = align(g-step1, g+step1, 1)
+	// 3. Frequency offset from an aligned preamble window.
+	f0, mag0 := d.dechirpPeak(iq, g)
+	if !d.strongPeak(iq, g, mag0) {
+		return nil, ErrNoPreamble
+	}
+	chips := d.Params.ChipsPerSymbol()
+	q := d.symbolFromFreq(f0)
+	offsetHz := f0
+	if offsetHz > d.Params.Bandwidth/2 {
+		offsetHz -= d.Params.Bandwidth
+	}
+	// 4. Sync-word anchor: walk the chirp grid looking for the two sync
+	// symbols q+24, q+32.
+	match := func(at, wantSym int) bool {
+		f, mag := d.dechirpPeak(iq, at)
+		if !d.strongPeak(iq, at, mag) {
+			return false
+		}
+		s := d.symbolFromFreq(f)
+		dlt := (s - wantSym + chips) % chips
+		return dlt <= 1 || dlt >= chips-1
+	}
+	// The alignment point g sits somewhere in the preamble; scan forward
+	// for the sync pair, which uniquely anchors the frame timeline.
+	for j := 0; ; j++ {
+		at := d.chirpBoundary(g, float64(j))
+		if at < 0 {
+			continue
+		}
+		if at+3*n > len(iq) {
+			return nil, ErrNoSyncWord
+		}
+		if match(at, (q+SyncSymbol1)%chips) && match(d.chirpBoundary(at, 1), (q+SyncSymbol2)%chips) {
+			syncStart := at
+			frameStart := d.chirpBoundary(syncStart, -float64(d.Params.PreambleChirps))
+			dataStart := d.chirpBoundary(syncStart, 4.25)
+			return &SyncInfo{
+				FrameStart: frameStart,
+				DataStart:  dataStart,
+				OffsetHz:   offsetHz,
+				BaseSymbol: q,
+			}, nil
+		}
+	}
+}
+
+// Demodulate decodes one frame from the capture. The capture must contain
+// the frame's preamble, sync word and all data symbols.
+func (d *Demodulator) Demodulate(iq []complex128) (*DemodResult, error) {
+	p := d.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sync, err := d.Synchronize(iq)
+	if err != nil {
+		return nil, err
+	}
+	n := d.chirpSamples()
+	chips := p.ChipsPerSymbol()
+	res := &DemodResult{Sync: *sync}
+	symIdx := 0 // data symbol counter; boundaries computed per index so
+	// the 0.6-sample/symbol fractional drift never accumulates.
+	readBlock := func(count int) ([]int, error) {
+		syms := make([]int, 0, count)
+		for i := 0; i < count; i++ {
+			at := d.chirpBoundary(sync.DataStart, float64(symIdx))
+			if at+n > len(iq)+n/4 {
+				return nil, ErrTruncated
+			}
+			f, _ := d.dechirpPeak(iq, at)
+			s := (d.symbolFromFreq(f) - sync.BaseSymbol + chips) % chips
+			syms = append(syms, s)
+			symIdx++
+		}
+		return syms, nil
+	}
+	if p.ExplicitHeader {
+		hdrSyms, err := readBlock(headerSymbolCount(p.SF))
+		if err != nil {
+			return nil, err
+		}
+		hdrBytes, _, err := DecodePayload(hdrSyms, 3, p.SF, 4)
+		if err != nil {
+			return nil, err
+		}
+		hdr, err := parseHeader([3]byte{hdrBytes[0], hdrBytes[1], hdrBytes[2]})
+		if err != nil {
+			return nil, errors.Join(ErrHeaderCRC, err)
+		}
+		res.Header = hdr
+	} else {
+		res.Header = Header{PayloadLen: -1, CodingRate: p.CodingRate, HasCRC: p.CRC}
+	}
+	bodyLen := res.Header.PayloadLen
+	if res.Header.HasCRC {
+		bodyLen += 2
+	}
+	cr := res.Header.CodingRate
+	if cr < 1 || cr > 4 {
+		cr = p.CodingRate
+	}
+	nibbles := 2 * bodyLen
+	blocks := (nibbles + p.SF - 1) / p.SF
+	bodySyms, err := readBlock(blocks * (4 + cr))
+	if err != nil {
+		return nil, err
+	}
+	res.Symbols = bodySyms
+	body, codecOK, err := DecodePayload(bodySyms, bodyLen, p.SF, cr)
+	if err != nil {
+		return nil, err
+	}
+	res.CodecOK = codecOK
+	res.Payload = body[:res.Header.PayloadLen]
+	if res.Header.HasCRC {
+		gotCRC := uint16(body[res.Header.PayloadLen]) | uint16(body[res.Header.PayloadLen+1])<<8
+		res.CRCOK = gotCRC == CRC16(res.Payload)
+	} else {
+		res.CRCOK = true
+	}
+	return res, nil
+}
+
+// fftComplex is a self-contained iterative radix-2 FFT over a zero-padded
+// copy, so the PHY package stays dependency-free.
+func fftComplex(x []complex128) []complex128 {
+	n := 1
+	for n < len(x) {
+		n <<= 1
+	}
+	buf := make([]complex128, n)
+	copy(buf, x)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		m := n >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			wk := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := buf[start+k]
+				b := buf[start+k+half] * wk
+				buf[start+k] = a + b
+				buf[start+k+half] = a - b
+				wk *= w
+			}
+		}
+	}
+	return buf
+}

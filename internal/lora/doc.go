@@ -1,0 +1,14 @@
+// Package lora implements the LoRa physical layer at complex equivalent
+// baseband: Chirp Spread Spectrum (CSS) waveform synthesis with transmitter
+// impairments (frequency bias, initial phase), the Semtech airtime formula,
+// a data codec (whitening, Hamming forward error correction, diagonal
+// interleaving, Gray symbol mapping, CRC-16), frame modulation, and a
+// dechirp-FFT demodulator with per-spreading-factor sensitivity floors.
+//
+// All signals are represented at equivalent baseband: the channel's RF
+// center frequency fc is mapped to 0 Hz, a transmitter oscillator bias of
+// δTx Hz appears as a complex rotation exp(j*2π*δTx*t), and the receiver's
+// own bias δRx is applied by the SDR model (package sdr). This matches the
+// analysis in §5.2 and §7.1 of the paper, where only the difference
+// δ = δTx − δRx is observable.
+package lora

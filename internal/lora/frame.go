@@ -1,0 +1,244 @@
+package lora
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sync word symbols transmitted between the preamble and the SFD. LoRaWAN
+// public networks use sync word 0x34; it maps to two non-zero chirp shifts.
+const (
+	SyncSymbol1 = 24
+	SyncSymbol2 = 32
+)
+
+// ErrPayloadTooLong is returned when a payload exceeds the 255-byte LoRa
+// maximum.
+var ErrPayloadTooLong = errors.New("lora: payload exceeds 255 bytes")
+
+// Header is the explicit PHY header carried by every LoRaWAN uplink.
+type Header struct {
+	// PayloadLen is the payload length in bytes.
+	PayloadLen int
+	// CodingRate is the payload coding rate (1..4).
+	CodingRate int
+	// HasCRC indicates a payload CRC-16 follows the payload.
+	HasCRC bool
+}
+
+// bytes serializes the header into its 3-byte representation: length,
+// flags, and a checksum nibble pair.
+func (h Header) bytes() [3]byte {
+	flags := byte(h.CodingRate) << 1
+	if h.HasCRC {
+		flags |= 1
+	}
+	chk := byte(h.PayloadLen) ^ flags
+	return [3]byte{byte(h.PayloadLen), flags, chk}
+}
+
+// parseHeader inverts Header.bytes.
+func parseHeader(b [3]byte) (Header, error) {
+	if b[0]^b[1] != b[2] {
+		return Header{}, fmt.Errorf("lora: header checksum mismatch")
+	}
+	return Header{
+		PayloadLen: int(b[0]),
+		CodingRate: int(b[1] >> 1 & 0x7),
+		HasCRC:     b[1]&1 == 1,
+	}, nil
+}
+
+// Frame is a LoRa PHY frame ready for modulation.
+type Frame struct {
+	Params  Params
+	Payload []byte
+	// Downlink selects the downlink chirp orientation: the preamble and
+	// sync word use down chirps and the SFD uses up chirps, the opposite
+	// of an uplink (§4.2.2: this is how an adversary distinguishes
+	// directions within one chirp time). Data symbols keep the preamble's
+	// orientation.
+	Downlink bool
+}
+
+// Symbols encodes the frame's header, payload and CRC into the chirp symbol
+// sequence (excluding preamble/sync/SFD). The explicit header is always
+// encoded at the most robust coding rate (4/8), like the real PHY.
+func (f Frame) Symbols() ([]int, error) {
+	if err := f.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Payload) > 255 {
+		return nil, fmt.Errorf("%w: %d", ErrPayloadTooLong, len(f.Payload))
+	}
+	var symbols []int
+	if f.Params.ExplicitHeader {
+		h := Header{
+			PayloadLen: len(f.Payload),
+			CodingRate: f.Params.CodingRate,
+			HasCRC:     f.Params.CRC,
+		}
+		hb := h.bytes()
+		hdrSyms, err := EncodePayload(hb[:], f.Params.SF, 4)
+		if err != nil {
+			return nil, err
+		}
+		symbols = append(symbols, hdrSyms...)
+	}
+	body := make([]byte, 0, len(f.Payload)+2)
+	body = append(body, f.Payload...)
+	if f.Params.CRC {
+		crc := CRC16(f.Payload)
+		body = append(body, byte(crc), byte(crc>>8))
+	}
+	bodySyms, err := EncodePayload(body, f.Params.SF, f.Params.CodingRate)
+	if err != nil {
+		return nil, err
+	}
+	return append(symbols, bodySyms...), nil
+}
+
+// headerSymbolCount returns how many symbols the encoded explicit header
+// occupies for the given SF (3 bytes at CR 4/8).
+func headerSymbolCount(sf int) int {
+	nibbles := 6
+	blocks := (nibbles + sf - 1) / sf
+	return blocks * 8
+}
+
+// SymbolCount returns the number of data symbols the frame modulates
+// (header + payload + CRC), as produced by Symbols.
+func (f Frame) SymbolCount() (int, error) {
+	syms, err := f.Symbols()
+	if err != nil {
+		return 0, err
+	}
+	return len(syms), nil
+}
+
+// Impairments models the transmitter's analog imperfections.
+type Impairments struct {
+	// FrequencyBias is the oscillator bias δTx in Hz at the channel center.
+	FrequencyBias float64
+	// InitialPhase is the transmitter phase θTx in [0, 2π).
+	InitialPhase float64
+	// Amplitude is the waveform amplitude (0 means 1).
+	Amplitude float64
+}
+
+// Modulate renders the full frame (preamble, sync word, SFD, data symbols)
+// at equivalent baseband with the given impairments, sampled at sampleRate.
+// The waveform is phase-continuous across chirp boundaries.
+func (f Frame) Modulate(imp Impairments, sampleRate float64) ([]complex128, error) {
+	dataSyms, err := f.Symbols()
+	if err != nil {
+		return nil, err
+	}
+	p := f.Params
+	tChirp := p.ChirpTime()
+	totalChirps := float64(p.PreambleChirps) + 2 + 2.25 + float64(len(dataSyms))
+	n := int(math.Ceil(totalChirps * tChirp * sampleRate))
+	out := make([]complex128, n)
+	f.modulateInto(out, dataSyms, imp, sampleRate, 0)
+	return out, nil
+}
+
+// ModulateAt renders the frame into dst starting at continuous time
+// startTime (seconds, may fall between samples); dst sample i corresponds
+// to time i/sampleRate. The frame waveform is added to whatever dst already
+// holds, so multiple emitters can share a capture buffer.
+func (f Frame) ModulateAt(dst []complex128, imp Impairments, sampleRate, startTime float64) error {
+	dataSyms, err := f.Symbols()
+	if err != nil {
+		return err
+	}
+	f.modulateInto(dst, dataSyms, imp, sampleRate, startTime)
+	return nil
+}
+
+func (f Frame) modulateInto(dst []complex128, dataSyms []int, imp Impairments, sampleRate, startTime float64) {
+	p := f.Params
+	tChirp := p.ChirpTime()
+	amp := imp.Amplitude
+	if amp == 0 {
+		amp = 1
+	}
+	phase := imp.InitialPhase
+	at := startTime
+	emit := func(symbol int, down bool, dur float64) {
+		spec := ChirpSpec{
+			SF:              p.SF,
+			Bandwidth:       p.Bandwidth,
+			Symbol:          symbol,
+			Down:            down,
+			Amplitude:       amp,
+			Phase:           phase,
+			FrequencyOffset: imp.FrequencyBias,
+		}
+		if dur >= tChirp {
+			spec.AddTo(dst, sampleRate, at)
+			phase = spec.PhaseAt(tChirp)
+		} else {
+			partial := truncatedChirp{spec: spec, duration: dur}
+			partial.addTo(dst, sampleRate, at)
+			phase = spec.PhaseAt(dur)
+		}
+		at += dur
+	}
+	// Uplink: up-chirp preamble, down-chirp SFD. Downlink: mirrored.
+	preDown := f.Downlink
+	sfdDown := !f.Downlink
+	for i := 0; i < p.PreambleChirps; i++ {
+		emit(0, preDown, tChirp)
+	}
+	emit(SyncSymbol1, preDown, tChirp)
+	emit(SyncSymbol2, preDown, tChirp)
+	// SFD: 2.25 chirps of the opposite orientation.
+	emit(0, sfdDown, tChirp)
+	emit(0, sfdDown, tChirp)
+	emit(0, sfdDown, tChirp/4)
+	for _, s := range dataSyms {
+		emit(s, preDown, tChirp)
+	}
+}
+
+// truncatedChirp renders only the first duration seconds of a chirp (used
+// for the quarter down chirp of the SFD).
+type truncatedChirp struct {
+	spec     ChirpSpec
+	duration float64
+}
+
+func (t truncatedChirp) addTo(dst []complex128, sampleRate, startTime float64) {
+	a := t.spec.amplitude()
+	first := int(math.Ceil(startTime * sampleRate))
+	if first < 0 {
+		first = 0
+	}
+	last := int(math.Floor((startTime + t.duration) * sampleRate))
+	if last >= len(dst) {
+		last = len(dst) - 1
+	}
+	dt := 1 / sampleRate
+	for i := first; i <= last; i++ {
+		tau := float64(i)*dt - startTime
+		if tau < 0 || tau >= t.duration {
+			continue
+		}
+		p := t.spec.PhaseAt(tau)
+		dst[i] += complex(a*math.Cos(p), a*math.Sin(p))
+	}
+}
+
+// ModulatedDuration returns the exact on-air duration of the modulated
+// waveform produced by Modulate (which may differ slightly from the
+// datasheet Airtime formula because the codec's block padding is explicit).
+func (f Frame) ModulatedDuration() (float64, error) {
+	n, err := f.SymbolCount()
+	if err != nil {
+		return 0, err
+	}
+	chirps := float64(f.Params.PreambleChirps) + 2 + 2.25 + float64(n)
+	return chirps * f.Params.ChirpTime(), nil
+}

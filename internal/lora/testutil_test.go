@@ -1,0 +1,6 @@
+package lora
+
+import "math/rand"
+
+// newTestRand returns a deterministic random source for tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1234)) }

@@ -1,0 +1,131 @@
+package lorawan
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4493 test vectors (key 2b7e1516...).
+var rfc4493Key = AES128Key{
+	0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCMACRFC4493Vectors(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  string
+		want string
+	}{
+		{"empty", "", "bb1d6929e95937287fa37d129b756746"},
+		{"16 bytes", "6bc1bee22e409f96e93d7e117393172a", "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40 bytes", "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411", "dfa66747de9ae63030ca32611497c827"},
+		{"64 bytes", "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710", "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := CMAC(rfc4493Key, mustHex(t, tt.msg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:], mustHex(t, tt.want)) {
+				t.Errorf("CMAC = %x, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncryptFRMPayloadRoundTrip(t *testing.T) {
+	key := AES128Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	payload := []byte("temperature=23.4;humidity=67;seq=99")
+	enc, err := EncryptFRMPayload(key, 0x26011BDA, 42, DirUplink, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(enc, payload) {
+		t.Error("encryption left payload unchanged")
+	}
+	dec, err := EncryptFRMPayload(key, 0x26011BDA, 42, DirUplink, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, payload) {
+		t.Errorf("round trip failed: %q", dec)
+	}
+}
+
+func TestEncryptFRMPayloadDependsOnCounterAndAddr(t *testing.T) {
+	key := AES128Key{9}
+	payload := []byte("constant payload")
+	a, _ := EncryptFRMPayload(key, 1, 1, DirUplink, payload)
+	b, _ := EncryptFRMPayload(key, 1, 2, DirUplink, payload)
+	c, _ := EncryptFRMPayload(key, 2, 1, DirUplink, payload)
+	d, _ := EncryptFRMPayload(key, 1, 1, DirDownlink, payload)
+	if bytes.Equal(a, b) || bytes.Equal(a, c) || bytes.Equal(a, d) {
+		t.Error("keystream must depend on counter, address, and direction")
+	}
+}
+
+func TestEncryptFRMPayloadProperty(t *testing.T) {
+	f := func(key AES128Key, addr, cnt uint32, payload []byte) bool {
+		if len(payload) > 222 {
+			payload = payload[:222]
+		}
+		enc, err := EncryptFRMPayload(key, addr, cnt, DirUplink, payload)
+		if err != nil {
+			return false
+		}
+		dec, err := EncryptFRMPayload(key, addr, cnt, DirUplink, enc)
+		return err == nil && bytes.Equal(dec, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMICRoundTripAndTamper(t *testing.T) {
+	key := AES128Key{7, 7, 7}
+	msg := []byte{0x40, 1, 2, 3, 4, 0x80, 5, 0, 10, 0xAA, 0xBB}
+	mic, err := ComputeMIC(key, 0x04030201, 5, DirUplink, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIC(key, 0x04030201, 5, DirUplink, msg, mic); err != nil {
+		t.Errorf("valid MIC rejected: %v", err)
+	}
+	// Tampered message.
+	tampered := append([]byte(nil), msg...)
+	tampered[9] ^= 1
+	if err := VerifyMIC(key, 0x04030201, 5, DirUplink, tampered, mic); err == nil {
+		t.Error("tampered message accepted")
+	}
+	// Wrong counter (prevents cross-counter replays of modified frames).
+	if err := VerifyMIC(key, 0x04030201, 6, DirUplink, msg, mic); err == nil {
+		t.Error("wrong counter accepted")
+	}
+	// Wrong key.
+	if err := VerifyMIC(AES128Key{8}, 0x04030201, 5, DirUplink, msg, mic); err == nil {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestMICDiffersAcrossDirections(t *testing.T) {
+	key := AES128Key{1}
+	msg := []byte("same bytes")
+	up, _ := ComputeMIC(key, 1, 1, DirUplink, msg)
+	down, _ := ComputeMIC(key, 1, 1, DirDownlink, msg)
+	if up == down {
+		t.Error("MIC must bind direction")
+	}
+}

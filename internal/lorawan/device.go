@@ -1,0 +1,157 @@
+package lorawan
+
+import (
+	"errors"
+	"fmt"
+
+	"softlora/internal/lora"
+)
+
+// Class A receive-window delays (LoRaWAN 1.0.2 regional defaults, EU868).
+const (
+	RX1Delay = 1.0 // seconds after uplink end
+	RX2Delay = 2.0 // seconds after uplink end
+)
+
+// Session is an ABP (activation-by-personalization) device session.
+type Session struct {
+	DevAddr uint32
+	NwkSKey AES128Key
+	AppSKey AES128Key
+}
+
+// Device is a Class A LoRaWAN end device: it buffers sensor data, respects
+// the duty cycle, and emits signed, encrypted uplinks.
+type Device struct {
+	Session Session
+	Params  lora.Params
+	// DutyCycle is the regulatory duty-cycle limit (0.01 for EU868).
+	DutyCycle float64
+
+	fCntUp       uint32
+	nextTxTime   float64
+	airtimeTotal float64
+}
+
+// Device errors.
+var (
+	ErrDutyCycle = errors.New("lorawan: duty cycle budget exceeded")
+)
+
+// NewDevice builds a Class A device with the EU868 1% duty cycle.
+func NewDevice(s Session, p lora.Params) *Device {
+	return &Device{Session: s, Params: p, DutyCycle: 0.01}
+}
+
+// FCntUp returns the next uplink frame counter value.
+func (d *Device) FCntUp() uint32 { return d.fCntUp }
+
+// BuildUplink constructs, encrypts and signs an unconfirmed uplink carrying
+// payload on the given port, consuming one frame counter value.
+func (d *Device) BuildUplink(port int, payload []byte) (*MACFrame, error) {
+	if port < 1 || port > 223 {
+		return nil, fmt.Errorf("lorawan: application port %d out of [1, 223]", port)
+	}
+	enc, err := EncryptFRMPayload(d.Session.AppSKey, d.Session.DevAddr, d.fCntUp, DirUplink, payload)
+	if err != nil {
+		return nil, err
+	}
+	f := &MACFrame{
+		MType:      MTypeUnconfirmedUp,
+		DevAddr:    d.Session.DevAddr,
+		FCnt:       uint16(d.fCntUp),
+		FPort:      port,
+		FRMPayload: enc,
+	}
+	if err := f.Sign(d.Session.NwkSKey); err != nil {
+		return nil, err
+	}
+	d.fCntUp++
+	return f, nil
+}
+
+// Transmit checks the duty-cycle budget at time now (seconds) for a frame
+// of the given on-air payload length and, if allowed, accounts for the
+// transmission and returns the airtime. The next permitted transmit time is
+// updated per the ETSI per-transmission rule Tair*(1/dc − 1).
+func (d *Device) Transmit(now float64, payloadLen int) (airtime float64, err error) {
+	if now < d.nextTxTime {
+		return 0, fmt.Errorf("%w: next slot at %.3f s", ErrDutyCycle, d.nextTxTime)
+	}
+	airtime = d.Params.Airtime(payloadLen)
+	d.airtimeTotal += airtime
+	if d.DutyCycle > 0 && d.DutyCycle < 1 {
+		d.nextTxTime = now + airtime + d.Params.DutyCycleWait(payloadLen, d.DutyCycle)
+	} else {
+		d.nextTxTime = now + airtime
+	}
+	return airtime, nil
+}
+
+// NextTxTime returns the earliest time the device may transmit again.
+func (d *Device) NextTxTime() float64 { return d.nextTxTime }
+
+// TotalAirtime returns the cumulative airtime consumed.
+func (d *Device) TotalAirtime() float64 { return d.airtimeTotal }
+
+// RXWindows returns the Class A receive-window open times for an uplink
+// that ended at uplinkEnd.
+func (d *Device) RXWindows(uplinkEnd float64) (rx1, rx2 float64) {
+	return uplinkEnd + RX1Delay, uplinkEnd + RX2Delay
+}
+
+// NetworkServer validates uplinks the way a LoRaWAN network server does:
+// MIC verification plus a strictly-increasing frame-counter check. It is
+// deliberately faithful to the spec so the frame delay attack's success
+// against it is meaningful.
+type NetworkServer struct {
+	sessions map[uint32]Session
+	lastFCnt map[uint32]uint32
+	seen     map[uint32]bool
+}
+
+// NewNetworkServer builds an empty server.
+func NewNetworkServer() *NetworkServer {
+	return &NetworkServer{
+		sessions: make(map[uint32]Session),
+		lastFCnt: make(map[uint32]uint32),
+		seen:     make(map[uint32]bool),
+	}
+}
+
+// Register adds a device session.
+func (ns *NetworkServer) Register(s Session) { ns.sessions[s.DevAddr] = s }
+
+// Validation errors.
+var (
+	ErrUnknownDevice = errors.New("lorawan: unknown device address")
+	ErrCounterReplay = errors.New("lorawan: frame counter not increasing (classic replay)")
+)
+
+// HandleUplink verifies and decrypts an on-air uplink. It returns the
+// decrypted application payload. A bit-exact *delayed* frame (the frame
+// delay attack) passes both checks because its counter has not been seen
+// yet — the property the paper exploits.
+func (ns *NetworkServer) HandleUplink(phyPayload []byte) (devAddr uint32, fCnt uint16, payload []byte, err error) {
+	f, err := ParseFrame(phyPayload)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	s, okSess := ns.sessions[f.DevAddr]
+	if !okSess {
+		return 0, 0, nil, fmt.Errorf("%w: %08x", ErrUnknownDevice, f.DevAddr)
+	}
+	if err := f.Verify(s.NwkSKey); err != nil {
+		return 0, 0, nil, err
+	}
+	if ns.seen[f.DevAddr] && f.FCnt <= uint16(ns.lastFCnt[f.DevAddr]) {
+		return 0, 0, nil, fmt.Errorf("%w: got %d, last %d", ErrCounterReplay, f.FCnt, ns.lastFCnt[f.DevAddr])
+	}
+	ns.lastFCnt[f.DevAddr] = uint32(f.FCnt)
+	ns.seen[f.DevAddr] = true
+	dec, err := EncryptFRMPayload(s.AppSKey, f.DevAddr, uint32(f.FCnt), DirUplink, f.FRMPayload)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return f.DevAddr, f.FCnt, dec, nil
+}

@@ -1,0 +1,181 @@
+package lorawan
+
+import (
+	"crypto/aes"
+	"errors"
+	"fmt"
+)
+
+// Over-the-air activation (OTAA), LoRaWAN 1.0.2 §6.2: the device sends a
+// JoinRequest signed with its AppKey; the network answers with an encrypted
+// JoinAccept from which both sides derive the session keys (NwkSKey,
+// AppSKey). Implemented because a production gateway must accept joining
+// devices before it can learn their frequency biases.
+
+// EUI64 is a device or application extended unique identifier.
+type EUI64 [8]byte
+
+// JoinRequest is the over-the-air join message payload.
+type JoinRequest struct {
+	AppEUI   EUI64
+	DevEUI   EUI64
+	DevNonce uint16
+	MIC      [4]byte
+}
+
+// OTAA errors.
+var (
+	ErrJoinTooShort = errors.New("lorawan: join message too short")
+	ErrNonceReplay  = errors.New("lorawan: DevNonce already used (join replay)")
+)
+
+// marshalJoinBody serializes MHDR|AppEUI|DevEUI|DevNonce (little-endian
+// EUIs, per the spec).
+func (j *JoinRequest) marshalBody() []byte {
+	out := make([]byte, 0, 19)
+	out = append(out, byte(MTypeJoinRequest)<<5)
+	for i := 7; i >= 0; i-- {
+		out = append(out, j.AppEUI[i])
+	}
+	for i := 7; i >= 0; i-- {
+		out = append(out, j.DevEUI[i])
+	}
+	out = append(out, byte(j.DevNonce), byte(j.DevNonce>>8))
+	return out
+}
+
+// Sign computes the JoinRequest MIC with the AppKey (cmac over the whole
+// message).
+func (j *JoinRequest) Sign(appKey AES128Key) error {
+	mac, err := CMAC(appKey, j.marshalBody())
+	if err != nil {
+		return err
+	}
+	copy(j.MIC[:], mac[:4])
+	return nil
+}
+
+// Verify checks the JoinRequest MIC.
+func (j *JoinRequest) Verify(appKey AES128Key) error {
+	mac, err := CMAC(appKey, j.marshalBody())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if mac[i] != j.MIC[i] {
+			return ErrBadMIC
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the full JoinRequest PHYPayload.
+func (j *JoinRequest) Marshal() []byte {
+	return append(j.marshalBody(), j.MIC[:]...)
+}
+
+// ParseJoinRequest inverts Marshal.
+func ParseJoinRequest(data []byte) (*JoinRequest, error) {
+	if len(data) != 23 {
+		return nil, fmt.Errorf("%w: %d bytes, want 23", ErrJoinTooShort, len(data))
+	}
+	j := &JoinRequest{}
+	for i := 0; i < 8; i++ {
+		j.AppEUI[7-i] = data[1+i]
+		j.DevEUI[7-i] = data[9+i]
+	}
+	j.DevNonce = uint16(data[17]) | uint16(data[18])<<8
+	copy(j.MIC[:], data[19:23])
+	return j, nil
+}
+
+// DeriveSessionKeys computes NwkSKey and AppSKey per LoRaWAN 1.0.2 §6.2.5:
+// K = aes128_encrypt(AppKey, prefix | AppNonce | NetID | DevNonce | pad),
+// with prefix 0x01 for NwkSKey and 0x02 for AppSKey.
+func DeriveSessionKeys(appKey AES128Key, appNonce uint32, netID uint32, devNonce uint16) (nwkSKey, appSKey AES128Key, err error) {
+	block, err := aes.NewCipher(appKey[:])
+	if err != nil {
+		return nwkSKey, appSKey, fmt.Errorf("lorawan: %w", err)
+	}
+	derive := func(prefix byte) AES128Key {
+		var in [16]byte
+		in[0] = prefix
+		in[1] = byte(appNonce)
+		in[2] = byte(appNonce >> 8)
+		in[3] = byte(appNonce >> 16)
+		in[4] = byte(netID)
+		in[5] = byte(netID >> 8)
+		in[6] = byte(netID >> 16)
+		in[7] = byte(devNonce)
+		in[8] = byte(devNonce >> 8)
+		var out AES128Key
+		block.Encrypt(out[:], in[:])
+		return out
+	}
+	return derive(0x01), derive(0x02), nil
+}
+
+// JoinServer is the network-side OTAA endpoint: it validates JoinRequests,
+// rejects replayed DevNonces, and issues sessions.
+type JoinServer struct {
+	// AppKey is the root key shared with the devices (per-device keys in
+	// production; one key suffices for the simulation).
+	AppKey AES128Key
+	// NetID identifies the network.
+	NetID uint32
+
+	nextAddr   uint32
+	nextNonce  uint32
+	usedNonces map[EUI64]map[uint16]bool
+}
+
+// NewJoinServer builds a join server assigning addresses from baseAddr.
+func NewJoinServer(appKey AES128Key, netID, baseAddr uint32) *JoinServer {
+	return &JoinServer{
+		AppKey:     appKey,
+		NetID:      netID,
+		nextAddr:   baseAddr,
+		nextNonce:  1,
+		usedNonces: make(map[EUI64]map[uint16]bool),
+	}
+}
+
+// HandleJoin validates a JoinRequest and, on success, returns the new
+// session (as both sides will derive it).
+func (s *JoinServer) HandleJoin(raw []byte) (Session, error) {
+	req, err := ParseJoinRequest(raw)
+	if err != nil {
+		return Session{}, err
+	}
+	if err := req.Verify(s.AppKey); err != nil {
+		return Session{}, err
+	}
+	used := s.usedNonces[req.DevEUI]
+	if used == nil {
+		used = make(map[uint16]bool)
+		s.usedNonces[req.DevEUI] = used
+	}
+	if used[req.DevNonce] {
+		return Session{}, fmt.Errorf("%w: %d", ErrNonceReplay, req.DevNonce)
+	}
+	used[req.DevNonce] = true
+	appNonce := s.nextNonce
+	s.nextNonce++
+	addr := s.nextAddr
+	s.nextAddr++
+	nwk, app, err := DeriveSessionKeys(s.AppKey, appNonce, s.NetID, req.DevNonce)
+	if err != nil {
+		return Session{}, err
+	}
+	return Session{DevAddr: addr, NwkSKey: nwk, AppSKey: app}, nil
+}
+
+// JoinDevice performs the device side of OTAA against a JoinServer,
+// returning the established session. devNonce must be fresh per attempt.
+func JoinDevice(s *JoinServer, appKey AES128Key, appEUI, devEUI EUI64, devNonce uint16) (Session, error) {
+	req := &JoinRequest{AppEUI: appEUI, DevEUI: devEUI, DevNonce: devNonce}
+	if err := req.Sign(appKey); err != nil {
+		return Session{}, err
+	}
+	return s.HandleJoin(req.Marshal())
+}

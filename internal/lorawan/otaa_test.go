@@ -1,0 +1,160 @@
+package lorawan
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"softlora/internal/lora"
+)
+
+var testAppKey = AES128Key{0xA0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 0xAF}
+
+func TestJoinRequestMarshalParse(t *testing.T) {
+	req := &JoinRequest{
+		AppEUI:   EUI64{1, 2, 3, 4, 5, 6, 7, 8},
+		DevEUI:   EUI64{8, 7, 6, 5, 4, 3, 2, 1},
+		DevNonce: 0xBEEF,
+	}
+	if err := req.Sign(testAppKey); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJoinRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppEUI != req.AppEUI || got.DevEUI != req.DevEUI || got.DevNonce != req.DevNonce {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if err := got.Verify(testAppKey); err != nil {
+		t.Errorf("MIC verify failed: %v", err)
+	}
+}
+
+func TestJoinRequestTamperDetected(t *testing.T) {
+	req := &JoinRequest{DevNonce: 1}
+	if err := req.Sign(testAppKey); err != nil {
+		t.Fatal(err)
+	}
+	raw := req.Marshal()
+	raw[10] ^= 1
+	got, err := ParseJoinRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(testAppKey); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("err = %v, want ErrBadMIC", err)
+	}
+}
+
+func TestParseJoinRequestWrongLength(t *testing.T) {
+	if _, err := ParseJoinRequest(make([]byte, 10)); !errors.Is(err, ErrJoinTooShort) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeriveSessionKeysDeterministicAndDistinct(t *testing.T) {
+	nwk1, app1, err := DeriveSessionKeys(testAppKey, 7, 0x13, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwk2, app2, err := DeriveSessionKeys(testAppKey, 7, 0x13, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nwk1 != nwk2 || app1 != app2 {
+		t.Error("derivation must be deterministic")
+	}
+	if nwk1 == app1 {
+		t.Error("NwkSKey and AppSKey must differ")
+	}
+	// Different nonce → different keys.
+	nwk3, _, err := DeriveSessionKeys(testAppKey, 8, 0x13, 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nwk3 == nwk1 {
+		t.Error("AppNonce must diversify keys")
+	}
+}
+
+func TestOTAAEndToEnd(t *testing.T) {
+	js := NewJoinServer(testAppKey, 0x000013, 0x26010000)
+	appEUI := EUI64{1}
+	devEUI := EUI64{2}
+	session, err := JoinDevice(js, testAppKey, appEUI, devEUI, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.DevAddr != 0x26010000 {
+		t.Errorf("addr = %08x", session.DevAddr)
+	}
+	// The joined session must carry working crypto end to end.
+	ns := NewNetworkServer()
+	ns.Register(session)
+	dev := NewDevice(session, lora.DefaultParams(7))
+	f, err := dev.BuildUplink(10, []byte("joined!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, payload, err := ns.HandleUplink(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "joined!" {
+		t.Errorf("payload = %q", payload)
+	}
+}
+
+func TestOTAARejectsNonceReplay(t *testing.T) {
+	js := NewJoinServer(testAppKey, 1, 0x26010000)
+	devEUI := EUI64{9}
+	if _, err := JoinDevice(js, testAppKey, EUI64{1}, devEUI, 55); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinDevice(js, testAppKey, EUI64{1}, devEUI, 55); !errors.Is(err, ErrNonceReplay) {
+		t.Errorf("err = %v, want ErrNonceReplay", err)
+	}
+	// A fresh nonce joins fine and gets a new address.
+	s, err := JoinDevice(js, testAppKey, EUI64{1}, devEUI, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DevAddr != 0x26010001 {
+		t.Errorf("addr = %08x", s.DevAddr)
+	}
+}
+
+func TestOTAARejectsWrongKey(t *testing.T) {
+	js := NewJoinServer(testAppKey, 1, 1)
+	wrongKey := AES128Key{0xFF}
+	req := &JoinRequest{DevEUI: EUI64{3}, DevNonce: 1}
+	if err := req.Sign(wrongKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := js.HandleJoin(req.Marshal()); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("err = %v, want ErrBadMIC", err)
+	}
+}
+
+func TestJoinRequestProperty(t *testing.T) {
+	f := func(app, dev EUI64, nonce uint16) bool {
+		req := &JoinRequest{AppEUI: app, DevEUI: dev, DevNonce: nonce}
+		if err := req.Sign(testAppKey); err != nil {
+			return false
+		}
+		got, err := ParseJoinRequest(req.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.AppEUI == app && got.DevEUI == dev &&
+			got.DevNonce == nonce && got.Verify(testAppKey) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

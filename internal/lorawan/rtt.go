@@ -1,0 +1,73 @@
+package lorawan
+
+import (
+	"errors"
+	"fmt"
+
+	"softlora/internal/lora"
+)
+
+// RoundTripDetector implements the §4.4 strawman the paper argues against:
+// detect frame delay attacks by measuring the round-trip time of a
+// downlink/uplink exchange and comparing it against a threshold. It works —
+// but every check consumes a downlink slot on the gateway (which can
+// transmit only one downlink at a time, Class A) and an extra uplink from
+// the device, doubling the communication overhead that the FB-based
+// SoftLoRa detector avoids entirely.
+type RoundTripDetector struct {
+	// Params is the channel configuration (sets the exchange airtime).
+	Params lora.Params
+	// DeviceTurnaround is the device's fixed RX→TX processing time in
+	// seconds (firmware-dependent; milliseconds on commodity stacks).
+	DeviceTurnaround float64
+	// MarginSeconds is the slack added to the expected round trip before
+	// declaring an attack (covers clock and scheduling jitter).
+	MarginSeconds float64
+
+	// busyUntil serializes the gateway's single downlink path.
+	busyUntil float64
+}
+
+// ErrDownlinkBusy is returned when a probe is requested while the gateway's
+// downlink path is still occupied — the serialization §4.4 points out.
+var ErrDownlinkBusy = errors.New("lorawan: gateway downlink busy")
+
+// ExpectedRTT returns the attack-free round-trip time for a probe with the
+// given one-way propagation delay and probe payload length: downlink
+// airtime + propagation + device turnaround + uplink airtime + propagation.
+func (r *RoundTripDetector) ExpectedRTT(propagationDelay float64, probeLen int) float64 {
+	airtime := r.Params.Airtime(probeLen)
+	return 2*airtime + 2*propagationDelay + r.DeviceTurnaround
+}
+
+// Probe runs one round-trip check starting at time now. attackDelay is the
+// extra delay an adversary injects into the exchange (0 without attack).
+// It returns whether the exchange is flagged and when the downlink path
+// frees up.
+func (r *RoundTripDetector) Probe(now, propagationDelay float64, probeLen int, attackDelay float64) (flagged bool, freeAt float64, err error) {
+	if now < r.busyUntil {
+		return false, r.busyUntil, fmt.Errorf("%w until %.3f s", ErrDownlinkBusy, r.busyUntil)
+	}
+	expected := r.ExpectedRTT(propagationDelay, probeLen)
+	measured := expected + attackDelay
+	r.busyUntil = now + expected + attackDelay
+	margin := r.MarginSeconds
+	if margin <= 0 {
+		margin = 0.050
+	}
+	return measured > expected+margin, r.busyUntil, nil
+}
+
+// OverheadFactor returns how much the per-datum communication cost grows
+// when every uplink is paired with an RTT probe: the device transmits twice
+// (data + probe reply) and the gateway once, versus one uplink for the
+// FB-based detector.
+func (r *RoundTripDetector) OverheadFactor() float64 { return 2 }
+
+// CheckedFramesPerHour returns how many RTT-verified data frames per hour
+// the duty cycle permits, versus the unchecked budget.
+func (r *RoundTripDetector) CheckedFramesPerHour(payloadLen int, dutyCycle float64) (checked, unchecked int) {
+	unchecked = r.Params.MaxFramesPerHour(payloadLen, dutyCycle)
+	checked = int(float64(unchecked) / r.OverheadFactor())
+	return checked, unchecked
+}

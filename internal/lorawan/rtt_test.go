@@ -1,0 +1,83 @@
+package lorawan
+
+import (
+	"errors"
+	"testing"
+
+	"softlora/internal/lora"
+)
+
+func testRTT() *RoundTripDetector {
+	return &RoundTripDetector{
+		Params:           lora.DefaultParams(7),
+		DeviceTurnaround: 5e-3,
+		MarginSeconds:    0.050,
+	}
+}
+
+func TestRTTExpected(t *testing.T) {
+	r := testRTT()
+	rtt := r.ExpectedRTT(3.57e-6, 10)
+	// Two SF7 10-byte airtimes + turnaround + 2 flights.
+	want := 2*r.Params.Airtime(10) + 5e-3 + 2*3.57e-6
+	if rtt != want {
+		t.Errorf("rtt = %f, want %f", rtt, want)
+	}
+}
+
+func TestRTTNoAttackPasses(t *testing.T) {
+	r := testRTT()
+	flagged, _, err := r.Probe(0, 3.57e-6, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("attack-free probe flagged")
+	}
+}
+
+func TestRTTDetectsInjectedDelay(t *testing.T) {
+	r := testRTT()
+	flagged, _, err := r.Probe(0, 3.57e-6, 10, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("2 s injected delay not flagged")
+	}
+}
+
+func TestRTTSmallJitterWithinMargin(t *testing.T) {
+	r := testRTT()
+	flagged, _, err := r.Probe(0, 3.57e-6, 10, 0.020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Error("20 ms jitter flagged despite 50 ms margin")
+	}
+}
+
+func TestRTTSerializesDownlinks(t *testing.T) {
+	// The gateway can run only one probe at a time (Class A's unicast
+	// downlink constraint) — the paper's asymmetry argument.
+	r := testRTT()
+	_, freeAt, err := r.Probe(0, 3.57e-6, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Probe(freeAt/2, 3.57e-6, 10, 0); !errors.Is(err, ErrDownlinkBusy) {
+		t.Errorf("overlapping probe: err = %v, want ErrDownlinkBusy", err)
+	}
+	if _, _, err := r.Probe(freeAt, 3.57e-6, 10, 0); err != nil {
+		t.Errorf("probe after free: %v", err)
+	}
+}
+
+func TestRTTHalvesBudget(t *testing.T) {
+	r := &RoundTripDetector{Params: lora.DefaultParams(12)}
+	checked, unchecked := r.CheckedFramesPerHour(30, 0.01)
+	if checked*2 > unchecked+1 {
+		t.Errorf("checked %d vs unchecked %d: overhead not ~2x", checked, unchecked)
+	}
+}

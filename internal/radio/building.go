@@ -1,0 +1,143 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Building models the paper's Fig. 15 evaluation site: a 190 m long,
+// six-floor concrete building with three sections (A, B, C) separated by
+// two junctions (J). Radio paths accumulate log-distance loss plus
+// per-floor and per-junction penetration losses; a fixed system loss
+// absorbs antenna and measurement-chain effects, calibrated so the SNR
+// survey spans the paper's measured −1 to 13 dB.
+type Building struct {
+	// Floors is the number of floors (6 in the paper).
+	Floors int
+	// FloorHeight is the floor-to-floor height in meters.
+	FloorHeight float64
+	// Length is the building's long dimension in meters (190 in the
+	// paper).
+	Length float64
+	// PathLoss is the in-building log-distance model.
+	PathLoss LogDistance
+	// FloorAttdB is the attenuation per concrete floor crossed.
+	FloorAttdB float64
+	// JunctionAttdB is the attenuation per section junction crossed.
+	JunctionAttdB float64
+	// NoiseFloordBm is the in-building interference-dominated noise floor
+	// over the LoRa channel bandwidth.
+	NoiseFloordBm float64
+}
+
+// Position is a location inside the building.
+type Position struct {
+	// Label names the column (A1..C3 with J junction columns).
+	Label string
+	// X is the distance along the long dimension in meters.
+	X float64
+	// Floor is the floor number, 1-based.
+	Floor int
+}
+
+// columnLabels are the 11 survey columns of Fig. 15 along the 190 m
+// dimension.
+var columnLabels = []string{"A1", "A2", "A3", "J1", "B1", "B2", "B3", "J2", "C1", "C2", "C3"}
+
+// junctionX returns the X coordinates of the two section junctions.
+func (b *Building) junctionX() (float64, float64) {
+	step := b.Length / float64(len(columnLabels)-1)
+	return 3 * step, 7 * step
+}
+
+// Column returns the position of the named column on the given floor.
+func (b *Building) Column(label string, floor int) (Position, error) {
+	step := b.Length / float64(len(columnLabels)-1)
+	for i, l := range columnLabels {
+		if l == label {
+			return Position{Label: label, X: float64(i) * step, Floor: floor}, nil
+		}
+	}
+	return Position{}, fmt.Errorf("radio: unknown building column %q", label)
+}
+
+// Distance returns the 3D straight-line distance between two positions.
+func (b *Building) Distance(a, c Position) float64 {
+	dx := a.X - c.X
+	dz := float64(a.Floor-c.Floor) * b.FloorHeight
+	return math.Sqrt(dx*dx + dz*dz)
+}
+
+// LossdB returns the total path loss between two positions: log-distance
+// loss plus floor and junction penetration.
+func (b *Building) LossdB(a, c Position) float64 {
+	loss := b.PathLoss.LossdB(b.Distance(a, c))
+	floors := a.Floor - c.Floor
+	if floors < 0 {
+		floors = -floors
+	}
+	loss += float64(floors) * b.FloorAttdB
+	j1, j2 := b.junctionX()
+	lo, hi := a.X, c.X
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < j1 && hi > j1 {
+		loss += b.JunctionAttdB
+	}
+	if lo < j2 && hi > j2 {
+		loss += b.JunctionAttdB
+	}
+	return loss
+}
+
+// SNRdB returns the SNR a receiver at rx observes for a transmitter at tx
+// with the given power.
+func (b *Building) SNRdB(tx, rx Position, txPowerdBm float64) float64 {
+	return SNRAtReceiver(txPowerdBm, b.LossdB(tx, rx), b.NoiseFloordBm)
+}
+
+// SurveyPositions returns measurement positions across all columns and
+// floors (excluding inaccessible cells, mirroring the paper's note that C3
+// on floors 1-2 was not accessible).
+func (b *Building) SurveyPositions() []Position {
+	var out []Position
+	for f := 1; f <= b.Floors; f++ {
+		for _, label := range columnLabels {
+			if label == "C3" && f <= 2 {
+				continue // not accessible, per the paper
+			}
+			p, err := b.Column(label, f)
+			if err != nil {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FixedNode returns the paper's fixed transmitter position: section A
+// (column A1), 3rd floor.
+func (b *Building) FixedNode() Position {
+	p, _ := b.Column("A1", 3)
+	return p
+}
+
+// DefaultBuilding returns the Fig. 15 site calibrated so the SNR survey
+// spans approximately −1 to 13 dB, the range the paper measured.
+func DefaultBuilding() *Building {
+	return &Building{
+		Floors:      6,
+		FloorHeight: 3.5,
+		Length:      190,
+		PathLoss: LogDistance{
+			RefLossdB:   96.8,
+			RefDistance: 1,
+			Exponent:    0.55,
+		},
+		FloorAttdB:    1.2,
+		JunctionAttdB: 1.0,
+		NoiseFloordBm: -100,
+	}
+}

@@ -1,0 +1,133 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildingColumns(t *testing.T) {
+	b := DefaultBuilding()
+	a1, err := b.Column("A1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.X != 0 || a1.Floor != 3 {
+		t.Errorf("A1 = %+v", a1)
+	}
+	c3, err := b.Column("C3", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c3.X-190) > 1e-9 {
+		t.Errorf("C3.X = %f, want 190", c3.X)
+	}
+	if _, err := b.Column("Z9", 1); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}
+
+func TestBuildingDistance(t *testing.T) {
+	b := DefaultBuilding()
+	a, _ := b.Column("A1", 1)
+	c, _ := b.Column("A1", 3)
+	if got := b.Distance(a, c); math.Abs(got-7) > 1e-9 {
+		t.Errorf("two floors = %f m, want 7", got)
+	}
+	if got := b.Distance(a, a); got != 0 {
+		t.Errorf("self distance = %f", got)
+	}
+}
+
+func TestBuildingJunctionLoss(t *testing.T) {
+	b := DefaultBuilding()
+	a1, _ := b.Column("A1", 3)
+	a3, _ := b.Column("A3", 3) // same section: no junction
+	b1, _ := b.Column("B1", 3) // crosses J1
+	c1, _ := b.Column("C1", 3) // crosses J1 and J2
+	lossA3 := b.LossdB(a1, a3)
+	lossB1 := b.LossdB(a1, b1)
+	lossC1 := b.LossdB(a1, c1)
+	distLossB1 := b.PathLoss.LossdB(b.Distance(a1, b1))
+	if math.Abs((lossB1-distLossB1)-b.JunctionAttdB) > 1e-9 {
+		t.Errorf("B1 junction loss = %f, want %f", lossB1-distLossB1, b.JunctionAttdB)
+	}
+	distLossC1 := b.PathLoss.LossdB(b.Distance(a1, c1))
+	if math.Abs((lossC1-distLossC1)-2*b.JunctionAttdB) > 1e-9 {
+		t.Errorf("C1 junction loss = %f, want %f", lossC1-distLossC1, 2*b.JunctionAttdB)
+	}
+	if lossA3 >= lossB1 {
+		t.Error("closer same-section position should have less loss")
+	}
+}
+
+func TestBuildingFloorLoss(t *testing.T) {
+	b := DefaultBuilding()
+	tx := b.FixedNode()
+	same, _ := b.Column("A2", 3)
+	above, _ := b.Column("A2", 6)
+	lossSame := b.LossdB(tx, same)
+	lossAbove := b.LossdB(tx, above)
+	if lossAbove-lossSame < 3*b.FloorAttdB-1 {
+		t.Errorf("3-floor penalty = %f, want >= %f", lossAbove-lossSame, 3*b.FloorAttdB)
+	}
+}
+
+func TestBuildingSurveySNRRangeMatchesPaper(t *testing.T) {
+	// Paper Fig. 15: survey SNRs from −1 to 13 dB with TX power 14 dBm.
+	b := DefaultBuilding()
+	tx := b.FixedNode()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pos := range b.SurveyPositions() {
+		if pos == tx {
+			continue
+		}
+		snr := b.SNRdB(tx, pos, 14)
+		if snr < lo {
+			lo = snr
+		}
+		if snr > hi {
+			hi = snr
+		}
+	}
+	if lo < -6 || lo > 3 {
+		t.Errorf("min survey SNR = %f, want near -1", lo)
+	}
+	if hi < 9 || hi > 20 {
+		t.Errorf("max survey SNR = %f, want near 13", hi)
+	}
+}
+
+func TestBuildingSNRDecaysWithDistance(t *testing.T) {
+	b := DefaultBuilding()
+	tx := b.FixedNode()
+	a2, _ := b.Column("A2", 3)
+	c2, _ := b.Column("C2", 3)
+	if b.SNRdB(tx, a2, 14) <= b.SNRdB(tx, c2, 14) {
+		t.Error("SNR should decay along the building")
+	}
+}
+
+func TestSurveyPositionsExcludeInaccessible(t *testing.T) {
+	b := DefaultBuilding()
+	for _, p := range b.SurveyPositions() {
+		if p.Label == "C3" && p.Floor <= 2 {
+			t.Fatalf("inaccessible position %+v included", p)
+		}
+	}
+	// 11 columns × 6 floors − 2 inaccessible = 64.
+	if got := len(b.SurveyPositions()); got != 64 {
+		t.Errorf("survey positions = %d, want 64", got)
+	}
+}
+
+func TestCampusLink(t *testing.T) {
+	c := DefaultCampusLink()
+	if got := c.PropagationDelay(); math.Abs(got-3.57e-6) > 0.02e-6 {
+		t.Errorf("delay = %g, want 3.57 µs", got)
+	}
+	// SNR should be comfortably above the SF12 demodulation floor.
+	snr := c.SNRdB(14)
+	if snr < 0 || snr > 40 {
+		t.Errorf("campus SNR = %f, want positive and plausible", snr)
+	}
+}

@@ -1,0 +1,48 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Fading models small-scale multipath fading on top of the deterministic
+// path loss: per-frame block fading with a Rician/Rayleigh envelope. The
+// fading margin required for reliable indoor links (≈8 dB, used by the
+// §8.1.1 minimum-SF analysis) follows directly from the Rayleigh outage
+// curve implemented here.
+type Fading struct {
+	// KFactordB is the Rician K factor: the power ratio of the dominant
+	// (line-of-sight) path to the scattered paths. −Inf (or very negative)
+	// degenerates to Rayleigh; large K degenerates to no fading.
+	KFactordB float64
+	// Rand supplies the per-frame draw; required.
+	Rand *rand.Rand
+}
+
+// DrawGaindB samples one frame's fading gain in dB (0 dB mean power).
+// Block fading: the whole frame experiences one draw, appropriate for
+// LoRa's narrowband, quasi-static indoor channels.
+func (f *Fading) DrawGaindB() float64 {
+	k := math.Pow(10, f.KFactordB/10)
+	// Rician fading: complex gain = sqrt(K/(K+1)) + CN(0, 1/(K+1)).
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	los := math.Sqrt(k / (k + 1))
+	re := los + f.Rand.NormFloat64()*sigma
+	im := f.Rand.NormFloat64() * sigma
+	p := re*re + im*im
+	if p <= 0 {
+		p = 1e-12
+	}
+	return 10 * math.Log10(p)
+}
+
+// RayleighOutageMargindB returns the fading margin (dB) required so that a
+// Rayleigh-faded link stays above its threshold with the given reliability
+// (e.g. 0.99): for Rayleigh, P(outage) = 1 − exp(−10^(−m/10)) ≈ 10^(−m/10),
+// so m = −10·log10(−ln(reliability)).
+func RayleighOutageMargindB(reliability float64) float64 {
+	if reliability <= 0 || reliability >= 1 {
+		return 0
+	}
+	return -10 * math.Log10(-math.Log(reliability))
+}

@@ -1,0 +1,76 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFadingUnitMeanPower(t *testing.T) {
+	for _, k := range []float64{-40, 0, 10} {
+		f := &Fading{KFactordB: k, Rand: rand.New(rand.NewSource(90))}
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += math.Pow(10, f.DrawGaindB()/10)
+		}
+		if mean := sum / n; math.Abs(mean-1) > 0.05 {
+			t.Errorf("K=%v dB: mean linear power = %f, want 1", k, mean)
+		}
+	}
+}
+
+func TestFadingLargeKIsNearlyConstant(t *testing.T) {
+	f := &Fading{KFactordB: 40, Rand: rand.New(rand.NewSource(91))}
+	for i := 0; i < 100; i++ {
+		if g := f.DrawGaindB(); math.Abs(g) > 1 {
+			t.Fatalf("K=40 dB gain %f, want ~0", g)
+		}
+	}
+}
+
+func TestRayleighOutageProbabilityMatchesTheory(t *testing.T) {
+	// Empirical outage rate at margin m should match 1 − exp(−10^(−m/10)).
+	f := &Fading{KFactordB: -60, Rand: rand.New(rand.NewSource(92))}
+	const n = 50000
+	gains := make([]float64, n)
+	for i := range gains {
+		gains[i] = f.DrawGaindB()
+	}
+	sort.Float64s(gains)
+	for _, m := range []float64{5, 8, 10} {
+		// Outage: gain below −m dB.
+		idx := sort.SearchFloat64s(gains, -m)
+		got := float64(idx) / n
+		want := 1 - math.Exp(-math.Pow(10, -m/10))
+		if math.Abs(got-want) > 0.2*want+0.002 {
+			t.Errorf("margin %v dB: outage %f, theory %f", m, got, want)
+		}
+	}
+}
+
+func TestRayleighOutageMargin(t *testing.T) {
+	// 99% reliability needs ≈ 20 dB; 90% ≈ 9.8 dB — the ~8 dB figure used
+	// by §8.1.1's min-SF analysis corresponds to ~85% per-frame
+	// reliability, reasonable for retransmitting telemetry.
+	if m := RayleighOutageMargindB(0.99); math.Abs(m-19.98) > 0.1 {
+		t.Errorf("99%% margin = %f", m)
+	}
+	if m := RayleighOutageMargindB(0.90); math.Abs(m-9.77) > 0.1 {
+		t.Errorf("90%% margin = %f", m)
+	}
+	if RayleighOutageMargindB(0) != 0 || RayleighOutageMargindB(1) != 0 {
+		t.Error("degenerate reliabilities should give 0")
+	}
+}
+
+func TestFadingMarginConsistentWithSec811(t *testing.T) {
+	// The fading margin the §8.1.1 experiment assumes (8 dB) sits in the
+	// plausible 85-90% reliability band for Rayleigh.
+	lo := RayleighOutageMargindB(0.85)
+	hi := RayleighOutageMargindB(0.92)
+	if 8 < lo-1 || 8 > hi+1 {
+		t.Errorf("8 dB margin outside [%f, %f]", lo, hi)
+	}
+}

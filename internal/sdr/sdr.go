@@ -1,0 +1,129 @@
+// Package sdr models the low-cost RTL-SDR receiver the SoftLoRa gateway
+// uses for PHY-layer monitoring: quadrature down-conversion with the
+// receiver's own oscillator bias δRx and an un-locked random phase θRx
+// (RTL-SDR dongles have no phase-lock capability, paper §6.1.2), followed
+// by 8-bit ADC quantization with automatic gain control.
+//
+// The receiver consumes channel captures produced by package radio (already
+// at equivalent baseband relative to the RF channel center) and outputs the
+// I/Q traces the detection algorithms in package core operate on.
+package sdr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"softlora/internal/radio"
+)
+
+// DefaultSampleRate is the RTL-SDR's reliable continuous rate, 2.4 Msps
+// (sampling resolution 0.42 µs, paper §5.1).
+const DefaultSampleRate = 2.4e6
+
+// ErrNilRand is returned when a Receiver is used without a random source.
+var ErrNilRand = errors.New("sdr: Receiver.Rand must be set")
+
+// Receiver models one RTL-SDR dongle.
+type Receiver struct {
+	// FrequencyBias is the dongle oscillator's bias δRx in Hz at the tuned
+	// channel center. RTL-SDR crystals show tens of ppm.
+	FrequencyBias float64
+	// ADCBits is the quantizer resolution (8 for RTL2832U). Zero disables
+	// quantization (ideal front end).
+	ADCBits int
+	// NoiseFigurePowerdBm adds receiver-chain noise at the given power
+	// (dBm, sample-power convention); zero disables it.
+	NoiseFigurePowerdBm float64
+	// Rand supplies the per-capture random phase θRx and receiver noise.
+	Rand *rand.Rand
+}
+
+// Capture is an SDR I/Q capture with timing metadata.
+type Capture struct {
+	// IQ is the down-converted, quantized baseband trace.
+	IQ []complex128
+	// Rate is the sample rate in samples/s.
+	Rate float64
+	// Start is the channel-timeline time of sample 0.
+	Start float64
+	// PhaseRx is the θRx drawn for this capture (exposed for tests; a real
+	// receiver does not know it).
+	PhaseRx float64
+}
+
+// TimeOf returns the channel-timeline time of sample i.
+func (c *Capture) TimeOf(i int) float64 { return c.Start + float64(i)/c.Rate }
+
+// Downconvert processes a channel capture through the receiver chain:
+// rotation by the receiver LO error exp(−j(2π·δRx·t + θRx)), optional
+// receiver noise, and ADC quantization with AGC.
+func (r *Receiver) Downconvert(in *radio.Capture) (*Capture, error) {
+	if r.Rand == nil {
+		return nil, ErrNilRand
+	}
+	theta := r.Rand.Float64() * 2 * math.Pi
+	out := make([]complex128, len(in.IQ))
+	dt := 1 / in.Rate
+	for i, v := range in.IQ {
+		t := float64(i) * dt
+		p := -(2*math.Pi*r.FrequencyBias*t + theta)
+		out[i] = v * complex(math.Cos(p), math.Sin(p))
+	}
+	if r.NoiseFigurePowerdBm != 0 {
+		sigma := math.Sqrt(radio.DBmToPower(r.NoiseFigurePowerdBm) / 2)
+		for i := range out {
+			out[i] += complex(r.Rand.NormFloat64()*sigma, r.Rand.NormFloat64()*sigma)
+		}
+	}
+	if r.ADCBits > 0 {
+		quantize(out, r.ADCBits, r.Rand)
+	}
+	return &Capture{IQ: out, Rate: in.Rate, Start: in.Start, PhaseRx: theta}, nil
+}
+
+// quantize applies an n-bit midrise quantizer with AGC: the full scale is
+// set to 4× the RMS amplitude (clipping rare peaks, like a real AGC), and
+// each of I and Q is rounded to 2^(n-1) levels per polarity. One LSB RMS of
+// Gaussian input-referred noise is added before rounding — real tuner/ADC
+// front ends carry at least that much thermal + DNL noise, and it keeps
+// quiet capture regions Gaussian instead of collapsing to exact zeros
+// (which would make changepoint statistics degenerate and bias the
+// PHY-timestamping detectors).
+func quantize(x []complex128, bits int, rng *rand.Rand) {
+	var pw float64
+	for _, v := range x {
+		pw += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if pw == 0 {
+		return
+	}
+	rms := math.Sqrt(pw / float64(len(x)) / 2) // per-component RMS
+	fullScale := 4 * rms
+	levels := float64(int(1) << (bits - 1))
+	q := func(v float64) float64 {
+		s := v/fullScale*levels + rng.NormFloat64()
+		s = math.Round(s)
+		if s > levels-1 {
+			s = levels - 1
+		}
+		if s < -levels {
+			s = -levels
+		}
+		return s / levels * fullScale
+	}
+	for i, v := range x {
+		x[i] = complex(q(real(v)), q(imag(v)))
+	}
+}
+
+// NewTypicalReceiver returns an RTL-SDR with a bias drawn uniformly from
+// ±maxPPM ppm of the given carrier, 8-bit ADC, matching commodity dongles.
+func NewTypicalReceiver(carrierHz, maxPPM float64, rng *rand.Rand) *Receiver {
+	ppm := (rng.Float64()*2 - 1) * maxPPM
+	return &Receiver{
+		FrequencyBias: ppm * 1e-6 * carrierHz,
+		ADCBits:       8,
+		Rand:          rng,
+	}
+}

@@ -1,0 +1,185 @@
+package sdr
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"softlora/internal/lora"
+	"softlora/internal/radio"
+)
+
+func toneCapture(freq float64, n int, rate float64) *radio.Capture {
+	iq := make([]complex128, n)
+	for i := range iq {
+		iq[i] = cmplx.Exp(complex(0, 2*math.Pi*freq*float64(i)/rate))
+	}
+	return &radio.Capture{IQ: iq, Rate: rate, Start: 0}
+}
+
+func TestDownconvertRequiresRand(t *testing.T) {
+	r := &Receiver{}
+	if _, err := r.Downconvert(toneCapture(0, 16, DefaultSampleRate)); err != ErrNilRand {
+		t.Errorf("err = %v, want ErrNilRand", err)
+	}
+}
+
+func TestDownconvertShiftsFrequency(t *testing.T) {
+	// A tone at f through a receiver with bias δRx lands at f − δRx.
+	const rate = DefaultSampleRate
+	const f = 50e3
+	const bias = 20e3
+	r := &Receiver{FrequencyBias: bias, Rand: rand.New(rand.NewSource(70))}
+	cap, err := r.Downconvert(toneCapture(f, 1<<14, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure the dominant frequency via phase slope.
+	var sum float64
+	for i := 1; i < len(cap.IQ); i++ {
+		sum += cmplx.Phase(cap.IQ[i] * cmplx.Conj(cap.IQ[i-1]))
+	}
+	got := sum / float64(len(cap.IQ)-1) * rate / (2 * math.Pi)
+	if math.Abs(got-(f-bias)) > 100 {
+		t.Errorf("downconverted tone at %f Hz, want %f", got, f-bias)
+	}
+}
+
+func TestDownconvertAppliesRandomPhase(t *testing.T) {
+	// Two captures of the same input should get different θRx.
+	r := &Receiver{Rand: rand.New(rand.NewSource(71))}
+	in := toneCapture(0, 64, DefaultSampleRate)
+	a, err := r.Downconvert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Downconvert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.PhaseRx-b.PhaseRx) < 1e-6 {
+		t.Error("θRx should vary between captures")
+	}
+	// The applied rotation must equal exp(−jθRx) at t=0.
+	want := cmplx.Exp(complex(0, -a.PhaseRx))
+	if cmplx.Abs(a.IQ[0]-want) > 1e-9 {
+		t.Errorf("sample 0 = %v, want %v", a.IQ[0], want)
+	}
+}
+
+func TestQuantizationPreservesSignal(t *testing.T) {
+	const rate = DefaultSampleRate
+	r8 := &Receiver{ADCBits: 8, Rand: rand.New(rand.NewSource(72))}
+	in := toneCapture(10e3, 1<<12, rate)
+	out, err := r8.Downconvert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit quantization SNR for a full-ish scale signal is ~40+ dB.
+	var errP, sigP float64
+	// Re-derive what the unquantized signal would be using PhaseRx.
+	for i, v := range in.IQ {
+		tt := float64(i) / rate
+		p := -(2*math.Pi*r8.FrequencyBias*tt + out.PhaseRx)
+		ideal := v * cmplx.Exp(complex(0, p))
+		d := out.IQ[i] - ideal
+		errP += real(d)*real(d) + imag(d)*imag(d)
+		sigP += real(ideal)*real(ideal) + imag(ideal)*imag(ideal)
+	}
+	// 8-bit AGC quantization plus the 1 LSB input-referred noise gives
+	// ~30 dB effective SNR for a full-ish scale tone.
+	snr := 10 * math.Log10(sigP/errP)
+	if snr < 25 {
+		t.Errorf("quantization SNR = %f dB, want > 25", snr)
+	}
+}
+
+func TestQuantizationLevels(t *testing.T) {
+	// With 1-bit quantization the output has at most 2 distinct magnitudes
+	// per component (±fullScale/2... just check the level count is small).
+	r := &Receiver{ADCBits: 2, Rand: rand.New(rand.NewSource(73))}
+	in := toneCapture(10e3, 4096, DefaultSampleRate)
+	out, err := r.Downconvert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := map[float64]bool{}
+	for _, v := range out.IQ {
+		levels[real(v)] = true
+	}
+	if len(levels) > 4 {
+		t.Errorf("2-bit ADC produced %d levels, want <= 4", len(levels))
+	}
+}
+
+func TestReceiverNoise(t *testing.T) {
+	r := &Receiver{NoiseFigurePowerdBm: -40, Rand: rand.New(rand.NewSource(74))}
+	silent := &radio.Capture{IQ: make([]complex128, 8192), Rate: DefaultSampleRate}
+	out, err := r.Downconvert(silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p float64
+	for _, v := range out.IQ {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p /= float64(len(out.IQ))
+	if math.Abs(radio.PowerTodBm(p)+40) > 0.5 {
+		t.Errorf("receiver noise = %f dBm, want -40", radio.PowerTodBm(p))
+	}
+}
+
+func TestNewTypicalReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for i := 0; i < 20; i++ {
+		r := NewTypicalReceiver(869.75e6, 30, rng)
+		ppm := r.FrequencyBias / 869.75e6 * 1e6
+		if ppm < -30 || ppm > 30 {
+			t.Errorf("bias = %f ppm, want within ±30", ppm)
+		}
+		if r.ADCBits != 8 {
+			t.Errorf("ADC bits = %d", r.ADCBits)
+		}
+	}
+}
+
+func TestEndToEndChirpThroughSDR(t *testing.T) {
+	// A chirp with δTx through a channel and an SDR with δRx must show a
+	// dechirped tone at δTx − δRx (the paper's observable δ).
+	const rate = DefaultSampleRate
+	const dTx = -22.8e3
+	const dRx = -3e3
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: dTx}
+	iq := spec.Synthesize(rate)
+	chanCap := &radio.Capture{IQ: iq, Rate: rate}
+	r := &Receiver{FrequencyBias: dRx, Rand: rand.New(rand.NewSource(76))}
+	out, err := r.Downconvert(chanCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth}
+	refIQ := ref.Synthesize(rate)
+	n := len(out.IQ)
+	if len(refIQ) < n {
+		n = len(refIQ)
+	}
+	// Measure residual tone frequency by phase slope of x*conj(ref).
+	var sum float64
+	prev := complex(0, 0)
+	count := 0
+	for i := 0; i < n; i++ {
+		v := out.IQ[i] * cmplx.Conj(refIQ[i])
+		if i > 0 {
+			sum += cmplx.Phase(v * cmplx.Conj(prev))
+			count++
+		}
+		prev = v
+	}
+	got := sum / float64(count) * rate / (2 * math.Pi)
+	want := dTx - dRx
+	if math.Abs(got-want) > 200 {
+		t.Errorf("observed δ = %f Hz, want %f", got, want)
+	}
+}

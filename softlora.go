@@ -1,0 +1,290 @@
+// Package softlora is an attack-aware, synchronization-free data
+// timestamping gateway for LoRaWAN, reproducing "Attack-Aware Data
+// Timestamping in Low-Power Synchronization-Free LoRaWAN" (Gu, Tan, Huang —
+// ICDCS 2020).
+//
+// A SoftLoRa gateway pairs a commodity LoRaWAN radio with a low-cost SDR
+// receiver. For every uplink it:
+//
+//  1. timestamps the PHY preamble onset to microseconds (AIC or envelope
+//     detector on the SDR I/Q capture),
+//  2. estimates the transmitter's oscillator frequency bias from the second
+//     preamble chirp (0.14 ppm resolution), and
+//  3. checks the bias against the claimed device's history — a frame
+//     replayed by the frame delay attack carries the replayer's extra bias
+//     (≥ 0.6 ppm) and is rejected, so data timestamps cannot be spoofed by
+//     jam-and-replay adversaries.
+//
+// Sensor data carries only 18-bit elapsed times; the gateway reconstructs
+// absolute timestamps from the verified PHY arrival time.
+package softlora
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"softlora/internal/core"
+	"softlora/internal/lora"
+	"softlora/internal/radio"
+	"softlora/internal/sdr"
+	"softlora/internal/timestamp"
+)
+
+// Verdict classifies a processed uplink.
+type Verdict string
+
+// Uplink verdicts.
+const (
+	// VerdictGenuine: frequency bias consistent with the claimed device.
+	VerdictGenuine Verdict = "genuine"
+	// VerdictReplay: the frame delay attack's replay step was detected;
+	// the frame is dropped and its timestamps are not trusted.
+	VerdictReplay Verdict = "replay"
+	// VerdictEnrolling: the device's bias is still being learned.
+	VerdictEnrolling Verdict = "enrolling"
+)
+
+// OnsetMethod selects the PHY timestamping algorithm.
+type OnsetMethod string
+
+// Onset detection methods (§6.1.2 plus the despreading extension).
+const (
+	OnsetAIC      OnsetMethod = "aic"
+	OnsetEnvelope OnsetMethod = "envelope"
+	// OnsetDechirp uses the despreading-based triangle-apex detector
+	// (DESIGN.md §6): microseconds down to ~−10 dB where the paper's
+	// time-domain detectors degrade.
+	OnsetDechirp OnsetMethod = "dechirp"
+)
+
+// FBMethod selects the frequency-bias estimator.
+type FBMethod string
+
+// FB estimation methods (§7.1 plus the extensions of DESIGN.md §6).
+const (
+	FBLinearRegression FBMethod = "linear-regression"
+	FBLeastSquares     FBMethod = "least-squares"
+	FBDechirpFFT       FBMethod = "dechirp-fft"
+	// FBUpDown jointly estimates bias and timing from one preamble up
+	// chirp and one SFD down chirp, cancelling onset-error-induced bias.
+	// It needs captures spanning the whole preamble + SFD (~12.5 chirps)
+	// instead of the paper's 2; Simulation sizes its captures accordingly.
+	FBUpDown FBMethod = "updown"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Params is the LoRa channel configuration (DefaultParams(7) if SF is
+	// unset).
+	Params lora.Params
+	// SDR models the attached SDR receiver; nil uses an ideal 8-bit
+	// RTL-SDR with zero bias.
+	SDR *sdr.Receiver
+	// SampleRate of SDR captures (sdr.DefaultSampleRate when 0).
+	SampleRate float64
+	// Onset selects the timestamping detector (OnsetAIC by default).
+	Onset OnsetMethod
+	// FB selects the bias estimator (FBLinearRegression by default;
+	// FBLeastSquares is the low-SNR option at higher CPU cost).
+	FB FBMethod
+	// ToleranceHz is the replay-detection deviation threshold
+	// (core.DefaultToleranceHz when 0).
+	ToleranceHz float64
+	// Rand drives the SDR phase and the least-squares optimizer; required.
+	Rand *rand.Rand
+}
+
+// Gateway is a SoftLoRa gateway instance.
+type Gateway struct {
+	params     lora.Params
+	sampleRate float64
+	receiver   *sdr.Receiver
+	onset      core.OnsetDetector
+	estimator  core.FBEstimator
+	updown     *core.UpDownEstimator // non-nil when FBUpDown is selected
+	detector   *core.ReplayDetector
+}
+
+// CaptureChirps returns how many chirp times after the onset the gateway's
+// SDR capture must span for the configured estimator: 4 for the paper's
+// two-chirp analysis (with margin), preamble+4 for the up/down joint
+// estimator, which needs the SFD.
+func (g *Gateway) CaptureChirps() int {
+	if g.updown != nil {
+		return g.params.PreambleChirps + 4
+	}
+	return 4
+}
+
+// Configuration errors.
+var (
+	ErrNilRand      = errors.New("softlora: Config.Rand must be set")
+	ErrBadMethod    = errors.New("softlora: unknown method")
+	ErrCaptureShort = errors.New("softlora: capture too short for onset + two chirps")
+)
+
+// NewGateway validates the configuration and builds a Gateway.
+func NewGateway(cfg Config) (*Gateway, error) {
+	if cfg.Rand == nil {
+		return nil, ErrNilRand
+	}
+	params := cfg.Params
+	if params.SF == 0 {
+		params = lora.DefaultParams(7)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("softlora: %w", err)
+	}
+	rate := cfg.SampleRate
+	if rate == 0 {
+		rate = sdr.DefaultSampleRate
+	}
+	receiver := cfg.SDR
+	if receiver == nil {
+		receiver = &sdr.Receiver{ADCBits: 8, Rand: cfg.Rand}
+	}
+	if receiver.Rand == nil {
+		receiver.Rand = cfg.Rand
+	}
+	g := &Gateway{params: params, sampleRate: rate, receiver: receiver}
+	switch cfg.Onset {
+	case "", OnsetAIC:
+		g.onset = &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	case OnsetEnvelope:
+		g.onset = &core.EnvelopeDetector{SmoothLen: 8, LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	case OnsetDechirp:
+		g.onset = &core.DechirpOnsetDetector{Params: params}
+	default:
+		return nil, fmt.Errorf("%w: onset %q", ErrBadMethod, cfg.Onset)
+	}
+	switch cfg.FB {
+	case "", FBLinearRegression:
+		g.estimator = &core.LinearRegressionEstimator{Params: params}
+	case FBLeastSquares:
+		g.estimator = &core.LeastSquaresEstimator{Params: params, Decimation: 4, Rand: cfg.Rand}
+	case FBDechirpFFT:
+		g.estimator = &core.DechirpFFTEstimator{Params: params}
+	case FBUpDown:
+		g.updown = &core.UpDownEstimator{Params: params}
+	default:
+		return nil, fmt.Errorf("%w: fb %q", ErrBadMethod, cfg.FB)
+	}
+	g.detector = core.NewReplayDetector()
+	if cfg.ToleranceHz > 0 {
+		g.detector.ToleranceHz = cfg.ToleranceHz
+	}
+	return g, nil
+}
+
+// Params returns the gateway's channel configuration.
+func (g *Gateway) Params() lora.Params { return g.params }
+
+// UplinkReport is the outcome of processing one uplink.
+type UplinkReport struct {
+	// ArrivalTime is the PHY-timestamped preamble onset on the channel
+	// timeline (seconds).
+	ArrivalTime float64
+	// OnsetSample is the onset position within the SDR capture.
+	OnsetSample int
+	// FrequencyBiasHz is the estimated δ = δTx − δRx.
+	FrequencyBiasHz float64
+	// FrequencyBiasPPM expresses the bias in ppm of the channel center.
+	FrequencyBiasPPM float64
+	// Verdict is the replay-detection decision.
+	Verdict Verdict
+	// Accepted reports whether the frame's data was accepted for
+	// timestamping (false for replays).
+	Accepted bool
+	// Timestamps are the reconstructed global times of the frame's data
+	// records (nil when the frame is rejected).
+	Timestamps []float64
+}
+
+// ProcessUplink runs the full SoftLoRa pipeline on an antenna-level capture:
+// SDR down-conversion, PHY onset timestamping, FB estimation on the second
+// preamble chirp, replay detection against the claimed device, and
+// sync-free timestamp reconstruction for the frame's elapsed-time records.
+//
+// The capture must include noise lead-in before the frame and at least two
+// preamble chirps after the onset. claimedID is the source device ID
+// decoded from the frame by the commodity LoRaWAN radio.
+func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
+	sdrCap, err := g.receiver.Downconvert(cap)
+	if err != nil {
+		return nil, fmt.Errorf("softlora: %w", err)
+	}
+	onset, err := g.onset.DetectOnset(sdrCap.IQ, sdrCap.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("softlora: %w", err)
+	}
+	n := int(g.params.SamplesPerChirp(sdrCap.Rate))
+	var fbHz float64
+	arrival := sdrCap.TimeOf(onset.Sample)
+	if g.updown != nil {
+		res, udErr := g.updown.Estimate(sdrCap.IQ, onset.Sample, sdrCap.Rate)
+		if udErr != nil {
+			return nil, fmt.Errorf("softlora: %w", udErr)
+		}
+		fbHz = res.DeltaHz
+		// The joint estimator also refines the PHY timestamp.
+		arrival += res.TimingCorrection
+	} else {
+		// The first captured chirp yields the timestamp; the second yields
+		// the FB (§5.1).
+		second := onset.Sample + n
+		if second+n > len(sdrCap.IQ) {
+			return nil, fmt.Errorf("%w: onset %d, capture %d", ErrCaptureShort, onset.Sample, len(sdrCap.IQ))
+		}
+		est, estErr := g.estimator.EstimateFB(sdrCap.IQ[second:second+n], sdrCap.Rate)
+		if estErr != nil {
+			return nil, fmt.Errorf("softlora: %w", estErr)
+		}
+		fbHz = est.DeltaHz
+	}
+	verdict := g.detector.Check(claimedID, fbHz)
+	report := &UplinkReport{
+		ArrivalTime:      arrival,
+		OnsetSample:      onset.Sample,
+		FrequencyBiasHz:  fbHz,
+		FrequencyBiasPPM: g.params.PPM(fbHz),
+	}
+	switch verdict {
+	case core.VerdictReplay:
+		report.Verdict = VerdictReplay
+	case core.VerdictEnrolling:
+		report.Verdict = VerdictEnrolling
+	default:
+		report.Verdict = VerdictGenuine
+	}
+	report.Accepted = report.Verdict != VerdictReplay
+	if report.Accepted {
+		report.Timestamps = make([]float64, len(records))
+		for i, r := range records {
+			report.Timestamps[i] = timestamp.Reconstruct(report.ArrivalTime, r)
+		}
+	}
+	return report, nil
+}
+
+// EnrollDevice pre-loads a device's known bias (offline database
+// construction, §7.2).
+func (g *Gateway) EnrollDevice(id string, biasHz float64) {
+	g.detector.Enroll(id, biasHz, core.DefaultEnrollFrames)
+}
+
+// DeviceBias returns the learned bias state for a device.
+func (g *Gateway) DeviceBias(id string) (mean float64, frames int, ok bool) {
+	rec, ok := g.detector.Record(id)
+	if !ok {
+		return 0, 0, false
+	}
+	return rec.Mean, rec.Count, true
+}
+
+// SaveBiasDatabase writes the FB database as JSON.
+func (g *Gateway) SaveBiasDatabase(w io.Writer) error { return g.detector.Save(w) }
+
+// LoadBiasDatabase replaces the FB database from JSON.
+func (g *Gateway) LoadBiasDatabase(r io.Reader) error { return g.detector.Load(r) }
