@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+# ci is the gate every PR must pass: formatting, static checks, build, the
+# full test suite, and the race detector over the concurrent batch pipeline.
+ci: fmt vet build test race
+
+fmt:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run Batch .
+
+# bench refreshes BENCH_softlora.json (the cross-PR perf trajectory).
+bench:
+	sh scripts/bench.sh

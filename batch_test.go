@@ -1,0 +1,194 @@
+package softlora
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchFixture renders a batch of uplink captures through a deterministic
+// simulation and returns a fresh gateway (with the given worker count) plus
+// the jobs. Rendering uses its own rand stream so every fixture is
+// identical regardless of worker count.
+func batchFixture(t *testing.T, workers, nUplinks int) (*Gateway, []Uplink) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	jobs := make([]Uplink, nUplinks)
+	now := 10.0
+	for i := range jobs {
+		dev := NewSimDevice("dev", -23, 40, 14, 80, 100)
+		gw.EnrollDevice(dev.ID, dev.Transmitter.BiasHz(gw.Params()))
+		dev.Record(now-1, []byte{byte(i)})
+		cap, records, err := sim.RenderUplink(dev, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Uplink{Capture: cap, ClaimedID: dev.ID, Records: records}
+		now += 2
+	}
+	return gw, jobs
+}
+
+func TestProcessBatchReportsAllUplinks(t *testing.T) {
+	gw, jobs := batchFixture(t, 4, 6)
+	results := gw.ProcessBatch(context.Background(), jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d uplinks", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("uplink %d: %v", i, r.Err)
+		}
+		if r.Report == nil {
+			t.Fatalf("uplink %d: nil report", i)
+		}
+		if r.Report.Verdict != VerdictGenuine {
+			t.Errorf("uplink %d: verdict %v", i, r.Report.Verdict)
+		}
+		if ppm := r.Report.FrequencyBiasPPM; math.Abs(ppm-(-23)) > 1 {
+			t.Errorf("uplink %d: bias %.2f ppm, want ≈ -23", i, ppm)
+		}
+	}
+}
+
+// TestProcessBatchDeterministicAcrossWorkerCounts is the reproducibility
+// contract: per-uplink seeds are derived from Config.Rand, so results must
+// not depend on the worker pool size or scheduling order.
+func TestProcessBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	gw1, jobs1 := batchFixture(t, 1, 8)
+	gw8, jobs8 := batchFixture(t, 8, 8)
+	res1 := gw1.ProcessBatch(context.Background(), jobs1)
+	res8 := gw8.ProcessBatch(context.Background(), jobs8)
+	for i := range res1 {
+		if (res1[i].Err == nil) != (res8[i].Err == nil) {
+			t.Fatalf("uplink %d: error mismatch: %v vs %v", i, res1[i].Err, res8[i].Err)
+		}
+		if res1[i].Err != nil {
+			continue
+		}
+		a, b := res1[i].Report, res8[i].Report
+		if a.FrequencyBiasHz != b.FrequencyBiasHz || a.ArrivalTime != b.ArrivalTime || a.OnsetSample != b.OnsetSample {
+			t.Errorf("uplink %d: 1-worker %+v vs 8-worker %+v", i, a, b)
+		}
+	}
+}
+
+func TestProcessBatchRepeatable(t *testing.T) {
+	// Two gateways built from the same seed replay the same batch
+	// SEQUENCE bit for bit, while successive batches within one gateway
+	// draw fresh per-uplink randomness (the batch ordinal is mixed into
+	// the job seeds, like the serial path advancing Config.Rand).
+	gwA, jobsA := batchFixture(t, 2, 3)
+	gwB, jobsB := batchFixture(t, 2, 3)
+	a1 := gwA.ProcessBatch(context.Background(), jobsA)
+	a2 := gwA.ProcessBatch(context.Background(), jobsA)
+	b1 := gwB.ProcessBatch(context.Background(), jobsB)
+	b2 := gwB.ProcessBatch(context.Background(), jobsB)
+	sameDraws := true
+	for i := range a1 {
+		if a1[i].Err != nil || a2[i].Err != nil || b1[i].Err != nil || b2[i].Err != nil {
+			t.Fatalf("uplink %d errored: %v / %v / %v / %v", i, a1[i].Err, a2[i].Err, b1[i].Err, b2[i].Err)
+		}
+		if a1[i].Report.FrequencyBiasHz != b1[i].Report.FrequencyBiasHz ||
+			a2[i].Report.FrequencyBiasHz != b2[i].Report.FrequencyBiasHz {
+			t.Errorf("uplink %d: same seed and batch ordinal produced different bias", i)
+		}
+		if a1[i].Report.FrequencyBiasHz != a2[i].Report.FrequencyBiasHz {
+			sameDraws = false
+		}
+	}
+	if sameDraws {
+		t.Error("successive batches repeated identical stochastic draws for every uplink")
+	}
+}
+
+func TestProcessBatchCancelledContext(t *testing.T) {
+	gw, jobs := batchFixture(t, 2, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := gw.ProcessBatch(ctx, jobs)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("uplink %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestProcessBatchNilCapture(t *testing.T) {
+	gw, jobs := batchFixture(t, 2, 2)
+	jobs[1].Capture = nil
+	results := gw.ProcessBatch(context.Background(), jobs)
+	if results[0].Err != nil {
+		t.Errorf("uplink 0: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrNilCapture) {
+		t.Errorf("uplink 1: err = %v, want ErrNilCapture", results[1].Err)
+	}
+}
+
+func TestProcessBatchEmpty(t *testing.T) {
+	gw, _ := batchFixture(t, 2, 1)
+	if res := gw.ProcessBatch(context.Background(), nil); len(res) != 0 {
+		t.Errorf("empty batch returned %d results", len(res))
+	}
+}
+
+// TestUplinkBatchMatchesDevices drives the simulation-level batch API end
+// to end: every device's records must come back timestamped and genuine.
+func TestUplinkBatchMatchesDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	var ups []SimUplink
+	now := 10.0
+	for i := 0; i < 5; i++ {
+		dev := NewSimDevice("node", -23, 40, 14, 80, 100)
+		gw.EnrollDevice(dev.ID, dev.Transmitter.BiasHz(gw.Params()))
+		dev.Record(now-2, []byte{byte(i)})
+		ups = append(ups, SimUplink{Device: dev, Time: now})
+		now += 3
+	}
+	results, err := sim.UplinkBatch(context.Background(), ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("uplink %d: %v", i, r.Err)
+		}
+		if !r.Report.Accepted {
+			t.Errorf("uplink %d rejected", i)
+		}
+		if len(r.Report.Timestamps) != len(r.Records) {
+			t.Errorf("uplink %d: %d timestamps for %d records", i, len(r.Report.Timestamps), len(r.Records))
+		}
+		want := ups[i].Time - 2
+		if got := r.Report.Timestamps[0]; math.Abs(got-want) > 0.01 {
+			t.Errorf("uplink %d: reconstructed %f, want ≈ %f", i, got, want)
+		}
+	}
+}
+
+// TestProcessBatchConcurrentStress exists primarily for `go test -race
+// -run Batch`: many workers hammering the shared replay database and their
+// private pipelines at once.
+func TestProcessBatchConcurrentStress(t *testing.T) {
+	gw, jobs := batchFixture(t, 8, 16)
+	for round := 0; round < 2; round++ {
+		for i, r := range gw.ProcessBatch(context.Background(), jobs) {
+			if r.Err != nil {
+				t.Fatalf("round %d uplink %d: %v", round, i, r.Err)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ package softlora
 // cmd/experiments prints the same tables without the timing harness.
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -331,5 +333,102 @@ func BenchmarkAblationUpDownEstimator(b *testing.B) {
 		if i == 0 {
 			experiments.PrintAblationUpDown(os.Stdout, rows)
 		}
+	}
+}
+
+// --- Planned-DSP and batch-pipeline benchmarks (PR 1 perf trajectory) ---
+
+// BenchmarkFFTPlan measures the zero-allocation planned transform against
+// the allocating FFT at the sizes the gateway hot paths use.
+func BenchmarkFFTPlan(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{256, 1024, 4096} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b.Run(fmt.Sprintf("planned-%d", n), func(b *testing.B) {
+			plan := dsp.PlanFor(n)
+			dst := make([]complex128, plan.Size())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan.Transform(dst, x)
+			}
+		})
+		b.Run(fmt.Sprintf("alloc-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dsp.FFT(x)
+			}
+		})
+	}
+}
+
+// BenchmarkDechirpOnset exercises the despreading onset detector's sliding
+// window scan — the heaviest per-uplink DSP load in the gateway.
+func BenchmarkDechirpOnset(b *testing.B) {
+	const rate = sdr.DefaultSampleRate
+	rng := rand.New(rand.NewSource(11))
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -20e3}
+	lead := int(1e-3 * rate)
+	n := int(spec.Duration() * rate)
+	iq := make([]complex128, lead+8*n+64)
+	for c := 0; c < 8; c++ {
+		spec.AddTo(iq, rate, (float64(lead)+float64(c)*spec.Duration()*rate)/rate)
+	}
+	noise := dsp.GaussianNoise(rng, len(iq), 0.05)
+	for i := range iq {
+		iq[i] += noise[i]
+	}
+	det := &core.DechirpOnsetDetector{Params: p}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.DetectOnset(iq, rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayBatchThroughput processes a pre-rendered 8-uplink batch
+// through ProcessBatch at several worker-pool sizes. On a multi-core host
+// the worker counts separate; the planned-DSP savings show at every count.
+func BenchmarkGatewayBatchThroughput(b *testing.B) {
+	const batch = 8
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(10))
+			gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+			jobs := make([]Uplink, batch)
+			now := 10.0
+			for i := range jobs {
+				dev := NewSimDevice(fmt.Sprintf("bench-%d", i), -23, 40, 14, 80, 100)
+				gw.EnrollDevice(dev.ID, dev.Transmitter.BiasHz(gw.Params()))
+				dev.Record(now-1, nil)
+				cap, records, err := sim.RenderUplink(dev, now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs[i] = Uplink{Capture: cap, ClaimedID: dev.ID, Records: records}
+				now += 2
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range gw.ProcessBatch(ctx, jobs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }

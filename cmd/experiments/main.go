@@ -6,25 +6,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"softlora"
 	"softlora/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations); empty runs all")
+	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,throughput); empty runs all")
 	quick := flag.Bool("quick", false, "reduce trial counts for a fast pass")
+	workers := flag.Int("workers", 0, "gateway batch workers for the throughput experiment (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*only, *quick); err != nil {
+	if err := run(*only, *quick, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, quick bool) error {
+func run(only string, quick bool, workers int) error {
 	selected := map[string]bool{}
 	for _, id := range strings.Split(only, ",") {
 		id = strings.TrimSpace(strings.ToLower(id))
@@ -125,6 +131,11 @@ func run(only string, quick bool) error {
 	if want("sec32") {
 		experiments.PrintSec32(w, experiments.Sec32())
 	}
+	if want("throughput") {
+		if err := throughput(w, trials(48, 12), workers); err != nil {
+			return err
+		}
+	}
 	if want("ablations") {
 		fb, err := experiments.AblationFB(trials(3, 1))
 		if err != nil {
@@ -143,5 +154,65 @@ func run(only string, quick bool) error {
 		experiments.PrintAblationUpDown(w, ud)
 		experiments.PrintRTTCost(w, experiments.RTTCost())
 	}
+	return nil
+}
+
+// throughput is a gateway-scaling experiment beyond the paper: it renders a
+// multi-device round of uplinks once, then processes it serially
+// (ProcessUplink per capture) and through the concurrent batch pipeline
+// (ProcessBatch) and prints uplinks/s for both.
+func throughput(w *os.File, nUplinks, workers int) error {
+	fmt.Fprintf(w, "\n=== Gateway batch throughput (extension) ===\n")
+	rng := rand.New(rand.NewSource(experiments.Seed))
+	gw, err := softlora.NewGateway(softlora.Config{
+		Rand:    rng,
+		FB:      softlora.FBDechirpFFT,
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+	ups := make([]softlora.SimUplink, nUplinks)
+	now := 10.0
+	for i := range ups {
+		d := softlora.NewSimDevice(fmt.Sprintf("node-%d", i), -29+rng.Float64()*9, 40, 14, 80, 100)
+		gw.EnrollDevice(d.ID, d.Transmitter.BiasHz(gw.Params()))
+		d.Record(now-1, []byte{1})
+		ups[i] = softlora.SimUplink{Device: d, Time: now}
+		now += 2
+	}
+	// Render captures once so both passes process identical work.
+	jobs := make([]softlora.Uplink, nUplinks)
+	for i, u := range ups {
+		cap, records, err := sim.RenderUplink(u.Device, u.Time)
+		if err != nil {
+			return err
+		}
+		jobs[i] = softlora.Uplink{Capture: cap, ClaimedID: u.Device.ID, Records: records}
+	}
+	start := time.Now()
+	for _, j := range jobs {
+		if _, err := gw.ProcessUplink(j.Capture, j.ClaimedID, j.Records); err != nil {
+			return err
+		}
+	}
+	serial := time.Since(start)
+	start = time.Now()
+	for _, r := range gw.ProcessBatch(context.Background(), jobs) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	batch := time.Since(start)
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "uplinks: %d, workers: %d\n", nUplinks, resolved)
+	fmt.Fprintf(w, "serial ProcessUplink: %8.1f ms  (%6.1f uplinks/s)\n",
+		float64(serial.Microseconds())/1e3, float64(nUplinks)/serial.Seconds())
+	fmt.Fprintf(w, "ProcessBatch:         %8.1f ms  (%6.1f uplinks/s)\n",
+		float64(batch.Microseconds())/1e3, float64(nUplinks)/batch.Seconds())
 	return nil
 }

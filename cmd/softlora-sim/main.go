@@ -5,9 +5,14 @@
 // prints the reconstructed data timestamps.
 //
 //	softlora-sim -devices 4 -uplinks 5 -seed 1
+//
+// With -batch, each round of uplinks is processed through the gateway's
+// concurrent batch pipeline (-workers bounds the pool) instead of one
+// uplink at a time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -20,16 +25,18 @@ func main() {
 	devices := flag.Int("devices", 4, "number of end devices")
 	uplinks := flag.Int("uplinks", 5, "uplinks per device")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	batch := flag.Bool("batch", false, "process each round through the concurrent batch pipeline")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*devices, *uplinks, *seed); err != nil {
+	if err := run(*devices, *uplinks, *seed, *batch, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "softlora-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(nDevices, nUplinks int, seed int64) error {
+func run(nDevices, nUplinks int, seed int64, batch bool, workers int) error {
 	rng := rand.New(rand.NewSource(seed))
-	gw, err := softlora.NewGateway(softlora.Config{Rand: rng})
+	gw, err := softlora.NewGateway(softlora.Config{Rand: rng, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -51,8 +58,41 @@ func run(nDevices, nUplinks int, seed int64) error {
 	}
 	fmt.Println()
 
+	printReport := func(t float64, id string, report *softlora.UplinkReport) {
+		fmt.Printf("t=%7.1f %s verdict=%-9s bias=%8.2f ppm arrival=%.6f data@[",
+			t, id, report.Verdict, report.FrequencyBiasPPM, report.ArrivalTime)
+		for i, ts := range report.Timestamps {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.3f", ts)
+		}
+		fmt.Println("]")
+	}
+
 	now := 10.0
 	for round := 0; round < nUplinks; round++ {
+		if batch {
+			// Queue the whole round, then fan it across the worker pool.
+			ups := make([]softlora.SimUplink, len(devs))
+			for i, d := range devs {
+				d.Record(now-7.5, []byte{byte(round)})
+				d.Record(now-2.5, []byte{byte(round + 1)})
+				ups[i] = softlora.SimUplink{Device: d, Time: now}
+				now += 13
+			}
+			results, err := sim.UplinkBatch(context.Background(), ups)
+			if err != nil {
+				return err
+			}
+			for i, r := range results {
+				if r.Err != nil {
+					return fmt.Errorf("%s uplink: %w", ups[i].Device.ID, r.Err)
+				}
+				printReport(ups[i].Time, ups[i].Device.ID, r.Report)
+			}
+			continue
+		}
 		for _, d := range devs {
 			// Two sensor readings, then transmit.
 			d.Record(now-7.5, []byte{byte(round)})
@@ -61,15 +101,7 @@ func run(nDevices, nUplinks int, seed int64) error {
 			if err != nil {
 				return fmt.Errorf("%s uplink: %w", d.ID, err)
 			}
-			fmt.Printf("t=%7.1f %s verdict=%-9s bias=%8.2f ppm arrival=%.6f data@[",
-				now, d.ID, report.Verdict, report.FrequencyBiasPPM, report.ArrivalTime)
-			for i, ts := range report.Timestamps {
-				if i > 0 {
-					fmt.Print(" ")
-				}
-				fmt.Printf("%.3f", ts)
-			}
-			fmt.Println("]")
+			printReport(now, d.ID, report)
 			now += 13
 		}
 	}

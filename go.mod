@@ -1,0 +1,3 @@
+module softlora
+
+go 1.24

@@ -34,12 +34,12 @@ func buildingScenario(rng *rand.Rand) (*Scenario, *radio.Building) {
 		DeviceGatewayMeters:  b.Distance(device, gwPos),
 		GatewayNoiseFloordBm: b.NoiseFloordBm,
 
-		JammerTxPowerdBm:    14.1,          // paper §8.1.1
-		JammerGatewayLossdB: 40,            // jammer is next to the gateway
-		JamOnsetAfter:       0,             // set below
+		JammerTxPowerdBm:    14.1, // paper §8.1.1
+		JammerGatewayLossdB: 40,   // jammer is next to the gateway
+		JamOnsetAfter:       0,    // set below
 
-		DeviceEaveLossdB:  40,              // eavesdropper next to the device
-		JammerEaveLossdB:  devGwLoss,       // jamming crosses the whole building
+		DeviceEaveLossdB:  40,        // eavesdropper next to the device
+		JammerEaveLossdB:  devGwLoss, // jamming crosses the whole building
 		EaveNoiseFloordBm: b.NoiseFloordBm,
 
 		ReplayerGatewayLossdB: 40,

@@ -107,8 +107,8 @@ func TestWindowsTable1Shape(t *testing.T) {
 	// require the model to reproduce the shape within tolerance: w1 within
 	// 1.5 chirps, w2 within 25%, w3 within 25%.
 	tests := []struct {
-		sf, payload   int
-		w1, w2, w3 float64 // paper values, ms
+		sf, payload int
+		w1, w2, w3  float64 // paper values, ms
 	}{
 		{7, 10, 5, 28, 141},
 		{7, 20, 5, 38, 156},
@@ -222,7 +222,7 @@ func TestWindowsTable1Print(t *testing.T) {
 	// Not an assertion test: logs the model-vs-paper table for inspection
 	// with -v (the bench harness prints the same rows).
 	rows := []struct {
-		sf, payload int
+		sf, payload   int
 		pw1, pw2, pw3 float64
 	}{
 		{7, 10, 5, 28, 141},

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/cmplx"
 
 	"softlora/internal/dsp"
 	"softlora/internal/lora"
@@ -21,6 +20,10 @@ import (
 // chirp boundary. The detector finds the first boundary of the preamble by
 // fitting the triangle apex, achieving tens of µs at −20 dB where plain
 // AIC drifts by milliseconds.
+//
+// A detector instance holds reusable scratch (dechirp template, FFT plan
+// and buffers) and is therefore NOT safe for concurrent use: give each
+// worker goroutine its own instance.
 type DechirpOnsetDetector struct {
 	Params lora.Params
 	// AnchorFraction selects the earliest coarse window whose dechirp peak
@@ -37,6 +40,16 @@ type DechirpOnsetDetector struct {
 	// FitStep is the metric sampling stride in samples for the apex fit
 	// (default n/256).
 	FitStep int
+
+	// Scratch: sized once per (chirp length, sample rate) and reused across
+	// every sliding window of every capture, keeping the window scan
+	// allocation-free in steady state.
+	scratch    dechirpScratch
+	magSq      []float64 // per-bin squared magnitudes (fillMag)
+	coarseMags []float64 // coarse-scan metric values
+	coarseAts  []int     // coarse-scan window starts
+	fitXs      []float64 // apex-fit abscissae
+	fitYs      []float64 // apex-fit metric values
 }
 
 var _ OnsetDetector = (*DechirpOnsetDetector)(nil)
@@ -44,25 +57,39 @@ var _ OnsetDetector = (*DechirpOnsetDetector)(nil)
 // Name implements OnsetDetector.
 func (d *DechirpOnsetDetector) Name() string { return "dechirp-onset" }
 
+// ensureScratch sizes the dechirp template, FFT plan and buffers for
+// chirp-long windows of n samples at the given rate.
+func (d *DechirpOnsetDetector) ensureScratch(n int, sampleRate float64) {
+	if !d.scratch.Stale(d.Params, n, sampleRate) {
+		return
+	}
+	d.scratch.Init(d.Params, n, sampleRate, 1, chirpBasePhase(d.Params, sampleRate, n))
+	nfft := d.scratch.Size()
+	if cap(d.magSq) < nfft {
+		d.magSq = make([]float64, nfft)
+	}
+	d.magSq = d.magSq[:nfft]
+}
+
+// dechirpWindow multiplies the chirp-long window at start with the conjugate
+// base chirp into the FFT buffer and transforms it in place, returning the
+// spectrum (nil when the window does not fit the capture).
+func (d *DechirpOnsetDetector) dechirpWindow(iq []complex128, start, n int) []complex128 {
+	if start < 0 || start+n > len(iq) {
+		return nil
+	}
+	return d.scratch.Dechirp(iq[start : start+n])
+}
+
 // peakMag returns the dechirped FFT peak magnitude of the chirp-long window
 // at start (0 when out of range).
-func (d *DechirpOnsetDetector) peakMag(iq []complex128, base []float64, start, n int) float64 {
-	if start < 0 || start+n > len(iq) {
+func (d *DechirpOnsetDetector) peakMag(iq []complex128, start, n int) float64 {
+	spec := d.dechirpWindow(iq, start, n)
+	if spec == nil {
 		return 0
 	}
-	prod := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		s, c := math.Sincos(-base[i])
-		prod[i] = iq[start+i] * complex(c, s)
-	}
-	spec := dsp.FFT(prod)
-	best := 0.0
-	for _, v := range spec {
-		if m := cmplx.Abs(v); m > best {
-			best = m
-		}
-	}
-	return best
+	_, sq := dsp.PeakBinSq(spec)
+	return math.Sqrt(sq)
 }
 
 // fillMag returns an alignment-insensitive fill metric for the window: a
@@ -71,30 +98,29 @@ func (d *DechirpOnsetDetector) peakMag(iq []complex128, base []float64, start, n
 // alias-pair bins stays within [0.71, 1]×(full) regardless of alignment,
 // while a partially filled window scales with its fill. This is the anchor
 // metric; the single-tone peakMag is the apex-refinement metric.
-func (d *DechirpOnsetDetector) fillMag(iq []complex128, base []float64, start, n int, sampleRate float64) float64 {
-	if start < 0 || start+n > len(iq) {
+func (d *DechirpOnsetDetector) fillMag(iq []complex128, start, n int, sampleRate float64) float64 {
+	spec := d.dechirpWindow(iq, start, n)
+	if spec == nil {
 		return 0
 	}
-	prod := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		s, c := math.Sincos(-base[i])
-		prod[i] = iq[start+i] * complex(c, s)
-	}
-	spec := dsp.FFT(prod)
 	nb := len(spec)
 	wBins := int(math.Round(d.Params.Bandwidth / sampleRate * float64(nb)))
 	if wBins <= 0 || wBins >= nb {
 		wBins = nb / 2
 	}
+	magSq := d.magSq
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		magSq[i] = re*re + im*im
+	}
 	best := 0.0
 	for b := 0; b < nb; b++ {
-		m1 := cmplx.Abs(spec[b])
-		m2 := cmplx.Abs(spec[(b+nb-wBins)%nb])
-		if s := math.Sqrt(m1*m1 + m2*m2); s > best {
+		// Squared root-sum-square over the alias pair; one sqrt at the end.
+		if s := magSq[b] + magSq[(b+nb-wBins)%nb]; s > best {
 			best = s
 		}
 	}
-	return best
+	return math.Sqrt(best)
 }
 
 // DetectOnset implements OnsetDetector.
@@ -106,7 +132,7 @@ func (d *DechirpOnsetDetector) DetectOnset(iq []complex128, sampleRate float64) 
 	if n < 16 || len(iq) < n+8 {
 		return Onset{}, ErrOnsetNotFound
 	}
-	base := chirpBasePhase(d.Params, sampleRate, n)
+	d.ensureScratch(n, sampleRate)
 	frac := d.AnchorFraction
 	if frac <= 0 || frac >= 1 {
 		frac = 0.8
@@ -114,17 +140,18 @@ func (d *DechirpOnsetDetector) DetectOnset(iq []complex128, sampleRate float64) 
 
 	// 1. Coarse scan (quarter-chirp stride): record every window's fill
 	// metric (alignment-insensitive).
-	var mags []float64
-	var ats []int
+	mags := d.coarseMags[:0]
+	ats := d.coarseAts[:0]
 	bestMag := 0.0
 	for at := 0; at+n <= len(iq); at += n / 4 {
-		m := d.fillMag(iq, base, at, n, sampleRate)
+		m := d.fillMag(iq, at, n, sampleRate)
 		mags = append(mags, m)
 		ats = append(ats, at)
 		if m > bestMag {
 			bestMag = m
 		}
 	}
+	d.coarseMags, d.coarseAts = mags, ats
 	if len(mags) < 3 || bestMag == 0 {
 		return Onset{}, ErrOnsetNotFound
 	}
@@ -152,13 +179,13 @@ func (d *DechirpOnsetDetector) DetectOnset(iq []complex128, sampleRate float64) 
 	// search there. Noise dips can delay the anchor by whole chirps, so
 	// walk boundaries back while the preceding chirp-long window is still
 	// filled — at the true onset the preceding window holds only noise.
-	apex := d.refineApex(iq, base, anchor-n/8, n)
+	apex := d.refineApex(iq, anchor-n/8, n)
 	for k := 0; k < d.Params.PreambleChirps; k++ {
 		prev := apex - n
-		if d.fillMag(iq, base, prev, n, sampleRate) < 0.55*bestMag {
+		if d.fillMag(iq, prev, n, sampleRate) < 0.55*bestMag {
 			break
 		}
-		apex = d.refineApex(iq, base, prev, n)
+		apex = d.refineApex(iq, prev, n)
 	}
 	if apex < 0 {
 		apex = 0
@@ -171,7 +198,7 @@ func (d *DechirpOnsetDetector) DetectOnset(iq []complex128, sampleRate float64) 
 // rising and falling flanks; the apex is their intersection. Fitting both
 // flanks averages the noise down by ~sqrt(points), which is where the
 // low-SNR accuracy comes from.
-func (d *DechirpOnsetDetector) refineApex(iq []complex128, base []float64, guess, n int) int {
+func (d *DechirpOnsetDetector) refineApex(iq []complex128, guess, n int) int {
 	step := d.FitStep
 	if step <= 0 {
 		step = n / 256
@@ -188,14 +215,14 @@ func (d *DechirpOnsetDetector) refineApex(iq []complex128, base []float64, guess
 	// flank and bias the apex fit.
 	lo := guess - n/2
 	hi := guess + n/2
-	var xs []float64
-	var ys []float64
+	xs := d.fitXs[:0]
+	ys := d.fitYs[:0]
 	bestI, bestV := -1, 0.0
 	for at := lo; at <= hi; at += step {
 		if at < 0 || at+n > len(iq) {
 			continue
 		}
-		v := d.peakMag(iq, base, at, n)
+		v := d.peakMag(iq, at, n)
 		xs = append(xs, float64(at))
 		ys = append(ys, v)
 		if v > bestV {
@@ -203,6 +230,7 @@ func (d *DechirpOnsetDetector) refineApex(iq []complex128, base []float64, guess
 			bestI = len(ys) - 1
 		}
 	}
+	d.fitXs, d.fitYs = xs, ys
 	if bestI < 0 {
 		return guess
 	}

@@ -51,12 +51,28 @@ func chirpBasePhase(p lora.Params, sampleRate float64, n int) []float64 {
 	return out
 }
 
+// dechirpScratch is the chirp-geometry-keyed template/plan/buffer scratch
+// shared by the dechirping detectors and estimators (see dsp.DechirpScratch
+// for the contract). One instance per goroutine.
+type dechirpScratch = dsp.DechirpScratch[lora.Params]
+
 // LinearRegressionEstimator implements §7.1.1: the unwrapped instantaneous
 // phase Θ(t) minus the known quadratic chirp phase is the line 2πδt + θ;
 // its slope yields δ in closed form (O(1) search complexity). The phase
 // unwrap makes it sensitive to low SNR.
+//
+// An estimator instance holds reusable scratch and is not safe for
+// concurrent use: one instance per worker goroutine.
 type LinearRegressionEstimator struct {
 	Params lora.Params
+
+	// Scratch: cached base phase and residual buffer, keyed by the chirp
+	// geometry, so steady-state EstimateFB runs without allocating.
+	scratchN    int
+	scratchRate float64
+	scratchPar  lora.Params
+	base        []float64
+	residual    []float64
 }
 
 var _ FBEstimator = (*LinearRegressionEstimator)(nil)
@@ -95,16 +111,46 @@ func (l *LinearRegressionEstimator) Extract(chirp []complex128, sampleRate float
 	return &Diagnostics{Atan2: wrapped, Rectified: rect, Residual: residual, Fit: fit}, nil
 }
 
-// EstimateFB implements FBEstimator.
-func (l *LinearRegressionEstimator) EstimateFB(chirp []complex128, sampleRate float64) (FBEstimate, error) {
-	d, err := l.Extract(chirp, sampleRate)
-	if err != nil {
-		return FBEstimate{}, err
+// ensureScratch caches the base phase for the chirp geometry and sizes the
+// residual buffer.
+func (l *LinearRegressionEstimator) ensureScratch(n int, sampleRate float64) {
+	if l.scratchN == n && l.scratchRate == sampleRate && l.scratchPar == l.Params {
+		return
 	}
+	l.base = chirpBasePhase(l.Params, sampleRate, n)
+	if cap(l.residual) < n {
+		l.residual = make([]float64, n)
+	}
+	l.residual = l.residual[:n]
+	l.scratchN = n
+	l.scratchRate = sampleRate
+	l.scratchPar = l.Params
+}
+
+// EstimateFB implements FBEstimator. Unlike Extract (which returns the
+// intermediate traces for diagnostics), it runs the §7.1.1 pipeline on the
+// estimator's scratch buffers: atan2 phase and 2kπ rectification in place,
+// base-phase subtraction against the cached template, then the closed-form
+// line fit — allocation-free in steady state.
+func (l *LinearRegressionEstimator) EstimateFB(chirp []complex128, sampleRate float64) (FBEstimate, error) {
+	n := int(l.Params.SamplesPerChirp(sampleRate))
+	if n < 8 || len(chirp) < n {
+		return FBEstimate{}, fmt.Errorf("%w: need %d samples, have %d", ErrChirpTooShort, n, len(chirp))
+	}
+	l.ensureScratch(n, sampleRate)
+	res := l.residual
+	for i, v := range chirp[:n] {
+		res[i] = math.Atan2(imag(v), real(v))
+	}
+	dsp.UnwrapPhaseInPlace(res)
+	for i := range res {
+		res[i] -= l.base[i]
+	}
+	fit := dsp.LinearRegressionUniform(res, 0, 1/sampleRate)
 	return FBEstimate{
-		DeltaHz: d.Fit.Slope / (2 * math.Pi),
-		Theta:   d.Fit.Intercept,
-		Quality: d.Fit.R2,
+		DeltaHz: fit.Slope / (2 * math.Pi),
+		Theta:   fit.Intercept,
+		Quality: fit.R2,
 	}, nil
 }
 
@@ -232,8 +278,14 @@ func (l *LeastSquaresEstimator) EstimateFB(chirp []complex128, sampleRate float6
 // at δ, whose frequency is read off an interpolated FFT peak. It is orders
 // of magnitude faster than the DE least squares and nearly as robust, and
 // serves as the ablation baseline for the estimator comparison bench.
+//
+// An estimator instance holds reusable scratch (conjugate chirp template,
+// FFT plan and buffer) and is not safe for concurrent use: one instance per
+// worker goroutine.
 type DechirpFFTEstimator struct {
 	Params lora.Params
+
+	scratch dechirpScratch
 }
 
 var _ FBEstimator = (*DechirpFFTEstimator)(nil)
@@ -241,24 +293,20 @@ var _ FBEstimator = (*DechirpFFTEstimator)(nil)
 // Name implements FBEstimator.
 func (d *DechirpFFTEstimator) Name() string { return "dechirp-fft" }
 
-// EstimateFB implements FBEstimator.
+// EstimateFB implements FBEstimator. It dechirps into the estimator's
+// reusable buffer and transforms in place — allocation-free in steady state.
 func (d *DechirpFFTEstimator) EstimateFB(chirp []complex128, sampleRate float64) (FBEstimate, error) {
 	n := int(d.Params.SamplesPerChirp(sampleRate))
 	if n < 8 || len(chirp) < n {
 		return FBEstimate{}, fmt.Errorf("%w: need %d samples, have %d", ErrChirpTooShort, n, len(chirp))
 	}
-	base := chirpBasePhase(d.Params, sampleRate, n)
-	prod := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		s, c := math.Sincos(-base[i])
-		prod[i] = chirp[i] * complex(c, s)
+	if d.scratch.Stale(d.Params, n, sampleRate) {
+		// Zero-pad 4x for finer bins before interpolation.
+		d.scratch.Init(d.Params, n, sampleRate, 4, chirpBasePhase(d.Params, sampleRate, n))
 	}
-	// Zero-pad 4x for finer bins before interpolation.
-	padded := make([]complex128, dsp.NextPow2(4*n))
-	copy(padded, prod)
-	spec := dsp.FFT(padded)
-	bin, mag := dsp.PeakBin(spec)
-	if mag == 0 {
+	spec := d.scratch.Dechirp(chirp[:n])
+	bin, magSq := dsp.PeakBinSq(spec)
+	if magSq == 0 {
 		return FBEstimate{}, ErrNoEstimate
 	}
 	frac := dsp.InterpolatePeak(spec, bin)
@@ -267,5 +315,5 @@ func (d *DechirpFFTEstimator) EstimateFB(chirp []complex128, sampleRate float64)
 	if theta < 0 {
 		theta += 2 * math.Pi
 	}
-	return FBEstimate{DeltaHz: f, Theta: theta, Quality: mag / float64(n)}, nil
+	return FBEstimate{DeltaHz: f, Theta: theta, Quality: math.Sqrt(magSq) / float64(n)}, nil
 }

@@ -48,17 +48,52 @@ func component(iq []complex128, c Component) []float64 {
 	return dsp.I(iq)
 }
 
-// prefilter band-limits the capture to the LoRa channel before detection.
-// The SDR samples 2.4 MHz of spectrum but the chirp occupies only ~125 kHz;
-// removing out-of-band noise buys ~10 dB of processing gain, which is what
-// lets the detectors work below the demodulation floor. The filter is
-// group-delay compensated, so onset positions are preserved.
-func prefilter(iq []complex128, sampleRate, cutoffHz float64) []complex128 {
+// componentInto extracts the selected real trace into dst (grown as needed).
+func componentInto(dst []float64, iq []complex128, c Component) []float64 {
+	if cap(dst) < len(iq) {
+		dst = make([]float64, len(iq))
+	}
+	dst = dst[:len(iq)]
+	if c == ComponentQ {
+		for i, v := range iq {
+			dst[i] = imag(v)
+		}
+	} else {
+		for i, v := range iq {
+			dst[i] = real(v)
+		}
+	}
+	return dst
+}
+
+// prefilterScratch band-limits the capture to the LoRa channel before
+// detection, caching the FIR filter and its output buffer so per-uplink
+// detection reuses both. The SDR samples 2.4 MHz of spectrum but the chirp
+// occupies only ~125 kHz; removing out-of-band noise buys ~10 dB of
+// processing gain, which is what lets the detectors work below the
+// demodulation floor. The filter is group-delay compensated, so onset
+// positions are preserved.
+type prefilterScratch struct {
+	fir      *dsp.FIRFilter
+	firRate  float64
+	firCut   float64
+	filtered []complex128
+}
+
+// apply band-limits iq through the cached filter and reusable output
+// buffer. The returned slice is the scratch buffer when filtering ran, or
+// iq itself when filtering is disabled.
+func (p *prefilterScratch) apply(iq []complex128, sampleRate, cutoffHz float64) []complex128 {
 	if cutoffHz <= 0 || cutoffHz >= sampleRate/2 {
 		return iq
 	}
-	f := dsp.LowPassFIR(cutoffHz, sampleRate, 129)
-	return f.Apply(iq)
+	if p.fir == nil || p.firRate != sampleRate || p.firCut != cutoffHz {
+		p.fir = dsp.LowPassFIR(cutoffHz, sampleRate, 129)
+		p.firRate = sampleRate
+		p.firCut = cutoffHz
+	}
+	p.filtered = p.fir.ApplyInto(p.filtered, iq)
+	return p.filtered
 }
 
 // DefaultPrefilterCutoffHz covers the 125 kHz LoRa channel plus tens-of-ppm
@@ -83,6 +118,15 @@ type EnvelopeDetector struct {
 	// LowPassCutoffHz band-limits the capture before detection
 	// (0 disables; DefaultPrefilterCutoffHz recommended at low SNR).
 	LowPassCutoffHz float64
+
+	// Scratch buffers reused across captures; a detector instance is not
+	// safe for concurrent use.
+	pre     prefilterScratch
+	comp    []float64
+	hilbert dsp.HilbertScratch
+	env     []float64
+	smooth  []float64
+	ratios  []float64
 }
 
 var _ OnsetDetector = (*EnvelopeDetector)(nil)
@@ -98,15 +142,24 @@ func (e *EnvelopeDetector) gap() int {
 }
 
 // Ratios returns the envelope and the gap-separated envelope ratios used by
-// the detector (exposed for the Fig. 9(a) reproduction).
+// the detector (exposed for the Fig. 9(a) reproduction). The returned slices
+// are the detector's scratch buffers: they are overwritten by the next call.
 func (e *EnvelopeDetector) Ratios(iq []complex128) (envelope, ratios []float64) {
-	x := component(iq, e.Component)
-	env := dsp.Envelope(x)
+	e.comp = componentInto(e.comp, iq, e.Component)
+	e.env = e.hilbert.Envelope(e.env, e.comp)
+	env := e.env
 	if e.SmoothLen > 1 {
-		env = movingAverage(env, e.SmoothLen)
+		e.smooth = movingAverageInto(e.smooth, env, e.SmoothLen)
+		env = e.smooth
 	}
 	gap := e.gap()
-	r := make([]float64, len(env))
+	if cap(e.ratios) < len(env) {
+		e.ratios = make([]float64, len(env))
+	}
+	r := e.ratios[:len(env)]
+	for i := 0; i < gap && i < len(r); i++ {
+		r[i] = 0
+	}
 	// Floor the denominator at a fraction of the peak envelope so
 	// noise-over-noise ratios cannot dominate the signal step.
 	floor := dsp.MaxAbs(env) * 0.05
@@ -128,7 +181,7 @@ func (e *EnvelopeDetector) DetectOnset(iq []complex128, sampleRate float64) (Ons
 	if len(iq) < 4 {
 		return Onset{}, ErrOnsetNotFound
 	}
-	filtered := prefilter(iq, sampleRate, e.LowPassCutoffHz)
+	filtered := e.pre.apply(iq, sampleRate, e.LowPassCutoffHz)
 	_, ratios := e.Ratios(filtered)
 	best, bestI := 0.0, -1
 	for i, v := range ratios {
@@ -149,9 +202,13 @@ func (e *EnvelopeDetector) DetectOnset(iq []complex128, sampleRate float64) (Ons
 	return Onset{Sample: k, Time: float64(k) / sampleRate}, nil
 }
 
-// movingAverage smooths x with a trailing window of length w.
-func movingAverage(x []float64, w int) []float64 {
-	out := make([]float64, len(x))
+// movingAverageInto smooths x with a trailing window of length w, writing
+// into dst (grown as needed; pass nil to allocate).
+func movingAverageInto(dst []float64, x []float64, w int) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	out := dst[:len(x)]
 	var sum float64
 	for i, v := range x {
 		sum += v
@@ -180,6 +237,13 @@ type AICDetector struct {
 	// LowPassCutoffHz band-limits the capture before detection
 	// (0 disables; DefaultPrefilterCutoffHz recommended at low SNR).
 	LowPassCutoffHz float64
+
+	// Scratch buffers reused across captures; a detector instance is not
+	// safe for concurrent use.
+	pre  prefilterScratch
+	comp []float64
+	fine []float64
+	aic  dsp.AICScratch
 }
 
 var _ OnsetDetector = (*AICDetector)(nil)
@@ -200,15 +264,16 @@ func (a *AICDetector) DetectOnset(iq []complex128, sampleRate float64) (Onset, e
 		margin = 16
 	}
 	if a.LowPassCutoffHz <= 0 {
-		x := component(iq, a.Component)
-		k := dsp.AICOnset(x, margin)
+		a.comp = componentInto(a.comp, iq, a.Component)
+		k := a.aic.Onset(a.comp, margin)
 		if k < 0 {
 			return Onset{}, ErrOnsetNotFound
 		}
 		return Onset{Sample: k, Time: float64(k) / sampleRate}, nil
 	}
-	filtered := prefilter(iq, sampleRate, a.LowPassCutoffHz)
-	coarse := dsp.AICOnset(component(filtered, a.Component), margin)
+	filtered := a.pre.apply(iq, sampleRate, a.LowPassCutoffHz)
+	a.comp = componentInto(a.comp, filtered, a.Component)
+	coarse := a.aic.Onset(a.comp, margin)
 	if coarse < 0 {
 		return Onset{}, ErrOnsetNotFound
 	}
@@ -221,7 +286,8 @@ func (a *AICDetector) DetectOnset(iq []complex128, sampleRate float64) (Onset, e
 	if hi > len(iq) {
 		hi = len(iq)
 	}
-	k := dsp.AICOnset(component(iq[lo:hi], a.Component), 8)
+	a.fine = componentInto(a.fine, iq[lo:hi], a.Component)
+	k := a.aic.Onset(a.fine, 8)
 	if k < 0 {
 		return Onset{Sample: coarse, Time: float64(coarse) / sampleRate}, nil
 	}

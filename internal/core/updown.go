@@ -26,8 +26,14 @@ import (
 // The cost is a longer SDR capture: the SFD begins PreambleChirps+2 chirp
 // times after the onset, so the capture must span ~12.5 chirps instead of
 // the paper's 2.
+// An estimator instance holds reusable scratch (conjugate up/down chirp
+// templates, FFT plan and buffer) and is not safe for concurrent use: one
+// instance per worker goroutine.
 type UpDownEstimator struct {
 	Params lora.Params
+
+	up   dechirpScratch
+	down dechirpScratch
 }
 
 // UpDownResult is the joint estimate.
@@ -48,6 +54,16 @@ func (u *UpDownEstimator) sweepRate() float64 {
 	return w * w / float64(u.Params.ChipsPerSymbol())
 }
 
+// chirpPhases samples a chirp's phase at each of n sample instants.
+func chirpPhases(spec lora.ChirpSpec, sampleRate float64, n int) []float64 {
+	dt := 1 / sampleRate
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = spec.PhaseAt(float64(i) * dt)
+	}
+	return out
+}
+
 // dechirpTone multiplies one chirp-long segment by the conjugate base chirp
 // (up or down) and returns the interpolated peak frequency.
 func (u *UpDownEstimator) dechirpTone(seg []complex128, sampleRate float64, down bool) (float64, error) {
@@ -55,19 +71,17 @@ func (u *UpDownEstimator) dechirpTone(seg []complex128, sampleRate float64, down
 	if len(seg) < n {
 		return 0, fmt.Errorf("%w: need %d samples, have %d", ErrChirpTooShort, n, len(seg))
 	}
-	ref := lora.ChirpSpec{SF: u.Params.SF, Bandwidth: u.Params.Bandwidth, Down: down}
-	dt := 1 / sampleRate
-	prod := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		p := -ref.PhaseAt(float64(i) * dt)
-		s, c := math.Sincos(p)
-		prod[i] = seg[i] * complex(c, s)
+	sc := &u.up
+	if down {
+		sc = &u.down
 	}
-	padded := make([]complex128, dsp.NextPow2(4*n))
-	copy(padded, prod)
-	spec := dsp.FFT(padded)
-	bin, mag := dsp.PeakBin(spec)
-	if mag == 0 {
+	if sc.Stale(u.Params, n, sampleRate) {
+		ref := lora.ChirpSpec{SF: u.Params.SF, Bandwidth: u.Params.Bandwidth, Down: down}
+		sc.Init(u.Params, n, sampleRate, 4, chirpPhases(ref, sampleRate, n))
+	}
+	spec := sc.Dechirp(seg[:n])
+	bin, magSq := dsp.PeakBinSq(spec)
+	if magSq == 0 {
 		return 0, ErrNoEstimate
 	}
 	frac := dsp.InterpolatePeak(spec, bin)

@@ -17,6 +17,19 @@ import "math"
 // where one of the two segment variances would be estimated from too few
 // samples to be meaningful.
 func AICOnset(x []float64, margin int) int {
+	var s AICScratch
+	return s.Onset(x, margin)
+}
+
+// AICScratch holds the prefix-sum buffers of the AIC picker so repeated
+// picks (per-uplink onset detection) run without allocating. Not safe for
+// concurrent use — one scratch per goroutine.
+type AICScratch struct {
+	sum, sumSq []float64
+}
+
+// Onset is AICOnset running on the scratch's reusable buffers.
+func (sc *AICScratch) Onset(x []float64, margin int) int {
 	n := len(x)
 	if margin < 1 {
 		margin = 1
@@ -25,8 +38,13 @@ func AICOnset(x []float64, margin int) int {
 		return -1
 	}
 	// Prefix sums for O(1) segment variance.
-	sum := make([]float64, n+1)
-	sumSq := make([]float64, n+1)
+	if cap(sc.sum) < n+1 {
+		sc.sum = make([]float64, n+1)
+		sc.sumSq = make([]float64, n+1)
+	}
+	sum := sc.sum[:n+1]
+	sumSq := sc.sumSq[:n+1]
+	sum[0], sumSq[0] = 0, 0
 	for i, v := range x {
 		sum[i+1] = sum[i] + v
 		sumSq[i+1] = sumSq[i] + v*v

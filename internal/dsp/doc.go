@@ -8,4 +8,17 @@
 // All routines operate on discrete-time complex baseband traces sampled at a
 // caller-supplied rate. The package is deterministic: every stochastic
 // routine takes an explicit *rand.Rand so experiments are reproducible.
+//
+// # Plans and scratch ownership
+//
+// Hot paths transform through Plan: per-size cached twiddle factors and
+// bit-reversal tables whose Transform/TransformInPlace/Inverse entry points
+// never allocate after construction. Plans are immutable, so the
+// process-wide cache behind PlanFor may hand the same *Plan to any number
+// of goroutines. Everything mutable is the CALLER's scratch — the buffers
+// paired with a plan, and the stateful helpers (SpectrogramPlan,
+// HilbertScratch, AICScratch, a FIRFilter once applied) — and is strictly
+// single-goroutine: one plan/scratch set per worker, no sharing. The
+// one-shot conveniences (FFT, IFFT, Spectrogram, Envelope, AICOnset,
+// Apply) allocate per call and stay safe for casual use.
 package dsp

@@ -3,7 +3,6 @@ package dsp
 import (
 	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // NextPow2 returns the smallest power of two that is >= n, and 1 for n <= 1.
@@ -20,63 +19,23 @@ func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // FFT computes the discrete Fourier transform of x using an iterative
 // radix-2 Cooley-Tukey algorithm. If len(x) is not a power of two, x is
 // zero-padded to the next power of two. The input is not modified.
+//
+// FFT allocates its output; hot paths that transform repeatedly at one size
+// should hold a Plan and reuse buffers via Transform/TransformInPlace.
 func FFT(x []complex128) []complex128 {
-	n := NextPow2(len(x))
-	out := make([]complex128, n)
-	copy(out, x)
-	fftInPlace(out, false)
+	p := PlanFor(len(x))
+	out := make([]complex128, p.Size())
+	p.Transform(out, x)
 	return out
 }
 
 // IFFT computes the inverse discrete Fourier transform of x, zero-padding to
 // a power of two if needed. The 1/N normalization is applied.
 func IFFT(x []complex128) []complex128 {
-	n := NextPow2(len(x))
-	out := make([]complex128, n)
-	copy(out, x)
-	fftInPlace(out, true)
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
+	p := PlanFor(len(x))
+	out := make([]complex128, p.Size())
+	p.Inverse(out, x)
 	return out
-}
-
-// fftInPlace runs an in-place radix-2 FFT. len(x) must be a power of two.
-// When inverse is true the conjugate (inverse) transform is computed without
-// normalization.
-func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse(uint(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wBase
-			}
-		}
-	}
 }
 
 // FFTShift rotates the spectrum so the zero-frequency bin is at the center.
@@ -100,15 +59,25 @@ func BinFrequency(k, n int, sampleRate float64) float64 {
 }
 
 // PeakBin returns the index and magnitude of the largest-magnitude bin of
-// the spectrum.
+// the spectrum. The scan compares squared magnitudes (one multiply-add per
+// bin instead of a square root) and takes a single square root at the end.
 func PeakBin(spectrum []complex128) (bin int, magnitude float64) {
+	bin, sq := PeakBinSq(spectrum)
+	return bin, math.Sqrt(sq)
+}
+
+// PeakBinSq returns the index and SQUARED magnitude of the strongest bin,
+// for callers that can consume the squared value directly (power ratios,
+// relative comparisons) and skip the square root altogether.
+func PeakBinSq(spectrum []complex128) (bin int, magSq float64) {
 	for i, v := range spectrum {
-		if m := cmplx.Abs(v); m > magnitude {
-			magnitude = m
+		re, im := real(v), imag(v)
+		if m := re*re + im*im; m > magSq {
+			magSq = m
 			bin = i
 		}
 	}
-	return bin, magnitude
+	return bin, magSq
 }
 
 // InterpolatePeak refines a spectral peak location to sub-bin accuracy by
@@ -120,12 +89,16 @@ func InterpolatePeak(spectrum []complex128, bin int) float64 {
 	if n < 3 {
 		return 0
 	}
+	// Log magnitudes from squared magnitudes: log|X| = log(|X|²)/2, saving
+	// the square root per neighbor.
 	mag := func(i int) float64 {
-		m := cmplx.Abs(spectrum[((i%n)+n)%n])
+		v := spectrum[((i%n)+n)%n]
+		re, im := real(v), imag(v)
+		m := re*re + im*im
 		if m <= 0 {
 			m = 1e-300
 		}
-		return math.Log(m)
+		return 0.5 * math.Log(m)
 	}
 	alpha, beta, gamma := mag(bin-1), mag(bin), mag(bin+1)
 	denom := alpha - 2*beta + gamma
@@ -148,33 +121,11 @@ func InterpolatePeak(spectrum []complex128, bin int) float64 {
 // KaiserWindow to match the paper's Fig. 6 setup).
 //
 // The returned matrix is indexed as psd[frame][bin] with bins in FFT order.
+// Repeated spectrograms with one window should build a SpectrogramPlan and
+// reuse its buffers instead.
 func Spectrogram(x []complex128, w []float64, overlap int) [][]float64 {
-	windowLen := len(w)
-	if windowLen == 0 || len(x) < windowLen {
+	if len(w) == 0 || len(x) < len(w) {
 		return nil
 	}
-	hop := windowLen - overlap
-	if hop < 1 {
-		hop = 1
-	}
-	nFrames := (len(x)-windowLen)/hop + 1
-	out := make([][]float64, 0, nFrames)
-	buf := make([]complex128, NextPow2(windowLen))
-	for f := 0; f < nFrames; f++ {
-		start := f * hop
-		for i := range buf {
-			buf[i] = 0
-		}
-		for i := 0; i < windowLen; i++ {
-			buf[i] = x[start+i] * complex(w[i], 0)
-		}
-		fftInPlace(buf, false)
-		psd := make([]float64, len(buf))
-		for i, v := range buf {
-			re, im := real(v), imag(v)
-			psd[i] = re*re + im*im
-		}
-		out = append(out, psd)
-	}
-	return out
+	return NewSpectrogramPlan(w, overlap).Compute(x, nil)
 }

@@ -4,8 +4,35 @@ import "math"
 
 // FIRFilter is a finite-impulse-response filter described by its tap
 // coefficients.
+//
+// Long convolutions (Apply/ApplyInto on traces much longer than the tap
+// count) run as FFT overlap-save through lazily built scratch state, so a
+// filter instance is not safe for concurrent use once applied; build one
+// filter per goroutine.
 type FIRFilter struct {
 	Taps []float64
+
+	// Overlap-save scratch, built on first long Apply and rebuilt whenever
+	// Taps no longer match the cached copy.
+	fftN       int          // block FFT size
+	tapsCached []float64    // taps the scratch was built for
+	tapsFFT    []complex128 // FFT of zero-padded taps
+	blockBuf   []complex128 // per-block work buffer
+	plan       *Plan
+}
+
+// scratchStale reports whether the overlap-save scratch no longer matches
+// the (exported, mutable) Taps.
+func (f *FIRFilter) scratchStale() bool {
+	if f.tapsFFT == nil || len(f.tapsCached) != len(f.Taps) {
+		return true
+	}
+	for i, t := range f.Taps {
+		if f.tapsCached[i] != t {
+			return true
+		}
+	}
+	return false
 }
 
 // LowPassFIR designs a linear-phase low-pass FIR filter with the windowed-
@@ -47,13 +74,30 @@ func LowPassFIR(cutoff, sampleRate float64, taps int) *FIRFilter {
 // same length. Group delay (len(Taps)/2 samples) is compensated so features
 // stay time-aligned with the input.
 func (f *FIRFilter) Apply(x []complex128) []complex128 {
+	return f.ApplyInto(nil, x)
+}
+
+// ApplyInto is Apply writing into dst (grown as needed; pass nil to
+// allocate), so steady-state filtering reuses one output buffer. dst must
+// not alias x.
+//
+// Traces much longer than the filter are convolved by FFT overlap-save
+// (O(n log n) instead of O(n·m)); short traces use the direct form.
+func (f *FIRFilter) ApplyInto(dst []complex128, x []complex128) []complex128 {
 	n := len(x)
 	m := len(f.Taps)
 	if n == 0 || m == 0 {
 		return nil
 	}
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	out := dst[:n]
+	if m >= 16 && n >= 8*m {
+		f.applyOverlapSave(out, x)
+		return out
+	}
 	delay := m / 2
-	out := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		var acc complex128
 		// out[i] corresponds to input centered at i (delay-compensated).
@@ -67,6 +111,61 @@ func (f *FIRFilter) Apply(x []complex128) []complex128 {
 		out[i] = acc
 	}
 	return out
+}
+
+// applyOverlapSave computes the same delay-compensated convolution as the
+// direct form via FFT overlap-save blocks: each block transforms N input
+// samples, multiplies by the cached tap spectrum and keeps the N-m+1 valid
+// outputs. Scratch (tap FFT, block buffer) is built once per filter.
+func (f *FIRFilter) applyOverlapSave(out, x []complex128) {
+	n := len(x)
+	m := len(f.Taps)
+	delay := m / 2
+	if f.scratchStale() {
+		// Block size: a few thousand points amortizes the per-block FFTs
+		// without oversizing the tap spectrum.
+		N := NextPow2(8 * m)
+		if N < 1024 {
+			N = 1024
+		}
+		f.fftN = N
+		f.plan = PlanFor(N)
+		f.tapsCached = append(f.tapsCached[:0], f.Taps...)
+		f.tapsFFT = make([]complex128, N)
+		for i, t := range f.Taps {
+			f.tapsFFT[i] = complex(t, 0)
+		}
+		f.plan.TransformInPlace(f.tapsFFT)
+		f.blockBuf = make([]complex128, N)
+	}
+	N := f.fftN
+	L := N - m + 1 // valid linear-convolution outputs per block
+	buf := f.blockBuf
+	// Full linear convolution index t runs 0..n+m-2; out[i] = y[i+delay].
+	// Each block produces y[s .. s+L-1] from inputs x[s-m+1 .. s+L-1].
+	for s := 0; s < n+m-1; s += L {
+		for k := 0; k < N; k++ {
+			idx := s - m + 1 + k
+			if idx >= 0 && idx < n {
+				buf[k] = x[idx]
+			} else {
+				buf[k] = 0
+			}
+		}
+		f.plan.TransformInPlace(buf)
+		for k := range buf {
+			buf[k] *= f.tapsFFT[k]
+		}
+		f.plan.InverseInPlace(buf)
+		for k := 0; k < L; k++ {
+			t := s + k
+			i := t - delay
+			if i < 0 || i >= n {
+				continue
+			}
+			out[i] = buf[m-1+k]
+		}
+	}
 }
 
 // ApplyReal convolves the filter with a real trace, delay-compensated.

@@ -1,21 +1,33 @@
 package dsp
 
-import "math/cmplx"
+import "math"
 
-// AnalyticSignal computes the analytic signal of a real-valued trace via the
-// FFT method: the negative-frequency half of the spectrum is zeroed and the
-// positive half doubled. The returned trace has the same length as x.
-func AnalyticSignal(x []float64) []complex128 {
-	n := len(x)
-	if n == 0 {
-		return nil
+// HilbertScratch holds the reusable FFT buffer for repeated analytic-signal
+// and envelope extraction at (roughly) one trace length. Not safe for
+// concurrent use — one scratch per goroutine.
+type HilbertScratch struct {
+	buf []complex128
+}
+
+// analytic computes the analytic signal of x into the scratch buffer via
+// the FFT method — the negative-frequency half of the spectrum is zeroed
+// and the positive half doubled — and returns the buffer (valid in its
+// first len(x) samples).
+func (h *HilbertScratch) analytic(x []float64) []complex128 {
+	plan := PlanFor(len(x))
+	if cap(h.buf) < plan.Size() {
+		h.buf = make([]complex128, plan.Size())
 	}
-	m := NextPow2(n)
-	buf := make([]complex128, m)
+	h.buf = h.buf[:plan.Size()]
+	buf := h.buf
+	m := plan.Size()
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
-	fftInPlace(buf, false)
+	for i := len(x); i < m; i++ {
+		buf[i] = 0
+	}
+	plan.TransformInPlace(buf)
 	// h[k] multiplier: 1 for DC and Nyquist, 2 for positive freqs, 0 for
 	// negative freqs.
 	for k := 1; k < m/2; k++ {
@@ -24,22 +36,57 @@ func AnalyticSignal(x []float64) []complex128 {
 	for k := m/2 + 1; k < m; k++ {
 		buf[k] = 0
 	}
-	fftInPlace(buf, true)
-	inv := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		out[i] = buf[i] * inv
+	plan.InverseInPlace(buf)
+	return buf
+}
+
+// AnalyticSignal computes the analytic signal of a real-valued trace into
+// dst (pass nil to allocate). The returned trace has the same length as x.
+func (h *HilbertScratch) AnalyticSignal(dst []complex128, x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return dst[:0]
 	}
-	return out
+	buf := h.analytic(x)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	copy(dst, buf[:n])
+	return dst
+}
+
+// Envelope computes the amplitude envelope |analytic(x)| into dst (pass nil
+// to allocate), as used by the paper's envelope-based preamble onset
+// detector (§6.1.2).
+func (h *HilbertScratch) Envelope(dst []float64, x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return dst[:0]
+	}
+	buf := h.analytic(x)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		re, im := real(buf[i]), imag(buf[i])
+		dst[i] = math.Sqrt(re*re + im*im)
+	}
+	return dst
+}
+
+// AnalyticSignal computes the analytic signal of a real-valued trace via the
+// FFT method: the negative-frequency half of the spectrum is zeroed and the
+// positive half doubled. The returned trace has the same length as x.
+func AnalyticSignal(x []float64) []complex128 {
+	var h HilbertScratch
+	return h.AnalyticSignal(nil, x)
 }
 
 // Envelope returns the amplitude envelope |analytic(x)| of a real trace,
 // as used by the paper's envelope-based preamble onset detector (§6.1.2).
 func Envelope(x []float64) []float64 {
-	a := AnalyticSignal(x)
-	out := make([]float64, len(a))
-	for i, v := range a {
-		out[i] = cmplx.Abs(v)
-	}
-	return out
+	var h HilbertScratch
+	return h.Envelope(nil, x)
 }

@@ -1,0 +1,299 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan holds the precomputed state for radix-2 FFTs of one fixed
+// power-of-two size: the bit-reversal permutation and the per-stage twiddle
+// factors. Building a Plan costs O(n); every transform through it then runs
+// without allocating and without recomputing trigonometry, which is what
+// makes the per-uplink sliding-window scans of package core cheap.
+//
+// A Plan is immutable after construction and safe for concurrent use by
+// multiple goroutines — only the caller-supplied buffers are mutated. The
+// scratch buffers a caller pairs with a Plan (see the consumers in package
+// core) are NOT shareable: one scratch set per goroutine.
+type Plan struct {
+	n    int
+	perm []int32      // bit-reversal permutation targets
+	fwd  []complex128 // exp(-2πik/n), k < n/2
+	inv  []complex128 // exp(+2πik/n), k < n/2
+}
+
+// NewPlan builds a plan for n-point transforms. n must be a positive power
+// of two.
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("dsp: NewPlan size %d is not a power of two", n))
+	}
+	p := &Plan{n: n}
+	p.perm = make([]int32, n)
+	if n > 1 {
+		shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+		for i := 0; i < n; i++ {
+			p.perm[i] = int32(bits.Reverse(uint(i)) >> shift)
+		}
+	}
+	half := n / 2
+	p.fwd = make([]complex128, half)
+	p.inv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.fwd[k] = complex(c, s)
+		p.inv[k] = complex(c, -s)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// Transform computes the forward DFT of src into dst without allocating.
+// len(dst) must equal the plan size; src may be shorter (it is zero-padded)
+// but not longer. dst and src may alias only if they are the same slice.
+func (p *Plan) Transform(dst, src []complex128) {
+	p.load(dst, src)
+	p.run(dst, p.fwd)
+}
+
+// TransformInPlace computes the forward DFT of buf in place. len(buf) must
+// equal the plan size.
+func (p *Plan) TransformInPlace(buf []complex128) {
+	p.checkLen(buf)
+	p.run(buf, p.fwd)
+}
+
+// Inverse computes the normalized inverse DFT of src into dst without
+// allocating, under the same length rules as Transform.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.load(dst, src)
+	p.run(dst, p.inv)
+	p.normalize(dst)
+}
+
+// InverseInPlace computes the normalized inverse DFT of buf in place.
+// len(buf) must equal the plan size.
+func (p *Plan) InverseInPlace(buf []complex128) {
+	p.checkLen(buf)
+	p.run(buf, p.inv)
+	p.normalize(buf)
+}
+
+func (p *Plan) checkLen(buf []complex128) {
+	if len(buf) != p.n {
+		panic(fmt.Sprintf("dsp: plan size %d, buffer length %d", p.n, len(buf)))
+	}
+}
+
+// load copies src into dst, zero-padding the tail.
+func (p *Plan) load(dst, src []complex128) {
+	p.checkLen(dst)
+	if len(src) > p.n {
+		panic(fmt.Sprintf("dsp: plan size %d, source length %d", p.n, len(src)))
+	}
+	if len(src) > 0 && &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	for i := len(src); i < p.n; i++ {
+		dst[i] = 0
+	}
+}
+
+func (p *Plan) normalize(buf []complex128) {
+	inv := complex(1/float64(p.n), 0)
+	for i := range buf {
+		buf[i] *= inv
+	}
+}
+
+// run executes the iterative radix-2 butterflies with table twiddles. The
+// table lookup replaces the running product w *= wBase of the unplanned FFT,
+// which both removes the per-butterfly complex multiply and stops rounding
+// error from accumulating across a stage.
+func (p *Plan) run(x []complex128, tw []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for i, pi := range p.perm {
+		if j := int(pi); j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tw[ti]
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
+			}
+		}
+	}
+}
+
+// planCache shares immutable plans across the process. Plans are read-only,
+// so handing the same *Plan to many goroutines is safe; per-goroutine state
+// lives in the callers' scratch buffers, never in the plan.
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns a process-cached plan for transforms of length NextPow2(n).
+// The returned plan is shared: treat it as read-only.
+func PlanFor(n int) *Plan {
+	size := NextPow2(n)
+	if v, ok := planCache.Load(size); ok {
+		return v.(*Plan)
+	}
+	v, _ := planCache.LoadOrStore(size, NewPlan(size))
+	return v.(*Plan)
+}
+
+// DechirpScratch is the shared scratch shape behind the dechirping
+// detectors, estimators and the demodulator: a conjugate chirp template
+// with a padded FFT plan and work buffer, invalidated when the chirp
+// geometry (length, sample rate, or the caller's comparable key — channel
+// params) changes. One instance per goroutine.
+type DechirpScratch[K comparable] struct {
+	n    int
+	rate float64
+	key  K
+	conj []complex128 // exp(-j·templatePhase[i])
+	plan *Plan
+	buf  []complex128 // plan-sized FFT buffer
+}
+
+// Stale reports whether the scratch must be rebuilt for this geometry.
+// Callers check it first so template phases are only computed (and
+// allocated) on an actual rebuild, keeping the steady state alloc-free.
+func (s *DechirpScratch[K]) Stale(key K, n int, rate float64) bool {
+	return s.n != n || s.rate != rate || s.key != key
+}
+
+// Init rebuilds the template exp(-j·phase[i]) and sizes the FFT plan and
+// buffer for pad·n-point transforms.
+func (s *DechirpScratch[K]) Init(key K, n int, rate float64, pad int, phase []float64) {
+	if cap(s.conj) < n {
+		s.conj = make([]complex128, n)
+	}
+	s.conj = s.conj[:n]
+	for i, p := range phase[:n] {
+		sn, c := math.Sincos(-p)
+		s.conj[i] = complex(c, sn)
+	}
+	s.plan = PlanFor(pad * n)
+	if cap(s.buf) < s.plan.Size() {
+		s.buf = make([]complex128, s.plan.Size())
+	}
+	s.buf = s.buf[:s.plan.Size()]
+	s.n, s.rate, s.key = n, rate, key
+}
+
+// Size returns the scratch's FFT length (0 before Init).
+func (s *DechirpScratch[K]) Size() int {
+	if s.plan == nil {
+		return 0
+	}
+	return s.plan.Size()
+}
+
+// Dechirp multiplies seg (length <= template) by the template into the FFT
+// buffer, zero-pads, transforms in place and returns the spectrum. The
+// returned slice is the scratch buffer: it is overwritten by the next call.
+func (s *DechirpScratch[K]) Dechirp(seg []complex128) []complex128 {
+	buf := s.buf
+	for i, v := range seg {
+		buf[i] = v * s.conj[i]
+	}
+	for i := len(seg); i < len(buf); i++ {
+		buf[i] = 0
+	}
+	s.plan.TransformInPlace(buf)
+	return buf
+}
+
+// SpectrogramPlan computes short-time Fourier transform power spectrograms
+// repeatedly with one window function and one cached FFT plan, reusing its
+// internal frame buffer across calls. Not safe for concurrent use — build
+// one per goroutine (the shared FFT plan underneath is safe to share).
+type SpectrogramPlan struct {
+	window  []float64
+	overlap int
+	plan    *Plan
+	buf     []complex128
+}
+
+// NewSpectrogramPlan builds a spectrogram plan for the given window function
+// and inter-frame overlap (in samples).
+func NewSpectrogramPlan(window []float64, overlap int) *SpectrogramPlan {
+	plan := PlanFor(len(window))
+	return &SpectrogramPlan{
+		window:  append([]float64(nil), window...),
+		overlap: overlap,
+		plan:    plan,
+		buf:     make([]complex128, plan.Size()),
+	}
+}
+
+// hop returns the inter-frame stride in samples (>= 1).
+func (s *SpectrogramPlan) hop() int {
+	h := len(s.window) - s.overlap
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// Frames returns how many spectrogram frames Compute produces for a trace of
+// n samples.
+func (s *SpectrogramPlan) Frames(n int) int {
+	if len(s.window) == 0 || n < len(s.window) {
+		return 0
+	}
+	return (n-len(s.window))/s.hop() + 1
+}
+
+// Compute appends the power spectrogram of x to dst (pass nil to allocate)
+// and returns it, reusing dst's rows when their capacity allows. Rows are
+// indexed as psd[frame][bin] with bins in FFT order, matching Spectrogram.
+func (s *SpectrogramPlan) Compute(x []complex128, dst [][]float64) [][]float64 {
+	windowLen := len(s.window)
+	nFrames := s.Frames(len(x))
+	if nFrames == 0 {
+		return dst[:0]
+	}
+	hop := s.hop()
+	nfft := s.plan.Size()
+	if cap(dst) < nFrames {
+		grown := make([][]float64, nFrames)
+		copy(grown, dst[:len(dst)])
+		dst = grown
+	}
+	dst = dst[:nFrames]
+	for f := 0; f < nFrames; f++ {
+		start := f * hop
+		for i := 0; i < windowLen; i++ {
+			s.buf[i] = x[start+i] * complex(s.window[i], 0)
+		}
+		for i := windowLen; i < nfft; i++ {
+			s.buf[i] = 0
+		}
+		s.plan.TransformInPlace(s.buf)
+		if cap(dst[f]) < nfft {
+			dst[f] = make([]float64, nfft)
+		}
+		dst[f] = dst[f][:nfft]
+		for i, v := range s.buf {
+			re, im := real(v), imag(v)
+			dst[f][i] = re*re + im*im
+		}
+	}
+	return dst
+}

@@ -26,6 +26,21 @@ func UnwrapPhase(phase []float64) []float64 {
 	return out
 }
 
+// UnwrapPhaseInPlace rectifies a wrapped phase sequence in place, using the
+// same 2*k*pi rule as UnwrapPhase but without allocating.
+func UnwrapPhaseInPlace(phase []float64) {
+	offset := 0.0
+	for i := 1; i < len(phase); i++ {
+		d := phase[i] - (phase[i-1] - offset)
+		if d > math.Pi {
+			offset -= 2 * math.Pi
+		} else if d < -math.Pi {
+			offset += 2 * math.Pi
+		}
+		phase[i] += offset
+	}
+}
+
 // WrapPhase maps an arbitrary angle to the interval (-pi, pi].
 func WrapPhase(theta float64) float64 {
 	w := math.Mod(theta+math.Pi, 2*math.Pi)

@@ -14,10 +14,10 @@ import (
 
 // Fig15Cell is one survey position of the building experiment.
 type Fig15Cell struct {
-	Label        string
-	Floor        int
-	SNRdB        float64
-	TimingErrUs  float64
+	Label       string
+	Floor       int
+	SNRdB       float64
+	TimingErrUs float64
 }
 
 // Fig15Result is the building SNR survey plus signal-timestamping accuracy.

@@ -130,11 +130,11 @@ func PrintSec811(w io.Writer, r Sec811Result) {
 
 // Sec82Result is the campus long-distance timestamping experiment.
 type Sec82Result struct {
-	DistanceM       float64
-	PropagationUs   float64
-	LinkSNRdB       float64
-	TrialErrorsUs   []float64
-	PaperErrorsUs   []float64
+	DistanceM     float64
+	PropagationUs float64
+	LinkSNRdB     float64
+	TrialErrorsUs []float64
+	PaperErrorsUs []float64
 }
 
 // Sec82 reproduces the 1.07 km campus experiment: four timestamping trials

@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"testing"
 	"testing/quick"
+
+	"softlora/internal/dsp"
 )
 
 func TestChirpDuration(t *testing.T) {
@@ -115,7 +117,7 @@ func TestFrequencyOffsetShiftsSpectrum(t *testing.T) {
 	for i := range x {
 		prod[i] = x[i] * cmplx.Conj(refIQ[i])
 	}
-	spec := fftComplex(prod)
+	spec := dsp.FFT(prod)
 	peak, best := 0, 0.0
 	for i, v := range spec {
 		if m := cmplx.Abs(v); m > best {

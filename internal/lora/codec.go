@@ -81,7 +81,7 @@ func HammingEncode(nibble byte, cr int) (codeword uint16, bits int) {
 	nibble &= 0x0F
 	switch cr {
 	case 1:
-		p := nibble ^ nibble>>1 ^ nibble>>2 ^ nibble>>3 & 1
+		p := nibble ^ nibble>>1 ^ nibble>>2 ^ nibble>>3&1
 		p = p & 1
 		return uint16(nibble) | uint16(p)<<4, 5
 	case 2:

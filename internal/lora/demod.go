@@ -3,7 +3,8 @@ package lora
 import (
 	"errors"
 	"math"
-	"math/cmplx"
+
+	"softlora/internal/dsp"
 )
 
 // Demodulation errors.
@@ -23,9 +24,33 @@ var (
 // maximizing the dechirp peak (a misaligned window splits its energy into
 // two tones W apart) and then anchors the frame on the sync-word symbols,
 // which also separates the frequency offset from the timing offset.
+// A Demodulator caches its dechirp template and FFT scratch across windows
+// (hundreds per frame), so one instance must not be shared between
+// goroutines; copies of an instance share scratch and must not run
+// concurrently either.
 type Demodulator struct {
 	Params     Params
 	SampleRate float64
+
+	// Scratch, keyed by the chirp geometry. The dechirp template is the
+	// down chirp's own phasor exp(+j·downPhase) (stored as exp(-j·(-phase))
+	// in the shared scratch).
+	scratch dsp.DechirpScratch[Params]
+}
+
+// ensureScratch sizes the dechirp template and FFT scratch for the current
+// chirp geometry.
+func (d *Demodulator) ensureScratch(n int) {
+	if !d.scratch.Stale(d.Params, n, d.SampleRate) {
+		return
+	}
+	ref := ChirpSpec{SF: d.Params.SF, Bandwidth: d.Params.Bandwidth, Down: true}
+	dt := 1 / d.SampleRate
+	phase := make([]float64, n)
+	for i := range phase {
+		phase[i] = -ref.PhaseAt(float64(i) * dt)
+	}
+	d.scratch.Init(d.Params, n, d.SampleRate, 1, phase)
 }
 
 // SyncInfo reports the blind synchronization outcome.
@@ -94,56 +119,16 @@ func (d *Demodulator) dechirpPeak(iq []complex128, start int) (freqHz, magnitude
 	} else {
 		avail = n
 	}
-	ref := ChirpSpec{SF: d.Params.SF, Bandwidth: d.Params.Bandwidth, Down: true}
-	dt := 1 / d.SampleRate
-	buf := make([]complex128, n)
-	for i := 0; i < avail; i++ {
-		p := ref.PhaseAt(float64(i) * dt)
-		buf[i] = iq[start+i] * complex(math.Cos(p), math.Sin(p))
-	}
-	spec := fftComplex(buf)
+	d.ensureScratch(n)
+	spec := d.scratch.Dechirp(iq[start : start+avail])
 	nb := len(spec)
-	bestBin, bestMag := 0, 0.0
-	for i, v := range spec {
-		if m := cmplx.Abs(v); m > bestMag {
-			bestMag = m
-			bestBin = i
-		}
-	}
-	frac := interpolatePeakBin(spec, bestBin)
+	bestBin, bestSq := dsp.PeakBinSq(spec)
+	frac := dsp.InterpolatePeak(spec, bestBin)
 	f := (float64(bestBin) + frac) / float64(nb) * d.SampleRate
 	if f > d.SampleRate/2 {
 		f -= d.SampleRate
 	}
-	return f, bestMag
-}
-
-// interpolatePeakBin refines a peak to sub-bin accuracy with a parabolic
-// fit over log magnitudes.
-func interpolatePeakBin(spec []complex128, bin int) float64 {
-	n := len(spec)
-	if n < 3 {
-		return 0
-	}
-	mag := func(i int) float64 {
-		m := cmplx.Abs(spec[((i%n)+n)%n])
-		if m <= 0 {
-			m = 1e-300
-		}
-		return math.Log(m)
-	}
-	alpha, beta, gamma := mag(bin-1), mag(bin), mag(bin+1)
-	denom := alpha - 2*beta + gamma
-	if denom == 0 {
-		return 0
-	}
-	dd := 0.5 * (alpha - gamma) / denom
-	if dd > 0.5 {
-		dd = 0.5
-	} else if dd < -0.5 {
-		dd = -0.5
-	}
-	return dd
+	return f, math.Sqrt(bestSq)
 }
 
 // strongPeak reports whether a dechirp peak magnitude indicates a CSS
@@ -346,41 +331,4 @@ func (d *Demodulator) Demodulate(iq []complex128) (*DemodResult, error) {
 		res.CRCOK = true
 	}
 	return res, nil
-}
-
-// fftComplex is a self-contained iterative radix-2 FFT over a zero-padded
-// copy, so the PHY package stays dependency-free.
-func fftComplex(x []complex128) []complex128 {
-	n := 1
-	for n < len(x) {
-		n <<= 1
-	}
-	buf := make([]complex128, n)
-	copy(buf, x)
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			buf[i], buf[j] = buf[j], buf[i]
-		}
-		m := n >> 1
-		for m >= 1 && j&m != 0 {
-			j ^= m
-			m >>= 1
-		}
-		j |= m
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
-		for start := 0; start < n; start += size {
-			wk := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := buf[start+k]
-				b := buf[start+k+half] * wk
-				buf[start+k] = a + b
-				buf[start+k+half] = a - b
-				wk *= w
-			}
-		}
-	}
-	return buf
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/cmplx"
 	"testing"
+
+	"softlora/internal/dsp"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
@@ -266,7 +268,7 @@ func TestDownlinkFramePreambleOrientation(t *testing.T) {
 			p := ref.PhaseAt(float64(i) / rate)
 			prod[i] = iq[i] * complex(math.Cos(p), math.Sin(p))
 		}
-		spec := fftComplex(prod)
+		spec := dsp.FFT(prod)
 		best := 0.0
 		for _, v := range spec {
 			if m := cmplx.Abs(v); m > best {

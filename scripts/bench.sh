@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Runs the perf-trajectory benchmarks and emits BENCH_softlora.json so
+# successive PRs can compare ns/op, B/op and allocs/op for the gateway hot
+# paths. Override the measurement window with BENCHTIME=3s scripts/bench.sh.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_softlora.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkFBDechirpFFT$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	if (!first) printf(",\n")
+	first = 0
+	printf("  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3, $5, $7)
+}
+END { print "\n}" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

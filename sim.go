@@ -1,6 +1,7 @@
 package softlora
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -66,6 +67,20 @@ func (d *SimDevice) Record(globalNow float64, value []byte) {
 // the gateway pipeline on the resulting capture. It returns the gateway's
 // report and the flushed records.
 func (s *Simulation) Uplink(d *SimDevice, t0 float64) (*UplinkReport, []timestamp.FrameRecord, error) {
+	cap, records, err := s.RenderUplink(d, t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := s.Gateway.ProcessUplink(cap, d.ID, records)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, records, nil
+}
+
+// RenderUplink flushes the device's records, builds the frame emission and
+// renders the channel capture the gateway will process.
+func (s *Simulation) RenderUplink(d *SimDevice, t0 float64) (*radio.Capture, []timestamp.FrameRecord, error) {
 	if s.Rand == nil {
 		return nil, nil, ErrNilRand
 	}
@@ -99,11 +114,52 @@ func (s *Simulation) Uplink(d *SimDevice, t0 float64) (*UplinkReport, []timestam
 	if err != nil {
 		return nil, nil, err
 	}
-	report, err := s.Gateway.ProcessUplink(cap, d.ID, records)
-	if err != nil {
-		return nil, nil, err
+	return cap, records, nil
+}
+
+// SimUplink queues one device transmission for UplinkBatch.
+type SimUplink struct {
+	Device *SimDevice
+	// Time is the device's transmit time t0 on the global timeline.
+	Time float64
+}
+
+// SimBatchResult is the outcome of one batched simulated uplink.
+type SimBatchResult struct {
+	Report  *UplinkReport
+	Records []timestamp.FrameRecord
+	Err     error
+}
+
+// UplinkBatch transmits the queued uplinks and runs the gateway's
+// concurrent batch pipeline on the captures. Channel rendering stays
+// serial (the shared noise stream keeps the simulation deterministic);
+// Gateway.ProcessBatch then fans the captures across its worker pool.
+// Results are positionally aligned with ups.
+func (s *Simulation) UplinkBatch(ctx context.Context, ups []SimUplink) ([]SimBatchResult, error) {
+	if s.Rand == nil {
+		return nil, ErrNilRand
 	}
-	return report, records, nil
+	results := make([]SimBatchResult, len(ups))
+	jobs := make([]Uplink, len(ups))
+	for i, u := range ups {
+		cap, records, err := s.RenderUplink(u.Device, u.Time)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		jobs[i] = Uplink{Capture: cap, ClaimedID: u.Device.ID, Records: records}
+		results[i].Records = records
+	}
+	batch := s.Gateway.ProcessBatch(ctx, jobs)
+	for i := range batch {
+		if results[i].Err != nil {
+			continue
+		}
+		results[i].Report = batch[i].Report
+		results[i].Err = batch[i].Err
+	}
+	return results, nil
 }
 
 // CaptureEmission renders the channel around one emission: LeadTime of

@@ -17,13 +17,31 @@
 //
 // Sensor data carries only 18-bit elapsed times; the gateway reconstructs
 // absolute timestamps from the verified PHY arrival time.
+//
+// # Concurrency and scratch ownership
+//
+// The DSP hot path (dechirp windows, FFTs, phase fits) runs on planned,
+// preallocated scratch: FFT plans are immutable and shared process-wide,
+// but every detector/estimator instance owns mutable scratch buffers and is
+// single-goroutine. The gateway therefore keeps one pipeline (onset
+// detector + FB estimator + SDR front end) per worker: ProcessUplink uses
+// the gateway's own serial pipeline, while ProcessBatch fans a batch of
+// captures across a bounded worker pool (Config.Workers, default
+// GOMAXPROCS), each worker building its own pipeline so the hot path stays
+// lock- and allocation-free. Only the replay-detection bias database is
+// shared, behind its own mutex. Never hand one pipeline's scratch to two
+// goroutines: one plan/scratch set per worker, no sharing.
 package softlora
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"softlora/internal/core"
 	"softlora/internal/lora"
@@ -92,19 +110,53 @@ type Config struct {
 	// ToleranceHz is the replay-detection deviation threshold
 	// (core.DefaultToleranceHz when 0).
 	ToleranceHz float64
+	// Workers bounds the ProcessBatch worker pool (GOMAXPROCS when 0).
+	Workers int
 	// Rand drives the SDR phase and the least-squares optimizer; required.
 	Rand *rand.Rand
 }
 
+// pipeline is one worker's private processing chain: SDR front end, onset
+// detector and FB estimator all hold per-instance scratch (FFT buffers,
+// dechirp templates), so a pipeline must never be shared between
+// goroutines.
+type pipeline struct {
+	receiver  *sdr.Receiver
+	onset     core.OnsetDetector
+	estimator core.FBEstimator
+	updown    *core.UpDownEstimator // non-nil when FBUpDown is selected
+}
+
+// setRand points the pipeline's stochastic stages (SDR phase draw,
+// least-squares optimizer) at the given source.
+func (p *pipeline) setRand(rng *rand.Rand) {
+	p.receiver.Rand = rng
+	if ls, ok := p.estimator.(*core.LeastSquaresEstimator); ok {
+		ls.Rand = rng
+	}
+}
+
 // Gateway is a SoftLoRa gateway instance.
+//
+// ProcessUplink runs on the gateway's own serial pipeline and is not safe
+// for concurrent use; ProcessBatch is the concurrent entry point (each
+// worker owns a private pipeline). The bias database behind both is
+// mutex-protected and shared.
 type Gateway struct {
 	params     lora.Params
 	sampleRate float64
-	receiver   *sdr.Receiver
-	onset      core.OnsetDetector
-	estimator  core.FBEstimator
-	updown     *core.UpDownEstimator // non-nil when FBUpDown is selected
+	fbMethod   FBMethod
+	onsetMeth  OnsetMethod
+	recvProto  sdr.Receiver // per-worker receivers are stamped from this
+	workers    int
+	pipe       *pipeline // serial-path pipeline (ProcessUplink)
 	detector   *core.ReplayDetector
+
+	rand       *rand.Rand
+	seedOnce   sync.Once
+	batchSeed  int64
+	batchCount atomic.Int64 // ProcessBatch invocations, mixed into job seeds
+	pipePool   sync.Pool    // *pipeline, reused across ProcessBatch calls
 }
 
 // CaptureChirps returns how many chirp times after the onset the gateway's
@@ -112,7 +164,7 @@ type Gateway struct {
 // two-chirp analysis (with margin), preamble+4 for the up/down joint
 // estimator, which needs the SFD.
 func (g *Gateway) CaptureChirps() int {
-	if g.updown != nil {
+	if g.fbMethod == FBUpDown {
 		return g.params.PreambleChirps + 4
 	}
 	return 4
@@ -123,6 +175,7 @@ var (
 	ErrNilRand      = errors.New("softlora: Config.Rand must be set")
 	ErrBadMethod    = errors.New("softlora: unknown method")
 	ErrCaptureShort = errors.New("softlora: capture too short for onset + two chirps")
+	ErrNilCapture   = errors.New("softlora: batch uplink has no capture")
 )
 
 // NewGateway validates the configuration and builds a Gateway.
@@ -141,41 +194,77 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if rate == 0 {
 		rate = sdr.DefaultSampleRate
 	}
-	receiver := cfg.SDR
-	if receiver == nil {
-		receiver = &sdr.Receiver{ADCBits: 8, Rand: cfg.Rand}
-	}
-	if receiver.Rand == nil {
-		receiver.Rand = cfg.Rand
-	}
-	g := &Gateway{params: params, sampleRate: rate, receiver: receiver}
 	switch cfg.Onset {
-	case "", OnsetAIC:
-		g.onset = &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
-	case OnsetEnvelope:
-		g.onset = &core.EnvelopeDetector{SmoothLen: 8, LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
-	case OnsetDechirp:
-		g.onset = &core.DechirpOnsetDetector{Params: params}
+	case "", OnsetAIC, OnsetEnvelope, OnsetDechirp:
 	default:
 		return nil, fmt.Errorf("%w: onset %q", ErrBadMethod, cfg.Onset)
 	}
 	switch cfg.FB {
-	case "", FBLinearRegression:
-		g.estimator = &core.LinearRegressionEstimator{Params: params}
-	case FBLeastSquares:
-		g.estimator = &core.LeastSquaresEstimator{Params: params, Decimation: 4, Rand: cfg.Rand}
-	case FBDechirpFFT:
-		g.estimator = &core.DechirpFFTEstimator{Params: params}
-	case FBUpDown:
-		g.updown = &core.UpDownEstimator{Params: params}
+	case "", FBLinearRegression, FBLeastSquares, FBDechirpFFT, FBUpDown:
 	default:
 		return nil, fmt.Errorf("%w: fb %q", ErrBadMethod, cfg.FB)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := &Gateway{
+		params:     params,
+		sampleRate: rate,
+		fbMethod:   cfg.FB,
+		onsetMeth:  cfg.Onset,
+		workers:    workers,
+		rand:       cfg.Rand,
+	}
+	if cfg.SDR != nil {
+		g.recvProto = *cfg.SDR
+	} else {
+		g.recvProto = sdr.Receiver{ADCBits: 8}
+	}
+	// The serial pipeline keeps the caller's receiver instance (and its
+	// random source) so single-uplink behaviour matches earlier versions.
+	g.pipe = g.newPipeline()
+	if cfg.SDR != nil {
+		g.pipe.receiver = cfg.SDR
+	}
+	if g.pipe.receiver.Rand == nil {
+		g.pipe.receiver.Rand = cfg.Rand
+	}
+	if ls, ok := g.pipe.estimator.(*core.LeastSquaresEstimator); ok {
+		ls.Rand = cfg.Rand
 	}
 	g.detector = core.NewReplayDetector()
 	if cfg.ToleranceHz > 0 {
 		g.detector.ToleranceHz = cfg.ToleranceHz
 	}
 	return g, nil
+}
+
+// newPipeline builds a fresh processing chain with its own scratch state.
+// The pipeline's random source is unset; callers must setRand before use.
+func (g *Gateway) newPipeline() *pipeline {
+	p := &pipeline{}
+	recv := g.recvProto
+	p.receiver = &recv
+	switch g.onsetMeth {
+	case "", OnsetAIC:
+		p.onset = &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	case OnsetEnvelope:
+		p.onset = &core.EnvelopeDetector{SmoothLen: 8, LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+	case OnsetDechirp:
+		p.onset = &core.DechirpOnsetDetector{Params: g.params}
+	}
+	switch g.fbMethod {
+	case "", FBLinearRegression:
+		p.estimator = &core.LinearRegressionEstimator{Params: g.params}
+	case FBLeastSquares:
+		p.estimator = &core.LeastSquaresEstimator{Params: g.params, Decimation: 4}
+	case FBDechirpFFT:
+		p.estimator = &core.DechirpFFTEstimator{Params: g.params}
+	case FBUpDown:
+		p.updown = &core.UpDownEstimator{Params: g.params}
+	}
+	return p
 }
 
 // Params returns the gateway's channel configuration.
@@ -210,20 +299,30 @@ type UplinkReport struct {
 // The capture must include noise lead-in before the frame and at least two
 // preamble chirps after the onset. claimedID is the source device ID
 // decoded from the frame by the commodity LoRaWAN radio.
+//
+// ProcessUplink runs on the gateway's serial pipeline and must not be
+// called concurrently; use ProcessBatch for concurrent processing.
 func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
-	sdrCap, err := g.receiver.Downconvert(cap)
+	return g.process(g.pipe, cap, claimedID, records)
+}
+
+// process runs the pipeline stages on one capture. Everything except the
+// replay-database check touches only the pipeline's own scratch, so
+// distinct pipelines may run process concurrently.
+func (g *Gateway) process(p *pipeline, cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
+	sdrCap, err := p.receiver.Downconvert(cap)
 	if err != nil {
 		return nil, fmt.Errorf("softlora: %w", err)
 	}
-	onset, err := g.onset.DetectOnset(sdrCap.IQ, sdrCap.Rate)
+	onset, err := p.onset.DetectOnset(sdrCap.IQ, sdrCap.Rate)
 	if err != nil {
 		return nil, fmt.Errorf("softlora: %w", err)
 	}
 	n := int(g.params.SamplesPerChirp(sdrCap.Rate))
 	var fbHz float64
 	arrival := sdrCap.TimeOf(onset.Sample)
-	if g.updown != nil {
-		res, udErr := g.updown.Estimate(sdrCap.IQ, onset.Sample, sdrCap.Rate)
+	if p.updown != nil {
+		res, udErr := p.updown.Estimate(sdrCap.IQ, onset.Sample, sdrCap.Rate)
 		if udErr != nil {
 			return nil, fmt.Errorf("softlora: %w", udErr)
 		}
@@ -237,7 +336,7 @@ func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []
 		if second+n > len(sdrCap.IQ) {
 			return nil, fmt.Errorf("%w: onset %d, capture %d", ErrCaptureShort, onset.Sample, len(sdrCap.IQ))
 		}
-		est, estErr := g.estimator.EstimateFB(sdrCap.IQ[second:second+n], sdrCap.Rate)
+		est, estErr := p.estimator.EstimateFB(sdrCap.IQ[second:second+n], sdrCap.Rate)
 		if estErr != nil {
 			return nil, fmt.Errorf("softlora: %w", estErr)
 		}
@@ -288,3 +387,106 @@ func (g *Gateway) SaveBiasDatabase(w io.Writer) error { return g.detector.Save(w
 
 // LoadBiasDatabase replaces the FB database from JSON.
 func (g *Gateway) LoadBiasDatabase(r io.Reader) error { return g.detector.Load(r) }
+
+// Uplink is one queued capture for batch processing: the antenna-level
+// capture plus the frame metadata the commodity radio decoded from it.
+type Uplink struct {
+	Capture   *radio.Capture
+	ClaimedID string
+	Records   []timestamp.FrameRecord
+}
+
+// BatchResult pairs one batch uplink's report with its processing error.
+// Exactly one of Report and Err is non-nil.
+type BatchResult struct {
+	Report *UplinkReport
+	Err    error
+}
+
+// batchRandSeed lazily draws the batch seed base from the gateway's random
+// source (once, so serial-path determinism is unaffected until the first
+// batch call).
+func (g *Gateway) batchRandSeed() int64 {
+	g.seedOnce.Do(func() { g.batchSeed = g.rand.Int63() })
+	return g.batchSeed
+}
+
+// jobSeed derives a decorrelated per-uplink seed (splitmix64 finalizer) so
+// batch results are reproducible for a given Config.Rand regardless of
+// worker count or scheduling order. The batch ordinal is mixed in so
+// successive batches draw independent randomness for the same uplink index
+// (matching the serial path, which advances Config.Rand per uplink).
+func jobSeed(base, batchNo int64, i int) int64 {
+	z := uint64(base) + uint64(batchNo)*0xD1B54A32D192ED03 + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}
+
+// ProcessBatch fans a batch of uplink captures across a bounded worker pool
+// (Config.Workers, default GOMAXPROCS). Each worker builds a private
+// pipeline — its own SDR front end, onset detector and FB estimator with
+// their plans and scratch — so the DSP hot path runs without locks or
+// allocation; only the replay-database check serializes, per uplink.
+//
+// Results are positionally aligned with uplinks. Stochastic stages draw
+// from a per-uplink seed derived from Config.Rand and the batch ordinal,
+// so a batch's results do not depend on worker count or scheduling, while
+// successive batches still draw independent randomness per uplink. Replay verdicts still depend on
+// database update order: when one device appears several times in a batch,
+// the order its frames reach the shared bias database is not deterministic.
+//
+// Cancelling ctx stops workers from starting further uplinks; already
+// started ones finish. Cancelled entries report ctx's error.
+func (g *Gateway) ProcessBatch(ctx context.Context, uplinks []Uplink) []BatchResult {
+	results := make([]BatchResult, len(uplinks))
+	if len(uplinks) == 0 {
+		return results
+	}
+	workers := g.workers
+	if workers > len(uplinks) {
+		workers = len(uplinks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	seedBase := g.batchRandSeed()
+	batchNo := g.batchCount.Add(1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Workers reuse pooled pipelines so the warmed scratch (dechirp
+			// templates, FFT buffers) survives across batches.
+			p, ok := g.pipePool.Get().(*pipeline)
+			if !ok {
+				p = g.newPipeline()
+			}
+			defer g.pipePool.Put(p)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(uplinks) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Err: err}
+					continue
+				}
+				if uplinks[i].Capture == nil {
+					results[i] = BatchResult{Err: ErrNilCapture}
+					continue
+				}
+				p.setRand(rand.New(rand.NewSource(jobSeed(seedBase, batchNo, i))))
+				report, err := g.process(p, uplinks[i].Capture, uplinks[i].ClaimedID, uplinks[i].Records)
+				results[i] = BatchResult{Report: report, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
