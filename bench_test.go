@@ -394,41 +394,57 @@ func BenchmarkDechirpOnset(b *testing.B) {
 }
 
 // BenchmarkGatewayBatchThroughput processes a pre-rendered 8-uplink batch
-// through ProcessBatch at several worker-pool sizes. On a multi-core host
-// the worker counts separate; the planned-DSP savings show at every count.
+// through ProcessBatch at several worker-pool sizes, plus one configuration
+// running the dechirp onset detector (the hierarchical search) end to end.
+// On a multi-core host the worker counts separate; the planned-DSP savings
+// show at every count.
 func BenchmarkGatewayBatchThroughput(b *testing.B) {
 	const batch = 8
+	type config struct {
+		name  string
+		onset OnsetMethod
+	}
 	for _, workers := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(10))
-			gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Workers: workers})
+		cfgs := []config{{fmt.Sprintf("workers-%d", workers), ""}}
+		if workers == 1 {
+			cfgs = append(cfgs, config{"workers-1-dechirp-onset", OnsetDechirp})
+		}
+		for _, c := range cfgs {
+			benchGatewayBatch(b, c.name, c.onset, workers, batch)
+		}
+	}
+}
+
+func benchGatewayBatch(b *testing.B, name string, onset OnsetMethod, workers, batch int) {
+	b.Run(name, func(b *testing.B) {
+		rng := rand.New(rand.NewSource(10))
+		gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Onset: onset, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
+		jobs := make([]Uplink, batch)
+		now := 10.0
+		for i := range jobs {
+			dev := NewSimDevice(fmt.Sprintf("bench-%d", i), -23, 40, 14, 80, 100)
+			gw.EnrollDevice(dev.ID, dev.Transmitter.BiasHz(gw.Params()))
+			dev.Record(now-1, nil)
+			cap, records, err := sim.RenderUplink(dev, now)
 			if err != nil {
 				b.Fatal(err)
 			}
-			sim := &Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
-			jobs := make([]Uplink, batch)
-			now := 10.0
-			for i := range jobs {
-				dev := NewSimDevice(fmt.Sprintf("bench-%d", i), -23, 40, 14, 80, 100)
-				gw.EnrollDevice(dev.ID, dev.Transmitter.BiasHz(gw.Params()))
-				dev.Record(now-1, nil)
-				cap, records, err := sim.RenderUplink(dev, now)
-				if err != nil {
-					b.Fatal(err)
-				}
-				jobs[i] = Uplink{Capture: cap, ClaimedID: dev.ID, Records: records}
-				now += 2
-			}
-			ctx := context.Background()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for _, r := range gw.ProcessBatch(ctx, jobs) {
-					if r.Err != nil {
-						b.Fatal(r.Err)
-					}
+			jobs[i] = Uplink{Capture: cap, ClaimedID: dev.ID, Records: records}
+			now += 2
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range gw.ProcessBatch(ctx, jobs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
 				}
 			}
-		})
-	}
+		}
+	})
 }

@@ -17,14 +17,20 @@ import (
 
 	"softlora"
 	"softlora/internal/experiments"
+	"softlora/internal/profiling"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,throughput); empty runs all")
 	quick := flag.Bool("quick", false, "reduce trial counts for a fast pass")
 	workers := flag.Int("workers", 0, "gateway batch workers for the throughput experiment (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
-	if err := run(*only, *quick, *workers); err != nil {
+	err := profiling.Run(*cpuprofile, *memprofile, func() error {
+		return run(*only, *quick, *workers)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"softlora"
+	"softlora/internal/profiling"
 )
 
 func main() {
@@ -27,8 +28,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	batch := flag.Bool("batch", false, "process each round through the concurrent batch pipeline")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
-	if err := run(*devices, *uplinks, *seed, *batch, *workers); err != nil {
+	err := profiling.Run(*cpuprofile, *memprofile, func() error {
+		return run(*devices, *uplinks, *seed, *batch, *workers)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "softlora-sim: %v\n", err)
 		os.Exit(1)
 	}

@@ -66,6 +66,13 @@ func TestDechirpOnsetZeroAllocSteadyState(t *testing.T) {
 	rng := rand.New(rand.NewSource(203))
 	det := &DechirpOnsetDetector{Params: testParams()}
 	iq, _ := frameCapture(t, rng, -22e3, 0.8, 20)
+	// The default (hierarchical) detector at the test rate must actually
+	// exercise the paths this test pins: the boxcar-decimated coarse scan
+	// and the sliding-DFT/Goertzel refinement.
+	n := int(det.Params.SamplesPerChirp(testRate))
+	if dec := det.coarseDecimation(n, testRate); dec < 2 {
+		t.Fatalf("coarse decimation = %d at %g Msps; decimated path not exercised", dec, testRate/1e6)
+	}
 	if _, err := det.DetectOnset(iq, testRate); err != nil { // warm-up
 		t.Fatal(err)
 	}
@@ -76,6 +83,55 @@ func TestDechirpOnsetZeroAllocSteadyState(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("DechirpOnsetDetector.DetectOnset allocated %v times per run in steady state", allocs)
+	}
+}
+
+// TestDechirpOnsetHierarchyPathsZeroAlloc pins the two new hot paths of the
+// hierarchical search in isolation: the decimated coarse fill metric and
+// the sliding-DFT/Goertzel refinement, each allocation-free after warm-up.
+func TestDechirpOnsetHierarchyPathsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	det := &DechirpOnsetDetector{Params: testParams()}
+	iq, _ := frameCapture(t, rng, -21e3, 1.2, 20)
+	n := int(det.Params.SamplesPerChirp(testRate))
+	det.ensureScratch(n, testRate)
+	dec := det.coarseDecimation(n, testRate)
+	det.ensureDroop(n, dec)
+	det.ensureGlobalDechirp(iq, testRate)
+	// Warm-up: sizes the decimated plan, sliding bins and theta buffer.
+	det.fillMagDec(iq, 0, n, testRate, dec)
+	det.refineApex(iq, 2*n, n, testRate)
+	if allocs := testing.AllocsPerRun(10, func() {
+		det.fillMagDec(iq, n/4, n, testRate, dec)
+	}); allocs != 0 {
+		t.Errorf("decimated coarse scan allocated %v times per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		det.ensureGlobalDechirp(iq, testRate)
+		det.refineApex(iq, 2*n, n, testRate)
+		det.toneMetric(n, n, 0)
+	}); allocs != 0 {
+		t.Errorf("sliding-DFT/Goertzel refinement allocated %v times per run", allocs)
+	}
+}
+
+// TestDechirpOnsetExhaustiveZeroAllocSteadyState keeps the brute-force
+// reference path allocation-free too, so parity runs do not skew
+// benchmarks with GC noise.
+func TestDechirpOnsetExhaustiveZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	det := &DechirpOnsetDetector{Params: testParams(), Exhaustive: true}
+	iq, _ := frameCapture(t, rng, -22e3, 0.8, 20)
+	if _, err := det.DetectOnset(iq, testRate); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := det.DetectOnset(iq, testRate); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("exhaustive DetectOnset allocated %v times per run in steady state", allocs)
 	}
 }
 

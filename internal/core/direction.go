@@ -74,8 +74,8 @@ func (d *DirectionDetector) concentration(seg []complex128, sampleRate float64, 
 		return 0
 	}
 	spec := dsp.FFT(prod)
-	_, mag := dsp.PeakBin(spec)
-	return mag * mag / (float64(n) * energy)
+	_, magSq := dsp.PeakBinSq(spec)
+	return magSq / (float64(n) * energy)
 }
 
 // Classify decides the direction of the transmission occupying the first

@@ -1,5 +1,6 @@
 // Package dsp provides the signal-processing substrate used by the SoftLoRa
 // gateway: complex baseband (I/Q) trace manipulation, FFT and spectrograms,
+// single-frequency DFT evaluation (Goertzel) with sliding-window updates,
 // Hilbert-transform envelopes, FIR filtering and decimation, phase
 // unwrapping, linear regression, autoregressive modelling with the Akaike
 // Information Criterion, differential-evolution optimization, and noise
@@ -12,13 +13,31 @@
 // # Plans and scratch ownership
 //
 // Hot paths transform through Plan: per-size cached twiddle factors and
-// bit-reversal tables whose Transform/TransformInPlace/Inverse entry points
-// never allocate after construction. Plans are immutable, so the
-// process-wide cache behind PlanFor may hand the same *Plan to any number
-// of goroutines. Everything mutable is the CALLER's scratch — the buffers
-// paired with a plan, and the stateful helpers (SpectrogramPlan,
-// HilbertScratch, AICScratch, a FIRFilter once applied) — and is strictly
-// single-goroutine: one plan/scratch set per worker, no sharing. The
-// one-shot conveniences (FFT, IFFT, Spectrogram, Envelope, AICOnset,
-// Apply) allocate per call and stay safe for casual use.
+// permutation tables whose Transform/TransformInPlace/Inverse entry points
+// never allocate after construction. A plan whose size's log2 is even
+// (4, 16, …, 1024, 4096, 16384 — every hot gateway size) runs a radix-4
+// butterfly kernel, ~25 % fewer multiplies than radix-2; odd-log2 sizes
+// fall back to the radix-2 kernel (Plan.Radix reports the selection).
+// Plans are immutable, so the process-wide cache behind PlanFor may hand
+// the same *Plan to any number of goroutines. Everything mutable is the
+// CALLER's scratch — the buffers paired with a plan, and the stateful
+// helpers (SpectrogramPlan, HilbertScratch, AICScratch, SlidingDFT, a
+// FIRFilter once applied) — and is strictly single-goroutine: one
+// plan/scratch set per worker, no sharing. The one-shot conveniences (FFT,
+// IFFT, Spectrogram, Envelope, AICOnset, Apply, GoertzelDFT) allocate
+// nothing or per call and stay safe for casual use.
+//
+// # Full-spectrum, few-bin, and decimated evaluation
+//
+// The package offers three cost tiers for spectral evaluation, which is
+// what the onset detector's coarse→fine hierarchy in package core is built
+// from. A Plan transform computes every bin in O(n log n). GoertzelDFT
+// evaluates one arbitrary frequency in O(n), and SlidingDFT tracks a fixed
+// frequency set across a sliding window at O(bins) per one-sample shift —
+// the right shape when successive windows overlap almost entirely.
+// DechirpScratch.DechirpDecimated trades frequency span instead of
+// resolution: it boxcar-sums the dechirped product by the decimation
+// factor before a proportionally smaller transform, preserving the full
+// window's coherent gain over the surviving band (compensate the boxcar's
+// sinc droop per bin with BoxcarDroopSq).
 package dsp

@@ -58,17 +58,11 @@ func BinFrequency(k, n int, sampleRate float64) float64 {
 	return float64(k) * sampleRate / float64(n)
 }
 
-// PeakBin returns the index and magnitude of the largest-magnitude bin of
-// the spectrum. The scan compares squared magnitudes (one multiply-add per
-// bin instead of a square root) and takes a single square root at the end.
-func PeakBin(spectrum []complex128) (bin int, magnitude float64) {
-	bin, sq := PeakBinSq(spectrum)
-	return bin, math.Sqrt(sq)
-}
-
-// PeakBinSq returns the index and SQUARED magnitude of the strongest bin,
-// for callers that can consume the squared value directly (power ratios,
-// relative comparisons) and skip the square root altogether.
+// PeakBinSq returns the index and SQUARED magnitude of the strongest bin —
+// the one squared-magnitude scanner behind every peak search in the
+// gateway (one multiply-add per bin, no square roots). Callers that need
+// the linear magnitude take math.Sqrt of the result once; most consume the
+// squared value directly (power ratios, relative comparisons).
 func PeakBinSq(spectrum []complex128) (bin int, magSq float64) {
 	for i, v := range spectrum {
 		re, im := real(v), imag(v)

@@ -43,12 +43,12 @@ func TestFFTSingleTone(t *testing.T) {
 		x[i] = cmplx.Exp(complex(0, 2*math.Pi*bin*float64(i)/n))
 	}
 	spec := FFT(x)
-	peak, mag := PeakBin(spec)
+	peak, magSq := PeakBinSq(spec)
 	if peak != bin {
 		t.Fatalf("peak bin = %d, want %d", peak, bin)
 	}
-	if math.Abs(mag-n) > 1e-6 {
-		t.Errorf("peak magnitude = %f, want %d", mag, n)
+	if math.Abs(math.Sqrt(magSq)-n) > 1e-6 {
+		t.Errorf("peak magnitude = %f, want %d", math.Sqrt(magSq), n)
 	}
 	// All other bins should be tiny.
 	for i, v := range spec {
@@ -180,7 +180,7 @@ func TestInterpolatePeakRecoversOffset(t *testing.T) {
 		x[i] *= complex(w[i], 0)
 	}
 	spec := FFT(x)
-	peak, _ := PeakBin(spec)
+	peak, _ := PeakBinSq(spec)
 	frac := InterpolatePeak(spec, peak)
 	got := float64(peak) + frac
 	if math.Abs(got-trueBin) > 0.05 {

@@ -206,6 +206,25 @@ func Decimate(x []complex128, factor int) []complex128 {
 	return out
 }
 
+// BoxcarDroopSq returns the squared magnitude response of a d-sample boxcar
+// accumulator (the decimating summer behind DechirpScratch.DechirpDecimated)
+// at the normalized full-rate frequency f in cycles per input sample,
+// f ∈ [−0.5, 0.5): |sin(πfd) / (d·sin(πf))|², normalized to 1 at DC.
+// Dividing a decimated power spectrum by this response flattens the
+// boxcar's sinc droop so in-band bin powers match the undecimated
+// transform's.
+func BoxcarDroopSq(d int, f float64) float64 {
+	if d <= 1 {
+		return 1
+	}
+	den := math.Sin(math.Pi * f)
+	if math.Abs(den) < 1e-12 {
+		return 1
+	}
+	g := math.Sin(math.Pi*f*float64(d)) / (float64(d) * den)
+	return g * g
+}
+
 // DecimateFiltered low-pass filters x to the new Nyquist frequency and then
 // decimates by factor. sampleRate is the input rate in Hz.
 func DecimateFiltered(x []complex128, sampleRate float64, factor int) []complex128 {

@@ -1,0 +1,34 @@
+package dsp
+
+import "math"
+
+// GoertzelDFT evaluates the DFT of x at one arbitrary angular frequency
+// omega (radians per sample):
+//
+//	X(ω) = Σ_{i<n} x[i]·e^{−jωi}
+//
+// in O(n) with the Goertzel recurrence — two real multiplies per sample
+// against the real coefficient 2·cos ω, no twiddle table and no restriction
+// of ω to an FFT bin grid. It allocates nothing, so hot paths may call it
+// per window; when a caller needs the same frequencies across many window
+// positions of one trace, SlidingDFT amortizes the evaluation to O(1) per
+// one-sample shift instead.
+func GoertzelDFT(x []complex128, omega float64) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	coeff := 2 * math.Cos(omega)
+	var s1, s2 complex128
+	for _, v := range x {
+		// The coefficient is real, so scale componentwise instead of paying
+		// a full complex multiply.
+		s0 := v + complex(coeff*real(s1)-real(s2), coeff*imag(s1)-imag(s2))
+		s2, s1 = s1, s0
+	}
+	// Unwind the final state: X(ω) = (s_{n−1} − e^{−jω}·s_{n−2})·e^{−jω(n−1)}.
+	sin, cos := math.Sincos(omega)
+	em := complex(cos, -sin)
+	sinN, cosN := math.Sincos(omega * float64(n-1))
+	return (s1 - em*s2) * complex(cosN, -sinN)
+}

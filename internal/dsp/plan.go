@@ -7,21 +7,28 @@ import (
 	"sync"
 )
 
-// Plan holds the precomputed state for radix-2 FFTs of one fixed
-// power-of-two size: the bit-reversal permutation and the per-stage twiddle
-// factors. Building a Plan costs O(n); every transform through it then runs
-// without allocating and without recomputing trigonometry, which is what
-// makes the per-uplink sliding-window scans of package core cheap.
+// Plan holds the precomputed state for FFTs of one fixed power-of-two size:
+// the input permutation and the per-stage twiddle factors. Building a Plan
+// costs O(n); every transform through it then runs without allocating and
+// without recomputing trigonometry, which is what makes the per-uplink
+// sliding-window scans of package core cheap.
+//
+// Sizes whose log2 is even (4, 16, 64, …, 4096, 16384) run a radix-4
+// kernel — one complex multiply per four outputs fewer than radix-2, ~25 %
+// fewer multiplies overall — which covers every hot gateway size (the
+// chirp-window 4096, the 4×-padded 16384, the decimated-scan 1024 and the
+// spectrogram 256). Odd-log2 sizes fall back to the radix-2 kernel.
 //
 // A Plan is immutable after construction and safe for concurrent use by
 // multiple goroutines — only the caller-supplied buffers are mutated. The
 // scratch buffers a caller pairs with a Plan (see the consumers in package
 // core) are NOT shareable: one scratch set per goroutine.
 type Plan struct {
-	n    int
-	perm []int32      // bit-reversal permutation targets
-	fwd  []complex128 // exp(-2πik/n), k < n/2
-	inv  []complex128 // exp(+2πik/n), k < n/2
+	n      int
+	radix4 bool
+	perm   []int32      // bit-reversal (radix-2) or base-4 digit-reversal targets
+	fwd    []complex128 // exp(-2πik/n); k < n/2 (radix-2) or k < 3n/4 (radix-4)
+	inv    []complex128 // exp(+2πik/n), same length as fwd
 }
 
 // NewPlan builds a plan for n-point transforms. n must be a positive power
@@ -30,18 +37,35 @@ func NewPlan(n int) *Plan {
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("dsp: NewPlan size %d is not a power of two", n))
 	}
-	p := &Plan{n: n}
+	log2 := bits.Len(uint(n)) - 1
+	p := &Plan{n: n, radix4: n >= 4 && log2%2 == 0}
 	p.perm = make([]int32, n)
-	if n > 1 {
+	if p.radix4 {
+		// Base-4 digit reversal: the radix-4 DIT stages consume the input
+		// with its base-4 digits reversed, exactly as radix-2 needs bit
+		// reversal.
+		for i := 0; i < n; i++ {
+			r := 0
+			for j := 0; j < log2; j += 2 {
+				r = r<<2 | (i>>j)&3
+			}
+			p.perm[i] = int32(r)
+		}
+	} else if n > 1 {
 		shift := bits.UintSize - uint(bits.Len(uint(n-1)))
 		for i := 0; i < n; i++ {
 			p.perm[i] = int32(bits.Reverse(uint(i)) >> shift)
 		}
 	}
-	half := n / 2
-	p.fwd = make([]complex128, half)
-	p.inv = make([]complex128, half)
-	for k := 0; k < half; k++ {
+	// The radix-4 butterflies reach twiddle exponents up to 3k with
+	// k < n/4, so their table spans 3n/4 entries; radix-2 needs n/2.
+	twLen := n / 2
+	if p.radix4 {
+		twLen = 3 * n / 4
+	}
+	p.fwd = make([]complex128, twLen)
+	p.inv = make([]complex128, twLen)
+	for k := 0; k < twLen; k++ {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
 		p.fwd[k] = complex(c, s)
 		p.inv[k] = complex(c, -s)
@@ -52,26 +76,35 @@ func NewPlan(n int) *Plan {
 // Size returns the transform length the plan was built for.
 func (p *Plan) Size() int { return p.n }
 
+// Radix reports which butterfly kernel the plan runs: 4 for even-log2 sizes,
+// 2 for the fallback.
+func (p *Plan) Radix() int {
+	if p.radix4 {
+		return 4
+	}
+	return 2
+}
+
 // Transform computes the forward DFT of src into dst without allocating.
 // len(dst) must equal the plan size; src may be shorter (it is zero-padded)
 // but not longer. dst and src may alias only if they are the same slice.
 func (p *Plan) Transform(dst, src []complex128) {
 	p.load(dst, src)
-	p.run(dst, p.fwd)
+	p.run(dst, p.fwd, false)
 }
 
 // TransformInPlace computes the forward DFT of buf in place. len(buf) must
 // equal the plan size.
 func (p *Plan) TransformInPlace(buf []complex128) {
 	p.checkLen(buf)
-	p.run(buf, p.fwd)
+	p.run(buf, p.fwd, false)
 }
 
 // Inverse computes the normalized inverse DFT of src into dst without
 // allocating, under the same length rules as Transform.
 func (p *Plan) Inverse(dst, src []complex128) {
 	p.load(dst, src)
-	p.run(dst, p.inv)
+	p.run(dst, p.inv, true)
 	p.normalize(dst)
 }
 
@@ -79,7 +112,7 @@ func (p *Plan) Inverse(dst, src []complex128) {
 // len(buf) must equal the plan size.
 func (p *Plan) InverseInPlace(buf []complex128) {
 	p.checkLen(buf)
-	p.run(buf, p.inv)
+	p.run(buf, p.inv, true)
 	p.normalize(buf)
 }
 
@@ -110,11 +143,13 @@ func (p *Plan) normalize(buf []complex128) {
 	}
 }
 
-// run executes the iterative radix-2 butterflies with table twiddles. The
-// table lookup replaces the running product w *= wBase of the unplanned FFT,
-// which both removes the per-butterfly complex multiply and stops rounding
-// error from accumulating across a stage.
-func (p *Plan) run(x []complex128, tw []complex128) {
+// run permutes the input and executes the butterfly stages with table
+// twiddles. The table lookup replaces the running product w *= wBase of the
+// unplanned FFT, which both removes the per-butterfly complex multiply and
+// stops rounding error from accumulating across a stage. Both permutations
+// (bit reversal and base-4 digit reversal) are involutions, so the in-place
+// swap loop needs no scratch.
+func (p *Plan) run(x []complex128, tw []complex128, inverse bool) {
 	n := p.n
 	if n <= 1 {
 		return
@@ -123,6 +158,10 @@ func (p *Plan) run(x []complex128, tw []complex128) {
 		if j := int(pi); j > i {
 			x[i], x[j] = x[j], x[i]
 		}
+	}
+	if p.radix4 {
+		p.runRadix4(x, tw, inverse)
+		return
 	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
@@ -135,6 +174,53 @@ func (p *Plan) run(x []complex128, tw []complex128) {
 				x[k] = a + b
 				x[k+half] = a - b
 				ti += stride
+			}
+		}
+	}
+}
+
+// runRadix4 executes the radix-4 decimation-in-time stages on digit-reversed
+// input. Each butterfly combines four quarter-size DFT outputs
+// a, b·W^k, c·W^2k, d·W^3k into
+//
+//	X[k]      = t0 + t2        t0 = a + c    t2 = b + d
+//	X[k+q]    = t1 ∓ j·t3      t1 = a − c    t3 = b − d
+//	X[k+2q]   = t0 − t2
+//	X[k+3q]   = t1 ± j·t3
+//
+// where the ∓j factor flips sign between the forward and inverse transforms
+// (it is the quarter-turn twiddle W^{n/4} = −j, conjugated for the inverse).
+func (p *Plan) runRadix4(x []complex128, tw []complex128, inverse bool) {
+	n := p.n
+	for size := 4; size <= n; size <<= 2 {
+		quarter := size >> 2
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < quarter; k++ {
+				i0 := start + k
+				i1 := i0 + quarter
+				i2 := i1 + quarter
+				i3 := i2 + quarter
+				ti := k * stride
+				a := x[i0]
+				b := x[i1] * tw[ti]
+				c := x[i2] * tw[2*ti]
+				d := x[i3] * tw[3*ti]
+				t0 := a + c
+				t1 := a - c
+				t2 := b + d
+				t3 := b - d
+				// jt3 = −j·t3 for the forward transform, +j·t3 inverse.
+				var jt3 complex128
+				if inverse {
+					jt3 = complex(-imag(t3), real(t3))
+				} else {
+					jt3 = complex(imag(t3), -real(t3))
+				}
+				x[i0] = t0 + t2
+				x[i1] = t1 + jt3
+				x[i2] = t0 - t2
+				x[i3] = t1 - jt3
 			}
 		}
 	}
@@ -168,6 +254,12 @@ type DechirpScratch[K comparable] struct {
 	conj []complex128 // exp(-j·templatePhase[i])
 	plan *Plan
 	buf  []complex128 // plan-sized FFT buffer
+
+	// Decimated-path scratch (DechirpDecimated), built lazily on first use
+	// and invalidated with the rest of the scratch on Init.
+	decFactor int
+	decPlan   *Plan
+	decBuf    []complex128
 }
 
 // Stale reports whether the scratch must be rebuilt for this geometry.
@@ -194,6 +286,7 @@ func (s *DechirpScratch[K]) Init(key K, n int, rate float64, pad int, phase []fl
 	}
 	s.buf = s.buf[:s.plan.Size()]
 	s.n, s.rate, s.key = n, rate, key
+	s.decFactor = 0 // geometry changed: rebuild the decimated plan on demand
 }
 
 // Size returns the scratch's FFT length (0 before Init).
@@ -216,6 +309,48 @@ func (s *DechirpScratch[K]) Dechirp(seg []complex128) []complex128 {
 		buf[i] = 0
 	}
 	s.plan.TransformInPlace(buf)
+	return buf
+}
+
+// DechirpDecimated dechirps seg at full rate, sums adjacent groups of d
+// samples (boxcar decimation) and transforms the n/d-point result through a
+// proportionally smaller FFT plan. Unlike plain subsampling, the boxcar
+// keeps every sample in the coherent sum, so the despreading gain of the
+// full window is preserved; the price is the boxcar's sinc-shaped droop
+// over the decimated band (compensate per bin with BoxcarDroopSq). seg must
+// be at least n samples (the template length). The returned slice is the
+// decimated scratch buffer, overwritten by the next call; its spectrum
+// covers ±rate/(2d), so d must leave the dechirped tones inside that band.
+//
+// The decimated plan/buffer are built on the first call for a given d after
+// Init and reused afterwards, keeping repeated calls allocation-free.
+func (s *DechirpScratch[K]) DechirpDecimated(seg []complex128, d int) []complex128 {
+	if d <= 1 {
+		return s.Dechirp(seg[:s.n])
+	}
+	m := s.n / d
+	if s.decFactor != d {
+		s.decPlan = PlanFor(m)
+		if cap(s.decBuf) < s.decPlan.Size() {
+			s.decBuf = make([]complex128, s.decPlan.Size())
+		}
+		s.decBuf = s.decBuf[:s.decPlan.Size()]
+		s.decFactor = d
+	}
+	buf := s.decBuf
+	conj := s.conj
+	for i := 0; i < m; i++ {
+		var acc complex128
+		base := i * d
+		for r := 0; r < d; r++ {
+			acc += seg[base+r] * conj[base+r]
+		}
+		buf[i] = acc
+	}
+	for i := m; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	s.decPlan.TransformInPlace(buf)
 	return buf
 }
 

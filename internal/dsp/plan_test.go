@@ -162,18 +162,97 @@ func TestSpectrogramPlanMatchesSpectrogram(t *testing.T) {
 	}
 }
 
-// TestPeakBinSqMatchesPeakBin ties the squared-magnitude scan to the
-// magnitude API.
-func TestPeakBinSqMatchesPeakBin(t *testing.T) {
+// TestPeakBinSq anchors the squared-magnitude scanner against a direct
+// magnitude scan.
+func TestPeakBinSq(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	spec := randComplex(rng, 257)
-	bin, mag := PeakBin(spec)
-	binSq, magSq := PeakBinSq(spec)
-	if bin != binSq {
-		t.Fatalf("bins disagree: %d vs %d", bin, binSq)
+	bin, magSq := PeakBinSq(spec)
+	wantBin, wantMag := 0, 0.0
+	for i, v := range spec {
+		if m := cmplx.Abs(v); m > wantMag {
+			wantMag = m
+			wantBin = i
+		}
 	}
-	if d := math.Abs(mag*mag - magSq); d > 1e-9*(1+magSq) {
-		t.Fatalf("magnitude mismatch: |X|=%g, |X|²=%g", mag, magSq)
+	if bin != wantBin {
+		t.Fatalf("bins disagree: %d vs %d", bin, wantBin)
+	}
+	if d := math.Abs(wantMag*wantMag - magSq); d > 1e-9*(1+magSq) {
+		t.Fatalf("magnitude mismatch: |X|²=%g, want %g", magSq, wantMag*wantMag)
+	}
+}
+
+// TestDechirpDecimatedPreservesTone drives the boxcar-decimated dechirp
+// path with a synthetic chirp+tone whose dechirped product is a pure tone
+// landing exactly on both the full-rate and the decimated bin grid, and
+// checks (a) the decimated peak sits at the same frequency, (b) the
+// droop-compensated peak power matches the full-rate transform's — i.e. the
+// decimation loses none of the despreading gain.
+func TestDechirpDecimatedPreservesTone(t *testing.T) {
+	const n = 2048
+	const d = 4
+	const rate = 1e6
+	phase := make([]float64, n)
+	for i := range phase {
+		ti := float64(i) / rate
+		phase[i] = 2 * math.Pi * 3e4 * ti * ti * rate / 100 // arbitrary quadratic
+	}
+	// Tone on both grids: full nfft = 2048, decimated nfft = 512, and the
+	// bin widths in Hz coincide (rate/2048 = (rate/4)/512), so the peak
+	// lands on the same bin index in both spectra.
+	const bin = 40
+	f0 := float64(bin) / 2048 // cycles per full-rate sample
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, phase[i]+2*math.Pi*f0*float64(i)))
+	}
+	var s DechirpScratch[int]
+	s.Init(1, n, rate, 1, phase)
+	full := s.Dechirp(x)
+	fullBin, fullSq := PeakBinSq(full)
+	if fullBin != bin {
+		t.Fatalf("full-rate peak at bin %d, want %d", fullBin, bin)
+	}
+	dec := s.DechirpDecimated(x, d)
+	if len(dec) != 512 {
+		t.Fatalf("decimated spectrum length %d, want 512", len(dec))
+	}
+	decBin, decSq := PeakBinSq(dec)
+	if decBin != bin {
+		t.Fatalf("decimated peak at bin %d, want %d", decBin, bin)
+	}
+	droop := BoxcarDroopSq(d, f0)
+	if ratio := decSq / droop / fullSq; math.Abs(ratio-1) > 0.01 {
+		t.Errorf("droop-compensated decimated peak power off by %.3f× (droop %.4f)", ratio, droop)
+	}
+	// Repeated calls must reuse the lazily built decimated scratch.
+	if allocs := testing.AllocsPerRun(20, func() {
+		s.DechirpDecimated(x, d)
+	}); allocs != 0 {
+		t.Errorf("DechirpDecimated allocated %v times per run in steady state", allocs)
+	}
+	// d=1 degenerates to the full-rate path.
+	if got := s.DechirpDecimated(x, 1); len(got) != len(full) {
+		t.Errorf("d=1 spectrum length %d, want %d", len(got), len(full))
+	}
+}
+
+func TestBoxcarDroopSq(t *testing.T) {
+	if g := BoxcarDroopSq(1, 0.3); g != 1 {
+		t.Errorf("d=1 droop = %g, want 1", g)
+	}
+	if g := BoxcarDroopSq(4, 0); g != 1 {
+		t.Errorf("DC droop = %g, want 1", g)
+	}
+	// Analytic check at f=1/8, d=4: |sin(π/2)/(4·sin(π/8))|².
+	want := math.Pow(1/(4*math.Sin(math.Pi/8)), 2)
+	if g := BoxcarDroopSq(4, 0.125); math.Abs(g-want) > 1e-12 {
+		t.Errorf("droop(4, 1/8) = %g, want %g", g, want)
+	}
+	// Monotone decay toward the first null within the decimated band.
+	if !(BoxcarDroopSq(4, 0.05) > BoxcarDroopSq(4, 0.1)) {
+		t.Error("droop must decay with |f|")
 	}
 }
 

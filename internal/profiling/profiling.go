@@ -1,0 +1,67 @@
+// Package profiling wires the standard pprof profilers into the
+// command-line tools, so hot-path regressions in the gateway DSP can be
+// diagnosed from a -cpuprofile/-memprofile run instead of by editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Run executes fn under the requested profilers: CPU profiling for fn's
+// duration (stopped via defer, so profiles survive a panic in fn) and a
+// heap snapshot after it returns — taken even when fn fails, so aborted
+// runs can still be diagnosed. Either path may be empty to skip that
+// profiler. fn's error wins over a heap-write error.
+func Run(cpuPath, memPath string, fn func() error) error {
+	stop, err := Start(cpuPath)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	runErr := fn()
+	if err := WriteHeap(memPath); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// Start begins CPU profiling into cpuPath (no-op when empty) and returns a
+// stop function to defer. The stop function is never nil.
+func Start(cpuPath string) (stop func(), err error) {
+	if cpuPath == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return func() {}, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return func() {}, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap dumps a heap profile to memPath after a GC pass (no-op when
+// empty), capturing the steady-state allocation picture at exit.
+func WriteHeap(memPath string) error {
+	if memPath == "" {
+		return nil
+	}
+	f, err := os.Create(memPath)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
-# Runs the perf-trajectory benchmarks and emits BENCH_softlora.json so
-# successive PRs can compare ns/op, B/op and allocs/op for the gateway hot
-# paths. Override the measurement window with BENCHTIME=3s scripts/bench.sh.
+# Runs the perf-trajectory benchmarks, refreshes BENCH_softlora.json (the
+# current snapshot) and appends a commit-labelled copy to BENCH_history.jsonl
+# so the trajectory survives across PRs instead of being overwritten.
+# Override the measurement window with BENCHTIME=3s scripts/bench.sh.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_softlora.json
+HIST=BENCH_history.jsonl
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -13,14 +15,35 @@ go test -run '^$' \
 	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkFBDechirpFFT$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$' \
 	-benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
 
+# The B/op and allocs/op columns only exist under -benchmem; locate them by
+# their unit tokens instead of fixed positions so the parser tolerates both
+# layouts (and any extra metrics a benchmark reports).
 awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
 	if (!first) printf(",\n")
 	first = 0
-	printf("  \"%s\": {\"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3, $5, $7)
+	printf("  \"%s\": {\"iters\": %s, \"ns_per_op\": %s", $1, $2, $3)
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") printf(", \"bytes_per_op\": %s", $(i - 1))
+		if ($i == "allocs/op") printf(", \"allocs_per_op\": %s", $(i - 1))
+	}
+	printf("}")
 }
 END { print "\n}" }
 ' "$TMP" > "$OUT"
 
-echo "wrote $OUT"
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# Catch unstaged, staged AND untracked changes: a snapshot from a dirty tree
+# must not be recorded against the clean commit it happens to sit on.
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+	rev="$rev-dirty"
+fi
+{
+	printf '{"rev": "%s", "date": "%s", "benchtime": "%s", "results": ' \
+		"$rev" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${BENCHTIME:-1s}"
+	tr '\n' ' ' < "$OUT" | sed 's/ \{2,\}/ /g; s/ $//'
+	printf '}\n'
+} >> "$HIST"
+
+echo "wrote $OUT and appended rev $rev to $HIST"

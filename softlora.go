@@ -104,6 +104,20 @@ type Config struct {
 	SampleRate float64
 	// Onset selects the timestamping detector (OnsetAIC by default).
 	Onset OnsetMethod
+	// OnsetCoarseDecimation tunes the dechirp onset detector's hierarchical
+	// coarse scan: the boxcar decimation factor of its quarter-chirp
+	// fill-metric windows (0 = core.DefaultCoarseDecimation, 1 = full-rate
+	// scan). Only meaningful with OnsetDechirp.
+	OnsetCoarseDecimation int
+	// OnsetRefineCombBins widens the frequency comb the dechirp onset
+	// detector's sliding refinement tracks around each candidate tone
+	// (0 = default). Only meaningful with OnsetDechirp.
+	OnsetRefineCombBins int
+	// OnsetExhaustive runs the dechirp onset detector's brute-force
+	// reference search instead of the coarse→fine hierarchy — orders of
+	// magnitude slower, intended for parity debugging only. Only
+	// meaningful with OnsetDechirp.
+	OnsetExhaustive bool
 	// FB selects the bias estimator (FBLinearRegression by default;
 	// FBLeastSquares is the low-SNR option at higher CPU cost).
 	FB FBMethod
@@ -147,6 +161,9 @@ type Gateway struct {
 	sampleRate float64
 	fbMethod   FBMethod
 	onsetMeth  OnsetMethod
+	onsetDecim int          // dechirp detector coarse decimation (Config knob)
+	onsetComb  int          // dechirp detector refinement comb half-width
+	onsetExh   bool         // dechirp detector brute-force reference mode
 	recvProto  sdr.Receiver // per-worker receivers are stamped from this
 	workers    int
 	pipe       *pipeline // serial-path pipeline (ProcessUplink)
@@ -213,6 +230,9 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		sampleRate: rate,
 		fbMethod:   cfg.FB,
 		onsetMeth:  cfg.Onset,
+		onsetDecim: cfg.OnsetCoarseDecimation,
+		onsetComb:  cfg.OnsetRefineCombBins,
+		onsetExh:   cfg.OnsetExhaustive,
 		workers:    workers,
 		rand:       cfg.Rand,
 	}
@@ -252,7 +272,12 @@ func (g *Gateway) newPipeline() *pipeline {
 	case OnsetEnvelope:
 		p.onset = &core.EnvelopeDetector{SmoothLen: 8, LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
 	case OnsetDechirp:
-		p.onset = &core.DechirpOnsetDetector{Params: g.params}
+		p.onset = &core.DechirpOnsetDetector{
+			Params:           g.params,
+			CoarseDecimation: g.onsetDecim,
+			RefineCombBins:   g.onsetComb,
+			Exhaustive:       g.onsetExh,
+		}
 	}
 	switch g.fbMethod {
 	case "", FBLinearRegression:
