@@ -21,6 +21,7 @@ import (
 	"softlora/internal/dsp"
 	"softlora/internal/experiments"
 	"softlora/internal/lora"
+	"softlora/internal/radio"
 	"softlora/internal/sdr"
 )
 
@@ -391,6 +392,81 @@ func BenchmarkDechirpOnset(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Recurrence-oscillator synthesis benchmarks (PR 3 perf trajectory) ---
+
+// BenchmarkChirpSynthesize compares the oscillator-backed chirp renderer
+// against the direct per-sample PhaseAt + math.Sincos baseline it replaced.
+func BenchmarkChirpSynthesize(b *testing.B) {
+	const rate = sdr.DefaultSampleRate
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, Symbol: 37, FrequencyOffset: -22e3, Phase: 0.8}
+	n := int(spec.Duration() * rate)
+	dst := make([]complex128, n)
+	b.Run("oscillator", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec.AddTo(dst, rate, 0)
+		}
+	})
+	b.Run("direct-trig", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dt := 1 / rate
+			for j := range dst {
+				s, c := math.Sincos(spec.PhaseAt(float64(j) * dt))
+				dst[j] += complex(c, s)
+			}
+		}
+	})
+}
+
+// BenchmarkSDRDownconvert compares the rotator-based LO correction against
+// the per-sample trig baseline, plus the full 8-bit receiver chain
+// (rotation + AGC quantization with Gaussian dither) for context.
+func BenchmarkSDRDownconvert(b *testing.B) {
+	const rate = sdr.DefaultSampleRate
+	p := lora.DefaultParams(7)
+	spec := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, FrequencyOffset: -22e3}
+	iq := make([]complex128, 1<<14)
+	spec.AddTo(iq, rate, 0)
+	makeRecv := func(bits int) *sdr.Receiver {
+		return &sdr.Receiver{FrequencyBias: -3e3, ADCBits: bits, Rand: rand.New(rand.NewSource(12))}
+	}
+	bench := func(name string, bits int) {
+		b.Run(name, func(b *testing.B) {
+			r := makeRecv(bits)
+			in := &radio.Capture{IQ: iq, Rate: rate}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := r.Downconvert(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Release()
+			}
+		})
+	}
+	bench("oscillator", 0)
+	b.Run("direct-trig", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(12))
+		out := make([]complex128, len(iq))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			theta := rng.Float64() * 2 * math.Pi
+			dt := 1 / rate
+			for j, v := range iq {
+				t := float64(j) * dt
+				ph := -(2*math.Pi*(-3e3)*t + theta)
+				s, c := math.Sincos(ph)
+				out[j] = v * complex(c, s)
+			}
+		}
+	})
+	bench("full-8bit", 8)
 }
 
 // BenchmarkGatewayBatchThroughput processes a pre-rendered 8-uplink batch

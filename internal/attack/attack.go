@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"softlora/internal/chip"
+	"softlora/internal/dsp"
 	"softlora/internal/lora"
 	"softlora/internal/radio"
 )
@@ -59,11 +60,11 @@ func (r *Replayer) Reemit(wf []complex128, sampleRate float64) []complex128 {
 		bias += r.Rand.NormFloat64() * j
 	}
 	out := make([]complex128, len(wf))
-	dt := 1 / sampleRate
-	for i, v := range wf {
-		p := 2 * math.Pi * bias * float64(i) * dt
-		out[i] = v * complex(math.Cos(p), math.Sin(p))
+	if len(wf) == 0 {
+		return out
 	}
+	rot := dsp.NewRotator(1, 0, bias, 1/sampleRate)
+	rot.MulInto(out, wf)
 	return out
 }
 
@@ -215,12 +216,9 @@ func (s *Scenario) Execute(frame lora.Frame, imp lora.Impairments, t0 float64) (
 		return nil, fmt.Errorf("attack: eavesdropper capture: %w", err)
 	}
 	// The eavesdropper SDR contributes its own bias to the recording.
-	if s.EavesdropperBiasHz != 0 {
-		dt := 1 / recording.Rate
-		for i := range recording.IQ {
-			p := -2 * math.Pi * s.EavesdropperBiasHz * float64(i) * dt
-			recording.IQ[i] *= complex(math.Cos(p), math.Sin(p))
-		}
+	if s.EavesdropperBiasHz != 0 && len(recording.IQ) > 0 {
+		rot := dsp.NewRotator(1, 0, -s.EavesdropperBiasHz, 1/recording.Rate)
+		rot.MulInto(recording.IQ, recording.IQ)
 	}
 	res.Recording = recording
 

@@ -1,0 +1,77 @@
+// Package bufpool recycles the multi-megabyte complex128 capture buffers
+// the channel→SDR→gateway front end would otherwise reallocate per uplink.
+// Buffers live in size-classed sync.Pools (power-of-two element counts), so
+// a steady-state gateway batch reuses the same few buffers regardless of
+// worker scheduling.
+//
+// Ownership is explicit and opt-in: Get hands the caller a buffer that is
+// theirs until they Put it back; a buffer that is never Put is simply
+// collected by the GC, so producers can always allocate from the pool even
+// when their consumers retain captures indefinitely. Never Put a buffer
+// that is still referenced — the pool hands it to the next Get, and the
+// aliasing corrupts whichever capture loses the race.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size classes cover 2^minClassLog2 … 2^maxClassLog2 elements (4 KiB to
+// 64 MiB of complex128). Requests outside the range fall back to plain
+// allocation and are dropped on Put.
+const (
+	minClassLog2 = 8
+	maxClassLog2 = 22
+)
+
+var classes [maxClassLog2 - minClassLog2 + 1]sync.Pool
+
+// classFor returns the pool index whose buffers hold ≥ n elements, or -1
+// when n is out of the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxClassLog2 {
+		return -1
+	}
+	log2 := bits.Len(uint(n - 1)) // ceil(log2(n)), 0 for n == 1
+	if log2 < minClassLog2 {
+		log2 = minClassLog2
+	}
+	return log2 - minClassLog2
+}
+
+// GetUninit returns a length-n buffer with arbitrary contents, for callers
+// that overwrite every element.
+func GetUninit(n int) []complex128 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]complex128, n)
+	}
+	if p, ok := classes[c].Get().(*[]complex128); ok {
+		return (*p)[:n]
+	}
+	return make([]complex128, n, 1<<(c+minClassLog2))
+}
+
+// Get returns a zeroed length-n buffer.
+func Get(n int) []complex128 {
+	buf := GetUninit(n)
+	clear(buf)
+	return buf
+}
+
+// Put returns a buffer obtained from Get/GetUninit to its size class. The
+// caller must not touch buf (or anything aliasing it) afterwards. Buffers
+// whose capacity is not a pooled class size are dropped.
+func Put(buf []complex128) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	idx := classFor(c)
+	if idx < 0 || 1<<(idx+minClassLog2) != c {
+		return
+	}
+	buf = buf[:c]
+	classes[idx].Put(&buf)
+}

@@ -1,0 +1,66 @@
+package bufpool
+
+import "testing"
+
+func TestGetZeroedAndSized(t *testing.T) {
+	buf := GetUninit(1000)
+	for i := range buf {
+		buf[i] = complex(1, 1)
+	}
+	Put(buf)
+	got := Get(1000)
+	if len(got) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("Get returned dirty buffer at %d: %v", i, v)
+		}
+	}
+	if c := cap(got); c != 1024 {
+		t.Errorf("cap = %d, want the 1024 size class", c)
+	}
+}
+
+func TestPutGetRecycles(t *testing.T) {
+	buf := GetUninit(5000)
+	buf[0] = complex(42, 0)
+	Put(buf)
+	// Same goroutine, no GC in between: the pool's private slot returns the
+	// buffer we just put.
+	again := GetUninit(5000)
+	if again[0] != complex(42, 0) {
+		t.Error("GetUninit did not recycle the just-released buffer")
+	}
+	Put(again)
+}
+
+func TestPutForeignBufferDropped(t *testing.T) {
+	// Non-power-of-two capacity: Put must drop it, and a following Get must
+	// still return a correctly sized buffer.
+	odd := make([]complex128, 777)
+	Put(odd)
+	got := Get(777)
+	if len(got) != 777 || cap(got)&(cap(got)-1) != 0 {
+		t.Errorf("len %d cap %d after dropping a foreign buffer", len(got), cap(got))
+	}
+}
+
+func TestOutOfRangeSizes(t *testing.T) {
+	if got := Get(0); len(got) != 0 {
+		t.Errorf("Get(0) len = %d", len(got))
+	}
+	huge := Get(1<<22 + 1) // past the largest class: plain allocation
+	if len(huge) != 1<<22+1 {
+		t.Errorf("oversized Get len = %d", len(huge))
+	}
+	Put(huge) // must not panic; dropped
+}
+
+func TestSmallRequestsShareMinClass(t *testing.T) {
+	a := GetUninit(3)
+	if cap(a) != 1<<minClassLog2 {
+		t.Errorf("cap = %d, want %d", cap(a), 1<<minClassLog2)
+	}
+	Put(a)
+}

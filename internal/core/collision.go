@@ -39,11 +39,10 @@ func DisentangleCollision(p lora.Params, seg []complex128, sampleRate float64, m
 		floorFraction = 0.25
 	}
 	ref := lora.ChirpSpec{SF: p.SF, Bandwidth: p.Bandwidth, Down: true}
-	dt := 1 / sampleRate
 	prod := make([]complex128, n)
+	ref.FillPhasors(prod, sampleRate, 0)
 	for i := 0; i < n; i++ {
-		ph := ref.PhaseAt(float64(i) * dt)
-		prod[i] = seg[i] * cmplx.Exp(complex(0, ph))
+		prod[i] *= seg[i]
 	}
 	padded := make([]complex128, dsp.NextPow2(4*n))
 	copy(padded, prod)

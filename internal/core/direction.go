@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/cmplx"
 
 	"softlora/internal/dsp"
 	"softlora/internal/lora"
@@ -49,10 +48,16 @@ type DirectionDetector struct {
 	// is declared noise (default 0.25; a perfectly dechirped chirp scores
 	// 1.0).
 	MinConcentration float64
+
+	// Scratch reused across windows (reference phasors and dechirp
+	// product); a detector instance is not safe for concurrent use.
+	ref  []complex128
+	prod []complex128
 }
 
 // concentration dechirps one window with the given reference direction and
-// returns |peak|²/(N·energy) ∈ [0, 1].
+// returns |peak|²/(N·energy) ∈ [0, 1]. The reference chirp phasors come
+// from the oscillator recurrence instead of a per-sample cmplx.Exp.
 func (d *DirectionDetector) concentration(seg []complex128, sampleRate float64, down bool) float64 {
 	n := int(d.Params.SamplesPerChirp(sampleRate))
 	if len(seg) < n {
@@ -61,13 +66,17 @@ func (d *DirectionDetector) concentration(seg []complex128, sampleRate float64, 
 	if n < 8 {
 		return 0
 	}
+	if cap(d.ref) < n {
+		d.ref = make([]complex128, n)
+		d.prod = make([]complex128, n)
+	}
 	ref := lora.ChirpSpec{SF: d.Params.SF, Bandwidth: d.Params.Bandwidth, Down: !down}
-	dt := 1 / sampleRate
-	prod := make([]complex128, n)
+	refIQ := d.ref[:n]
+	ref.FillPhasors(refIQ, sampleRate, 0)
+	prod := d.prod[:n]
 	var energy float64
 	for i := 0; i < n; i++ {
-		p := ref.PhaseAt(float64(i) * dt)
-		prod[i] = seg[i] * cmplx.Exp(complex(0, p))
+		prod[i] = seg[i] * refIQ[i]
 		energy += real(seg[i])*real(seg[i]) + imag(seg[i])*imag(seg[i])
 	}
 	if energy == 0 {

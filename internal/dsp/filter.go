@@ -19,6 +19,34 @@ type FIRFilter struct {
 	tapsFFT    []complex128 // FFT of zero-padded taps
 	blockBuf   []complex128 // per-block work buffer
 	plan       *Plan
+
+	// Reversed-tap copy for the direct real evaluators (kernel laid out in
+	// input order so the inner product runs forward over both slices).
+	revTaps []float64
+}
+
+// reversed returns the taps in input order, rebuilt when Taps changed.
+func (f *FIRFilter) reversed() []float64 {
+	m := len(f.Taps)
+	stale := len(f.revTaps) != m
+	if !stale {
+		for i, t := range f.Taps {
+			if f.revTaps[m-1-i] != t {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		if cap(f.revTaps) < m {
+			f.revTaps = make([]float64, m)
+		}
+		f.revTaps = f.revTaps[:m]
+		for i, t := range f.Taps {
+			f.revTaps[m-1-i] = t
+		}
+	}
+	return f.revTaps
 }
 
 // scratchStale reports whether the overlap-save scratch no longer matches
@@ -189,6 +217,71 @@ func (f *FIRFilter) ApplyReal(x []float64) []float64 {
 		out[i] = acc
 	}
 	return out
+}
+
+// convRealAt evaluates the delay-compensated real convolution at output
+// index i, zero-padding outside x. rev is reversed(); interior indices take
+// the branch-free inner-product path.
+func (f *FIRFilter) convRealAt(x, rev []float64, i int) float64 {
+	m := len(rev)
+	delay := m / 2
+	base := i + delay - (m - 1)
+	if base >= 0 && base+m <= len(x) {
+		w := x[base : base+m]
+		var acc float64
+		for j, v := range w {
+			acc += v * rev[j]
+		}
+		return acc
+	}
+	var acc float64
+	for j, t := range rev {
+		if k := base + j; k >= 0 && k < len(x) {
+			acc += x[k] * t
+		}
+	}
+	return acc
+}
+
+// ApplyRealDecimatedInto evaluates the delay-compensated real convolution
+// only at output indices 0, dec, 2·dec, … — the polyphase shortcut when the
+// consumer decimates the filtered trace anyway: cost O(n·m/dec) instead of
+// filtering at full rate and discarding dec−1 of every dec outputs.
+// dst[j] equals ApplyReal(x)[j·dec]; it is grown as needed (pass nil to
+// allocate).
+func (f *FIRFilter) ApplyRealDecimatedInto(dst, x []float64, dec int) []float64 {
+	if dec < 1 {
+		dec = 1
+	}
+	n := (len(x) + dec - 1) / dec
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	rev := f.reversed()
+	for j := range dst {
+		dst[j] = f.convRealAt(x, rev, j*dec)
+	}
+	return dst
+}
+
+// ApplyRealRangeInto evaluates the delay-compensated real convolution at
+// output indices [lo, hi) only, writing the hi−lo results into dst (grown
+// as needed). dst[j] equals ApplyReal(x)[lo+j].
+func (f *FIRFilter) ApplyRealRangeInto(dst, x []float64, lo, hi int) []float64 {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	rev := f.reversed()
+	for j := range dst {
+		dst[j] = f.convRealAt(x, rev, lo+j)
+	}
+	return dst
 }
 
 // Decimate keeps every factor-th sample of x, starting at sample 0. The

@@ -1,6 +1,10 @@
 package lora
 
-import "math"
+import (
+	"math"
+
+	"softlora/internal/dsp"
+)
 
 // ChirpSpec describes one CSS chirp at equivalent baseband.
 type ChirpSpec struct {
@@ -74,7 +78,8 @@ func (c ChirpSpec) EndPhase() float64 { return c.PhaseAt(c.Duration()) }
 
 // FrequencyAt returns the instantaneous baseband frequency (Hz) at time tau
 // after the chirp start (before folding is applied modulo W this is the
-// derivative of PhaseAt / 2π).
+// derivative of PhaseAt / 2π). The fold is a closed-form modulo reduction,
+// so arbitrarily large k·tau excursions cost the same as none.
 func (c ChirpSpec) FrequencyAt(tau float64) float64 {
 	w := c.Bandwidth
 	n := float64(int(1) << c.SF)
@@ -82,14 +87,18 @@ func (c ChirpSpec) FrequencyAt(tau float64) float64 {
 	s := float64(c.Symbol) * w / n
 	var f float64
 	if !c.Down {
+		// Fold into [-w/2, w/2).
 		f = -w/2 + s + k*tau
-		for f >= w/2 {
-			f -= w
+		if f >= w/2 {
+			m := math.Mod(f+w/2, w)
+			f = m - w/2
 		}
 	} else {
+		// Fold into (-w/2, w/2] — the down sweep leaves +w/2 untouched.
 		f = w/2 - s - k*tau
-		for f < -w/2 {
-			f += w
+		if f < -w/2 {
+			m := math.Mod(f-w/2, w)
+			f = m + w/2
 		}
 	}
 	return f + c.FrequencyOffset
@@ -98,14 +107,8 @@ func (c ChirpSpec) FrequencyAt(tau float64) float64 {
 // Synthesize renders the chirp on a uniform sample grid starting at the
 // chirp onset. The trace has floor(Duration*sampleRate) samples.
 func (c ChirpSpec) Synthesize(sampleRate float64) []complex128 {
-	n := int(c.Duration() * sampleRate)
-	out := make([]complex128, n)
-	a := c.amplitude()
-	dt := 1 / sampleRate
-	for i := range out {
-		p := c.PhaseAt(float64(i) * dt)
-		out[i] = complex(a*math.Cos(p), a*math.Sin(p))
-	}
+	out := make([]complex128, int(c.Duration()*sampleRate))
+	c.addScaled(out, sampleRate, 0, c.Duration())
 	return out
 }
 
@@ -114,8 +117,23 @@ func (c ChirpSpec) Synthesize(sampleRate float64) []complex128 {
 // fall between samples — this is how sub-sample onset offsets are
 // simulated). Samples outside dst or outside the chirp support are ignored.
 func (c ChirpSpec) AddTo(dst []complex128, sampleRate, startTime float64) {
+	c.addScaled(dst, sampleRate, startTime, c.Duration())
+}
+
+// sweepSegments describes the chirp's piecewise-quadratic phase on the
+// sample grid tau_i = i·dt − startTime: the fold splits the support into
+// (up to) two runs, each a single quadratic that one dsp.Oscillator renders.
+//
+// addScaled is the shared render core behind Synthesize, AddTo and the
+// truncated SFD chirp: it adds amplitude·exp(j·PhaseAt(tau_i)) into dst for
+// every in-range sample with tau_i ∈ [0, min(Duration, maxDur)), at two
+// complex multiplies per sample.
+func (c ChirpSpec) addScaled(dst []complex128, sampleRate, startTime, maxDur float64) {
 	dur := c.Duration()
-	a := c.amplitude()
+	if maxDur < dur {
+		dur = maxDur
+	}
+	dt := 1 / sampleRate
 	first := int(math.Ceil(startTime * sampleRate))
 	if first < 0 {
 		first = 0
@@ -124,13 +142,104 @@ func (c ChirpSpec) AddTo(dst []complex128, sampleRate, startTime float64) {
 	if last >= len(dst) {
 		last = len(dst) - 1
 	}
-	dt := 1 / sampleRate
-	for i := first; i <= last; i++ {
-		tau := float64(i)*dt - startTime
-		if tau < 0 || tau >= dur {
-			continue
+	// Trim the float rounding slop off both ends so every remaining sample
+	// satisfies tau ∈ [0, dur) exactly as the per-sample guards used to.
+	for first <= last && float64(first)*dt-startTime < 0 {
+		first++
+	}
+	for last >= first && float64(last)*dt-startTime >= dur {
+		last--
+	}
+	if first > last {
+		return
+	}
+	a := c.amplitude()
+	fold := c.foldSplit(first, last, -startTime, dt)
+	if fold >= first {
+		osc := c.segmentOscillator(a, float64(first)*dt-startTime, false, dt)
+		osc.AddTo(dst[first : fold+1])
+	}
+	if fold < last {
+		from := fold + 1
+		if from < first {
+			from = first
 		}
-		p := c.PhaseAt(tau)
-		dst[i] += complex(a*math.Cos(p), a*math.Sin(p))
+		osc := c.segmentOscillator(a, float64(from)*dt-startTime, true, dt)
+		osc.AddTo(dst[from : last+1])
+	}
+}
+
+// foldSplit returns the last sample index i in [first, last] on the
+// pre-fold side of the sweep, where sample i sits at tau = tau0 + i·dt and
+// PhaseAt applies the fold correction strictly after foldTau. The float
+// estimate is walked into exact agreement with the per-sample comparison,
+// so the segment split can never disagree with PhaseAt at the boundary.
+// Returns first−1 when every sample is post-fold.
+func (c ChirpSpec) foldSplit(first, last int, tau0, dt float64) int {
+	w := c.Bandwidth
+	n := float64(int(1) << c.SF)
+	k := w * w / n
+	s := float64(c.Symbol) * w / n
+	foldTau := (w - s) / k // both sweeps hit the band edge here
+	fold := int(math.Floor((foldTau - tau0) / dt))
+	if fold > last {
+		fold = last
+	}
+	for fold >= first && tau0+float64(fold)*dt > foldTau {
+		fold--
+	}
+	for fold < last && tau0+float64(fold+1)*dt <= foldTau {
+		fold++
+	}
+	return fold
+}
+
+// segmentOscillator seeds an oscillator reproducing
+// amp·exp(j·PhaseAt(tau + i·dt)) over one fold-free run of the sweep
+// (postFold selects which side of the fold tau lies on).
+func (c ChirpSpec) segmentOscillator(amp, tau float64, postFold bool, dt float64) dsp.Oscillator {
+	w := c.Bandwidth
+	n := float64(int(1) << c.SF)
+	k := w * w / n
+	s := float64(c.Symbol) * w / n
+	// d(PhaseAt)/dτ/2π: the linear sweep, folded back by W past foldTau.
+	var freq, sweep float64
+	if !c.Down {
+		freq = -w/2 + s + k*tau
+		sweep = k
+		if postFold {
+			freq -= w
+		}
+	} else {
+		freq = w/2 - s - k*tau
+		sweep = -k
+		if postFold {
+			freq += w
+		}
+	}
+	return dsp.NewOscillator(amp, c.PhaseAt(tau), freq+c.FrequencyOffset, sweep, dt)
+}
+
+// FillPhasors writes dst[i] = exp(j·PhaseAt(tau0 + i/sampleRate)) using the
+// same oscillator recurrence as the renderers — the unit-amplitude chirp
+// phasor series detectors multiply captures against (dechirp references),
+// without a per-sample phase evaluation or math.Sincos.
+func (c ChirpSpec) FillPhasors(dst []complex128, sampleRate, tau0 float64) {
+	if len(dst) == 0 {
+		return
+	}
+	dt := 1 / sampleRate
+	fold := c.foldSplit(0, len(dst)-1, tau0, dt)
+	if fold >= 0 {
+		osc := c.segmentOscillator(1, tau0, false, dt)
+		osc.Fill(dst[:fold+1])
+	}
+	if fold < len(dst)-1 {
+		from := fold + 1
+		if from < 0 {
+			from = 0
+		}
+		osc := c.segmentOscillator(1, tau0+float64(from)*dt, true, dt)
+		osc.Fill(dst[from:])
 	}
 }

@@ -174,3 +174,142 @@ func TestEndPhaseMatchesPhaseAtDuration(t *testing.T) {
 		t.Error("EndPhase mismatch")
 	}
 }
+
+// directTrigAddTo is the pre-oscillator renderer (per-sample PhaseAt +
+// Sincos), kept as the accuracy reference for the recurrence engine.
+func directTrigAddTo(c ChirpSpec, dst []complex128, sampleRate, startTime, maxDur float64) {
+	dur := c.Duration()
+	if maxDur < dur {
+		dur = maxDur
+	}
+	a := c.Amplitude
+	if a == 0 {
+		a = 1
+	}
+	first := int(math.Ceil(startTime * sampleRate))
+	if first < 0 {
+		first = 0
+	}
+	last := int(math.Floor((startTime + dur) * sampleRate))
+	if last >= len(dst) {
+		last = len(dst) - 1
+	}
+	dt := 1 / sampleRate
+	for i := first; i <= last; i++ {
+		tau := float64(i)*dt - startTime
+		if tau < 0 || tau >= dur {
+			continue
+		}
+		s, co := math.Sincos(c.PhaseAt(tau))
+		dst[i] += complex(a*co, a*s)
+	}
+}
+
+// oscillatorCases sweeps the chirp shapes the synthesis path renders:
+// SF 7–12, both orientations, folding symbols, realistic oscillator
+// offsets, non-unit amplitude and non-zero start phase.
+func oscillatorCases() []ChirpSpec {
+	var cases []ChirpSpec
+	for sf := 7; sf <= 12; sf++ {
+		n := int(1) << sf
+		cases = append(cases,
+			ChirpSpec{SF: sf, Bandwidth: 125e3},
+			ChirpSpec{SF: sf, Bandwidth: 125e3, Symbol: n / 3, FrequencyOffset: -36e3, Phase: 0.9},
+			ChirpSpec{SF: sf, Bandwidth: 125e3, Symbol: n - 1, Down: true, FrequencyOffset: 17.3e3, Amplitude: 0.35},
+		)
+	}
+	return cases
+}
+
+// TestAddToMatchesDirectTrig is the oscillator-vs-Sincos parity property:
+// the recurrence renderer must match the direct per-sample renderer to
+// better than 1e-9 in each component, across SFs, symbols, orientations,
+// offsets and fractional start times.
+func TestAddToMatchesDirectTrig(t *testing.T) {
+	const rate = 2.4e6
+	for _, c := range oscillatorCases() {
+		for _, start := range []float64{0, 33.37 / rate, -0.4 * c.Duration()} {
+			n := int(c.Duration()*rate) + 64
+			got := make([]complex128, n)
+			want := make([]complex128, n)
+			c.AddTo(got, rate, start)
+			directTrigAddTo(c, want, rate, start, c.Duration())
+			for i := range got {
+				if d := cmplx.Abs(got[i] - want[i]); d > 1e-9 {
+					t.Fatalf("%+v start %g: sample %d differs by %g", c, start, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeMatchesDirectTrig(t *testing.T) {
+	const rate = 2.4e6
+	for _, c := range oscillatorCases() {
+		got := c.Synthesize(rate)
+		want := make([]complex128, len(got))
+		directTrigAddTo(c, want, rate, 0, c.Duration())
+		for i := range got {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-9 {
+				t.Fatalf("%+v: sample %d differs by %g", c, i, d)
+			}
+		}
+	}
+}
+
+func TestFillPhasorsMatchesPhaseAt(t *testing.T) {
+	const rate = 2.4e6
+	for _, c := range oscillatorCases() {
+		n := int(c.Duration() * rate)
+		for _, tau0 := range []float64{0, 17.25 / rate} {
+			got := make([]complex128, n)
+			c.FillPhasors(got, rate, tau0)
+			for i := range got {
+				want := cmplx.Exp(complex(0, c.PhaseAt(tau0+float64(i)/rate)))
+				if d := cmplx.Abs(got[i] - want); d > 1e-9 {
+					t.Fatalf("%+v tau0 %g: phasor %d differs by %g", c, tau0, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestFrequencyAtClosedFormFold pins the math.Mod fold against the
+// wrap-around-loop reference, including k·tau excursions many bandwidths
+// past the band edge that would have spun the old loop.
+func TestFrequencyAtClosedFormFold(t *testing.T) {
+	loopRef := func(c ChirpSpec, tau float64) float64 {
+		w := c.Bandwidth
+		n := float64(int(1) << c.SF)
+		k := w * w / n
+		s := float64(c.Symbol) * w / n
+		var f float64
+		if !c.Down {
+			f = -w/2 + s + k*tau
+			for f >= w/2 {
+				f -= w
+			}
+		} else {
+			f = w/2 - s - k*tau
+			for f < -w/2 {
+				f += w
+			}
+		}
+		return f + c.FrequencyOffset
+	}
+	for _, c := range []ChirpSpec{
+		{SF: 7, Bandwidth: 125e3},
+		{SF: 7, Bandwidth: 125e3, Symbol: 64},
+		{SF: 9, Bandwidth: 125e3, Symbol: 100, Down: true, FrequencyOffset: -21e3},
+		{SF: 12, Bandwidth: 125e3, Symbol: 4095, Down: true},
+	} {
+		dur := c.Duration()
+		for _, tau := range []float64{0, dur / 3, 0.75 * dur, dur, 7.5 * dur, 123 * dur} {
+			got := c.FrequencyAt(tau)
+			want := loopRef(c, tau)
+			if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Errorf("%+v FrequencyAt(%g) = %g, want %g", c, tau, got, want)
+			}
+		}
+	}
+}

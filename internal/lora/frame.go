@@ -204,31 +204,15 @@ func (f Frame) modulateInto(dst []complex128, dataSyms []int, imp Impairments, s
 }
 
 // truncatedChirp renders only the first duration seconds of a chirp (used
-// for the quarter down chirp of the SFD).
+// for the quarter down chirp of the SFD) through the shared oscillator
+// render core.
 type truncatedChirp struct {
 	spec     ChirpSpec
 	duration float64
 }
 
 func (t truncatedChirp) addTo(dst []complex128, sampleRate, startTime float64) {
-	a := t.spec.amplitude()
-	first := int(math.Ceil(startTime * sampleRate))
-	if first < 0 {
-		first = 0
-	}
-	last := int(math.Floor((startTime + t.duration) * sampleRate))
-	if last >= len(dst) {
-		last = len(dst) - 1
-	}
-	dt := 1 / sampleRate
-	for i := first; i <= last; i++ {
-		tau := float64(i)*dt - startTime
-		if tau < 0 || tau >= t.duration {
-			continue
-		}
-		p := t.spec.PhaseAt(tau)
-		dst[i] += complex(a*math.Cos(p), a*math.Sin(p))
-	}
+	t.spec.addScaled(dst, sampleRate, startTime, t.duration)
 }
 
 // ModulatedDuration returns the exact on-air duration of the modulated

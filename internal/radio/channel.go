@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"softlora/internal/bufpool"
 	"softlora/internal/lora"
 )
 
@@ -62,6 +63,16 @@ func (c *Capture) TimeOf(i int) float64 { return c.Start + float64(i)/c.Rate }
 // time t.
 func (c *Capture) SampleAt(t float64) float64 { return (t - c.Start) * c.Rate }
 
+// Release returns the capture's IQ buffer to the process-wide capture pool
+// and clears the slice. Call it once the capture is fully consumed (the
+// simulation batch path does, per uplink); never touch the IQ data
+// afterwards. Releasing is optional — unreleased captures are ordinary
+// garbage.
+func (c *Capture) Release() {
+	bufpool.Put(c.IQ)
+	c.IQ = nil
+}
+
 // Receive renders the channel as seen by a receiver over the window
 // [start, start+duration): every emission is modulated, delayed by its
 // propagation time, scaled by its path gain, and summed, then AWGN at the
@@ -74,7 +85,7 @@ func (ch *Channel) Receive(emissions []Emission, start, duration float64) (*Capt
 		return nil, fmt.Errorf("radio: Channel.Rand must be set")
 	}
 	n := int(math.Ceil(duration * ch.SampleRate))
-	iq := make([]complex128, n)
+	iq := bufpool.Get(n)
 	for i, e := range emissions {
 		arrival := e.StartTime + PropagationDelay(e.Distance) - start
 		amp := e.receivedAmplitude()
@@ -109,15 +120,30 @@ func addScaledWaveform(dst, wf []complex128, rate, arrival, amp float64) {
 	frac := offset - float64(base)
 	a := complex(amp*(1-frac), 0)
 	b := complex(amp*frac, 0)
-	for i, v := range wf {
-		j := base + i
-		if j >= 0 && j < len(dst) {
-			dst[j] += v * a
-		}
-		if j+1 >= 0 && j+1 < len(dst) {
-			dst[j+1] += v * b
-		}
+	// Clip each tap's overlap window against dst once, instead of
+	// bounds-checking every sample.
+	lo, hi := overlap(base, len(wf), len(dst))
+	for i := lo; i < hi; i++ {
+		dst[base+i] += wf[i] * a
 	}
+	lo, hi = overlap(base+1, len(wf), len(dst))
+	for i := lo; i < hi; i++ {
+		dst[base+1+i] += wf[i] * b
+	}
+}
+
+// overlap returns the waveform index range [lo, hi) whose samples land
+// inside a destination of length dstLen when placed at offset base.
+func overlap(base, wfLen, dstLen int) (lo, hi int) {
+	lo = 0
+	if base < 0 {
+		lo = -base
+	}
+	hi = wfLen
+	if m := dstLen - base; m < hi {
+		hi = m
+	}
+	return lo, hi
 }
 
 // SNRAtReceiver returns the SNR in dB a receiver observes for the given

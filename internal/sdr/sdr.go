@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 
+	"softlora/internal/bufpool"
+	"softlora/internal/dsp"
 	"softlora/internal/radio"
 )
 
@@ -55,21 +57,31 @@ type Capture struct {
 // TimeOf returns the channel-timeline time of sample i.
 func (c *Capture) TimeOf(i int) float64 { return c.Start + float64(i)/c.Rate }
 
+// Release returns the capture's IQ buffer to the process-wide capture pool
+// and clears the slice. Call it when the capture is fully consumed (the
+// gateway pipeline does, per uplink); never touch the IQ data afterwards.
+// Releasing is optional — unreleased captures are ordinary garbage.
+func (c *Capture) Release() {
+	bufpool.Put(c.IQ)
+	c.IQ = nil
+}
+
 // Downconvert processes a channel capture through the receiver chain:
 // rotation by the receiver LO error exp(−j(2π·δRx·t + θRx)), optional
 // receiver noise, and ADC quantization with AGC.
+//
+// The output buffer comes from the capture pool; call Capture.Release when
+// done with it to keep the steady-state batch path allocation-free. The LO
+// rotation runs on a first-order dsp.Rotator (one complex multiply per
+// sample) instead of a per-sample math.Sincos.
 func (r *Receiver) Downconvert(in *radio.Capture) (*Capture, error) {
 	if r.Rand == nil {
 		return nil, ErrNilRand
 	}
 	theta := r.Rand.Float64() * 2 * math.Pi
-	out := make([]complex128, len(in.IQ))
-	dt := 1 / in.Rate
-	for i, v := range in.IQ {
-		t := float64(i) * dt
-		p := -(2*math.Pi*r.FrequencyBias*t + theta)
-		out[i] = v * complex(math.Cos(p), math.Sin(p))
-	}
+	out := bufpool.GetUninit(len(in.IQ))
+	rot := dsp.NewRotator(1, -theta, -r.FrequencyBias, 1/in.Rate)
+	rot.MulInto(out, in.IQ)
 	if r.NoiseFigurePowerdBm != 0 {
 		sigma := math.Sqrt(radio.DBmToPower(r.NoiseFigurePowerdBm) / 2)
 		for i := range out {
@@ -101,19 +113,26 @@ func quantize(x []complex128, bits int, rng *rand.Rand) {
 	rms := math.Sqrt(pw / float64(len(x)) / 2) // per-component RMS
 	fullScale := 4 * rms
 	levels := float64(int(1) << (bits - 1))
-	q := func(v float64) float64 {
-		s := v/fullScale*levels + rng.NormFloat64()
-		s = math.Round(s)
-		if s > levels-1 {
-			s = levels - 1
-		}
-		if s < -levels {
-			s = -levels
-		}
-		return s / levels * fullScale
-	}
+	scale := levels / fullScale
+	inv := fullScale / levels
+	hi := levels - 1
 	for i, v := range x {
-		x[i] = complex(q(real(v)), q(imag(v)))
+		// Floor(x+0.5) rounds half-up instead of math.Round's half-away —
+		// indistinguishable under the continuous dither, and it compiles to
+		// a single rounding instruction where math.Round does not.
+		re := math.Floor(real(v)*scale + rng.NormFloat64() + 0.5)
+		im := math.Floor(imag(v)*scale + rng.NormFloat64() + 0.5)
+		if re > hi {
+			re = hi
+		} else if re < -levels {
+			re = -levels
+		}
+		if im > hi {
+			im = hi
+		} else if im < -levels {
+			im = -levels
+		}
+		x[i] = complex(re*inv, im*inv)
 	}
 }
 

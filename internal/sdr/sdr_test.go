@@ -183,3 +183,27 @@ func TestEndToEndChirpThroughSDR(t *testing.T) {
 		t.Errorf("observed δ = %f Hz, want %f", got, want)
 	}
 }
+
+// TestDownconvertPooledSteadyState pins the pooled front end: once the
+// capture pool is warm, Downconvert + Release run with only the constant
+// per-call bookkeeping (the Capture struct and the pool's box), no
+// per-sample buffers.
+func TestDownconvertPooledSteadyState(t *testing.T) {
+	r := &Receiver{FrequencyBias: -3e3, ADCBits: 8, Rand: rand.New(rand.NewSource(80))}
+	in := toneCapture(10e3, 1<<14, DefaultSampleRate)
+	warm, err := r.Downconvert(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+	allocs := testing.AllocsPerRun(20, func() {
+		out, err := r.Downconvert(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+	})
+	if allocs > 2 {
+		t.Errorf("Downconvert+Release allocated %v times per run in steady state, want <= 2", allocs)
+	}
+}

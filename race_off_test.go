@@ -1,0 +1,5 @@
+//go:build !race
+
+package softlora
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package softlora
+
+// raceEnabled reports that the race detector instruments this build;
+// sync.Pool intentionally drops items under race, so pooled-allocation
+// budgets do not hold.
+const raceEnabled = true

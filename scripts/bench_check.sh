@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Compares the two most recent BENCH_history.jsonl snapshots — normally the
+# previous PR's entry vs the one scripts/bench.sh appended for the current
+# change, both measured on the same box — and fails when a guarded
+# benchmark regressed by more than the threshold in ns/op. Guarded:
+# BenchmarkDechirpOnset, BenchmarkFFTPlan/planned-*,
+# BenchmarkGatewayBatchThroughput/workers-1.
+#
+# CI runs this against the committed history (commit-to-commit on the
+# snapshot-producing box), NOT against a fresh runner measurement — a
+# runner-vs-dev-box diff would measure hardware, not the change.
+#
+# Usage: scripts/bench_check.sh [history-file]
+# Env:   BENCH_REGRESSION_PCT (default 25)
+set -eu
+cd "$(dirname "$0")/.."
+
+HIST=${1:-BENCH_history.jsonl}
+THRESH=${BENCH_REGRESSION_PCT:-25}
+
+if [ ! -f "$HIST" ] || [ "$(wc -l < "$HIST")" -lt 2 ]; then
+	echo "bench_check: fewer than two snapshots in $HIST; nothing to compare"
+	exit 0
+fi
+
+tail -n 2 "$HIST" | awk -v thresh="$THRESH" '
+function guarded(name) {
+	return name == "BenchmarkDechirpOnset" ||
+	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
+	       name ~ /^BenchmarkFFTPlan\/planned-/
+}
+{
+	row++
+	line = $0
+	while (match(line, /"Benchmark[^"]*": \{"iters": [0-9]+, "ns_per_op": [0-9.eE+-]+/)) {
+		entry = substr(line, RSTART, RLENGTH)
+		line = substr(line, RSTART + RLENGTH)
+		name = entry
+		sub(/^"/, "", name)
+		sub(/".*/, "", name)
+		sub(/.*"ns_per_op": /, "", entry)
+		ns[row, name] = entry + 0
+		names[name] = 1
+	}
+}
+END {
+	if (row < 2) { print "bench_check: malformed history"; exit 1 }
+	bad = 0
+	checked = 0
+	for (name in names) {
+		if (!guarded(name)) continue
+		old = ns[1, name]; new = ns[2, name]
+		if (old <= 0 || new <= 0) continue
+		checked++
+		pct = (new - old) / old * 100
+		printf "%-55s %12.0f -> %12.0f ns/op (%+6.1f%%)\n", name, old, new, pct
+		if (pct > thresh) {
+			printf "  ^ REGRESSION beyond %s%% threshold\n", thresh
+			bad = 1
+		}
+	}
+	if (checked == 0) { print "bench_check: no guarded benchmarks found in snapshots"; exit 1 }
+	exit bad
+}'

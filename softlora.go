@@ -339,6 +339,10 @@ func (g *Gateway) process(p *pipeline, cap *radio.Capture, claimedID string, rec
 	if err != nil {
 		return nil, fmt.Errorf("softlora: %w", err)
 	}
+	// The down-converted capture is consumed entirely within this call;
+	// recycling its buffer keeps the batch path free of per-uplink
+	// multi-hundred-KB allocations.
+	defer sdrCap.Release()
 	onset, err := p.onset.DetectOnset(sdrCap.IQ, sdrCap.Rate)
 	if err != nil {
 		return nil, fmt.Errorf("softlora: %w", err)
