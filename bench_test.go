@@ -306,6 +306,22 @@ func BenchmarkFBDechirpFFT(b *testing.B) {
 	}
 }
 
+// BenchmarkFBDechirpFFTExhaustive measures the legacy monolithic padded-FFT
+// reference the decimated+zoom fast path replaced (core.DechirpFFTEstimator
+// with Exhaustive set) — the before/after pair for the PR 4 FB-estimator
+// trajectory.
+func BenchmarkFBDechirpFFTExhaustive(b *testing.B) {
+	iq := benchChirp(sdr.DefaultSampleRate)
+	est := &core.DechirpFFTEstimator{Params: lora.DefaultParams(7), Exhaustive: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateFB(iq, sdr.DefaultSampleRate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkGatewayProcessUplink(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
 	gw, err := NewGateway(Config{Rand: rng})

@@ -47,7 +47,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   fbscan gen  -out FILE [-sf N] [-bias-ppm P] [-snr DB] [-seed N]
-  fbscan scan [-sf N] [-estimator lr|ls|fft] FILE`)
+  fbscan scan [-sf N] [-estimator lr|ls|fft|fft-exact] FILE`)
 }
 
 func runGen(args []string) error {
@@ -99,7 +99,7 @@ func runGen(args []string) error {
 func runScan(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	sf := fs.Int("sf", 7, "spreading factor")
-	estName := fs.String("estimator", "lr", "FB estimator: lr, ls, or fft")
+	estName := fs.String("estimator", "lr", "FB estimator: lr, ls, fft (decimated+zoom), or fft-exact (monolithic padded-FFT reference)")
 	seed := fs.Int64("seed", 1, "random seed (least-squares estimator)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +134,8 @@ func runScan(args []string) error {
 		est = &core.LeastSquaresEstimator{Params: p, Decimation: 4, Rand: rand.New(rand.NewSource(*seed))}
 	case "fft":
 		est = &core.DechirpFFTEstimator{Params: p}
+	case "fft-exact":
+		est = &core.DechirpFFTEstimator{Params: p, Exhaustive: true}
 	default:
 		return fmt.Errorf("unknown estimator %q", *estName)
 	}

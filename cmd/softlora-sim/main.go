@@ -28,11 +28,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	batch := flag.Bool("batch", false, "process each round through the concurrent batch pipeline")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	fb := flag.String("fb", "", "FB estimator: linear-regression, least-squares, dechirp-fft, updown (empty = gateway default)")
+	fbExhaustive := flag.Bool("fb-exhaustive", false, "run the dechirp-fft estimator's monolithic padded-FFT reference instead of the decimated+zoom fast path")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	err := profiling.Run(*cpuprofile, *memprofile, func() error {
-		return run(*devices, *uplinks, *seed, *batch, *workers)
+		return run(*devices, *uplinks, *seed, *batch, *workers, *fb, *fbExhaustive)
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "softlora-sim: %v\n", err)
@@ -40,9 +42,14 @@ func main() {
 	}
 }
 
-func run(nDevices, nUplinks int, seed int64, batch bool, workers int) error {
+func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string, fbExhaustive bool) error {
 	rng := rand.New(rand.NewSource(seed))
-	gw, err := softlora.NewGateway(softlora.Config{Rand: rng, Workers: workers})
+	gw, err := softlora.NewGateway(softlora.Config{
+		Rand:         rng,
+		Workers:      workers,
+		FB:           softlora.FBMethod(fb),
+		FBExhaustive: fbExhaustive,
+	})
 	if err != nil {
 		return err
 	}

@@ -143,6 +143,21 @@ func TestReplayCarriesExtraFrequencyBias(t *testing.T) {
 	if math.Abs(shift-(-620)) > 60 {
 		t.Errorf("replay-induced FB shift = %.0f Hz, want ≈ −620", shift)
 	}
+	// The same shift must be visible through the gateway's fast dechirp-FFT
+	// path (the estimator the batch pipeline runs): the replay fingerprint
+	// cannot depend on which estimator tier the gateway picked.
+	fft := &core.DechirpFFTEstimator{Params: s.Params}
+	origFFT, err := fft.EstimateFB(res.Recording.IQ[:n], testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFFT, err := fft.EstimateFB(res.ReplayEmission.Waveform[:n], testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fftShift := repFFT.DeltaHz - origFFT.DeltaHz; math.Abs(fftShift-(-620)) > 60 {
+		t.Errorf("dechirp-FFT replay-induced shift = %.0f Hz, want ≈ −620", fftShift)
+	}
 }
 
 func TestReplayerReemitShiftsFrequency(t *testing.T) {

@@ -31,17 +31,30 @@ func chirpAtSNR(rng *rand.Rand, deltaHz, snrDB float64) []complex128 {
 func TestDechirpFFTEstimatorZeroAllocSteadyState(t *testing.T) {
 	rng := rand.New(rand.NewSource(201))
 	iq := chirpAtSNR(rng, -21e3, 30)
-	est := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
-	if _, err := est.EstimateFB(iq, testRate); err != nil { // warm-up sizes scratch
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := est.EstimateFB(iq, testRate); err != nil {
+	// Both the decimated coarse→zoom fast path and the monolithic
+	// padded-FFT reference must stay allocation-free once warm.
+	for _, exhaustive := range []bool{false, true} {
+		est := &DechirpFFTEstimator{Params: lora.DefaultParams(7), Exhaustive: exhaustive}
+		if _, err := est.EstimateFB(iq, testRate); err != nil { // warm-up sizes scratch
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("DechirpFFTEstimator.EstimateFB allocated %v times per run in steady state", allocs)
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := est.EstimateFB(iq, testRate); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("EstimateFB (exhaustive=%v) allocated %v times per run in steady state", exhaustive, allocs)
+		}
+	}
+	// The zoom fast path must actually be exercising the decimated branch
+	// at the test geometry, not degenerating to D=1.
+	est := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	if _, err := est.EstimateFB(iq, testRate); err != nil {
+		t.Fatal(err)
+	}
+	if est.dec < 2 {
+		t.Fatalf("fast path decimation = %d at %g Msps; decimated branch not exercised", est.dec, testRate/1e6)
 	}
 }
 

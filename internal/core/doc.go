@@ -12,7 +12,20 @@
 //     phase, fit the residual line whose slope is 2πδ) and the
 //     least-squares estimator solved with differential evolution, which
 //     stays accurate below the demodulation SNR floor. A dechirp-FFT
-//     estimator is provided as a fast extension.
+//     estimator is provided as a fast extension. Its default path is a
+//     two-tier coarse-to-fine estimate: dechirp + boxcar-decimate (full
+//     despreading gain, sinc droop divided out per bin) localizes the δ
+//     tone on an n/D-point FFT restricted to the ±BW/2 fingerprint band,
+//     then a chirp-Z zoom grid ≥4× finer than the legacy padded FFT's
+//     bins refines it, with parabolic interpolation on top and θ read
+//     from one Goertzel evaluation at the final frequency. The monolithic
+//     4×-zero-padded full-rate FFT survives behind the estimator's
+//     Exhaustive knob (softlora.Config.FBExhaustive) as the full-band
+//     accuracy reference; fb_accuracy_test.go pins the fast path to the
+//     reference's error envelope across SF 7–12 × SNR × δ. Both paths
+//     fold interpolated frequencies into (−rate/2, +rate/2] (the Nyquist
+//     readout fix) and derotate θ by the fractional-bin offset so phase
+//     stays unbiased for off-grid δ.
 //
 //   - Frame delay attack detection (§7.2): a per-device frequency-bias
 //     database; a received frame whose estimated bias falls outside the

@@ -275,17 +275,52 @@ func (l *LeastSquaresEstimator) EstimateFB(chirp []complex128, sampleRate float6
 
 // DechirpFFTEstimator is an extension beyond the paper (DESIGN.md §6): the
 // chirp is multiplied by the conjugate ideal chirp, collapsing it to a tone
-// at δ, whose frequency is read off an interpolated FFT peak. It is orders
-// of magnitude faster than the DE least squares and nearly as robust, and
-// serves as the ablation baseline for the estimator comparison bench.
+// at δ whose frequency is read off an interpolated spectral peak. It is
+// orders of magnitude faster than the DE least squares and nearly as
+// robust, and serves as the ablation baseline for the estimator comparison
+// bench.
+//
+// The default path is a two-stage coarse-to-fine estimate. Stage one
+// dechirps and boxcar-decimates the chirp (dsp.DechirpScratch.
+// DechirpDecimateInto — every sample stays in the coherent sum, so the full
+// despreading gain survives) and picks the coarse peak from an n/D-point
+// FFT with the boxcar's sinc droop divided out per bin. Stage two
+// re-evaluates the decimated series on a chirp-Z zoom grid (dsp.ZoomDFT)
+// spanning ±2 coarse bins at a spacing at least 4× finer than the legacy
+// padded FFT's bins, interpolates the zoom peak parabolically, folds the
+// result into the principal alias band, and reads θ from one Goertzel
+// evaluation at the final frequency (bias-free for off-grid δ, after
+// removing the boxcar's (D−1)/2-sample group delay). The decimation factor
+// is capped so the ±BW/2 bias range stays well inside the decimated band.
+//
+// Exhaustive keeps the original single-stage reference: one monolithic
+// 4×-zero-padded full-rate FFT with parabolic interpolation — several times
+// slower, retained as the accuracy fallback and ablation baseline. Both
+// paths apply the Nyquist fold and the fractional-bin θ derotation.
 //
 // An estimator instance holds reusable scratch (conjugate chirp template,
-// FFT plan and buffer) and is not safe for concurrent use: one instance per
-// worker goroutine.
+// FFT plans, decimation/zoom buffers) and is not safe for concurrent use:
+// one instance per worker goroutine.
 type DechirpFFTEstimator struct {
 	Params lora.Params
+	// Exhaustive selects the legacy monolithic padded-FFT reference path
+	// instead of the decimated coarse→zoom hierarchy.
+	Exhaustive bool
 
 	scratch dechirpScratch
+	// scratchExh records which path the scratch was initialized for (the
+	// two differ in FFT padding), so toggling Exhaustive rebuilds it.
+	scratchExh bool
+
+	// Fast-path scratch, rebuilt alongside the dechirp scratch.
+	dec        int          // boxcar decimation factor D
+	decTime    []complex128 // n/D decimated dechirped samples (time domain)
+	coarsePlan *dsp.Plan
+	coarseBuf  []complex128
+	droopInv   []float64 // per-coarse-bin boxcar droop compensation
+	zoom       dsp.ZoomDFT
+	zoomOut    []complex128
+	zoomStep   float64 // zoom grid spacing (Hz)
 }
 
 var _ FBEstimator = (*DechirpFFTEstimator)(nil)
@@ -293,27 +328,177 @@ var _ FBEstimator = (*DechirpFFTEstimator)(nil)
 // Name implements FBEstimator.
 func (d *DechirpFFTEstimator) Name() string { return "dechirp-fft" }
 
-// EstimateFB implements FBEstimator. It dechirps into the estimator's
-// reusable buffer and transforms in place — allocation-free in steady state.
+// maxFBDecimation caps the coarse stage's boxcar factor; with the band
+// constraint in initFast it resolves to 8 at the default 2.4 Msps / 125 kHz
+// geometry (a 19.2× oversampled chirp).
+const maxFBDecimation = 16
+
+// wrapTwoPi maps an angle into [0, 2π), the estimator's θ convention.
+func wrapTwoPi(th float64) float64 {
+	th = math.Mod(th, 2*math.Pi)
+	if th < 0 {
+		th += 2 * math.Pi
+	}
+	return th
+}
+
+// initFast sizes the decimation, coarse-FFT, droop and zoom scratch for one
+// chirp geometry.
+func (d *DechirpFFTEstimator) initFast(n int, sampleRate float64) {
+	// Largest power-of-two decimation that keeps the ±BW/2 bias span
+	// inside 70 % of the decimated band (droop ≥ −2 dB there, and the
+	// coarse peak cannot park legitimate tones at the decimated Nyquist),
+	// with at least 64 decimated samples for a meaningful coarse FFT.
+	dec := 1
+	for dec*2 <= maxFBDecimation && n/(dec*2) >= 64 &&
+		d.Params.Bandwidth*float64(dec*2) <= 0.7*sampleRate {
+		dec *= 2
+	}
+	d.dec = dec
+	m := n / dec
+	if cap(d.decTime) < m {
+		d.decTime = make([]complex128, m)
+	}
+	d.decTime = d.decTime[:m]
+	d.coarsePlan = dsp.PlanFor(m)
+	cl := d.coarsePlan.Size()
+	if cap(d.coarseBuf) < cl {
+		d.coarseBuf = make([]complex128, cl)
+	}
+	d.coarseBuf = d.coarseBuf[:cl]
+	if cap(d.droopInv) < cl {
+		d.droopInv = make([]float64, cl)
+	}
+	d.droopInv = d.droopInv[:cl]
+	decRate := sampleRate / float64(dec)
+	// The coarse search covers the fingerprint band ±BW/2 (plus a few
+	// bins of guard), not the whole decimated spectrum: bins beyond it
+	// carry no legitimate δ, and compensating their deeper droop would
+	// boost pure noise into false coarse peaks at low SNR. Out-of-band
+	// bins get zero weight; Exhaustive remains the full-band reference.
+	coarseBinHz := decRate / float64(cl)
+	maxAbsHz := d.Params.Bandwidth/2 + 3*coarseBinHz
+	for k := 0; k < cl; k++ {
+		f := dsp.BinFrequency(k, cl, decRate)
+		if math.Abs(f) > maxAbsHz && maxAbsHz < decRate/2 {
+			d.droopInv[k] = 0
+			continue
+		}
+		d.droopInv[k] = 1 / dsp.BoxcarDroopSq(dec, f/sampleRate)
+	}
+	// Zoom grid: ±2 coarse bins at 1/16 coarse-bin spacing. The coarse
+	// length is within a factor two of NextPow2(n)/D, so this spacing is
+	// always ≥4× finer than the legacy padded FFT's rate/NextPow2(4n) bins
+	// (the accuracy harness asserts the resulting error envelope).
+	d.zoomStep = coarseBinHz / 16
+	const points = 2*32 + 1
+	if cap(d.zoomOut) < points {
+		d.zoomOut = make([]complex128, points)
+	}
+	d.zoomOut = d.zoomOut[:points]
+	domega := 2 * math.Pi * d.zoomStep / decRate
+	if d.zoom.Stale(m, points, domega) {
+		d.zoom.Init(m, points, domega)
+	}
+}
+
+// EstimateFB implements FBEstimator. Both paths run entirely on the
+// estimator's reusable scratch — allocation-free in steady state.
 func (d *DechirpFFTEstimator) EstimateFB(chirp []complex128, sampleRate float64) (FBEstimate, error) {
 	n := int(d.Params.SamplesPerChirp(sampleRate))
 	if n < 8 || len(chirp) < n {
 		return FBEstimate{}, fmt.Errorf("%w: need %d samples, have %d", ErrChirpTooShort, n, len(chirp))
 	}
-	if d.scratch.Stale(d.Params, n, sampleRate) {
-		// Zero-pad 4x for finer bins before interpolation.
-		d.scratch.Init(d.Params, n, sampleRate, 4, chirpBasePhase(d.Params, sampleRate, n))
+	if d.scratch.Stale(d.Params, n, sampleRate) || d.scratchExh != d.Exhaustive {
+		// The reference path zero-pads 4× for finer bins before
+		// interpolation; the zoom path needs no padding (its fine grid
+		// comes from the chirp-Z stage).
+		pad := 1
+		if d.Exhaustive {
+			pad = 4
+		}
+		d.scratch.Init(d.Params, n, sampleRate, pad, chirpBasePhase(d.Params, sampleRate, n))
+		d.scratchExh = d.Exhaustive
+		if !d.Exhaustive {
+			d.initFast(n, sampleRate)
+		}
 	}
-	spec := d.scratch.Dechirp(chirp[:n])
+	if d.Exhaustive {
+		return d.estimateExhaustive(chirp[:n], sampleRate, n)
+	}
+	return d.estimateZoom(chirp[:n], sampleRate, n)
+}
+
+// estimateExhaustive is the legacy single-stage reference: full-rate
+// dechirp, monolithic padded FFT, parabolic interpolation.
+func (d *DechirpFFTEstimator) estimateExhaustive(seg []complex128, sampleRate float64, n int) (FBEstimate, error) {
+	spec := d.scratch.Dechirp(seg)
 	bin, magSq := dsp.PeakBinSq(spec)
 	if magSq == 0 {
 		return FBEstimate{}, ErrNoEstimate
 	}
+	nfft := len(spec)
 	frac := dsp.InterpolatePeak(spec, bin)
-	f := dsp.BinFrequency(bin, len(spec), sampleRate) + frac*sampleRate/float64(len(spec))
-	theta := math.Atan2(imag(spec[bin]), real(spec[bin]))
-	if theta < 0 {
-		theta += 2 * math.Pi
+	f := dsp.FoldFrequency(dsp.BinFrequency(bin, nfft, sampleRate)+frac*sampleRate/float64(nfft), sampleRate)
+	// The dechirped tone occupies only the n unpadded samples, so a peak
+	// a fractional bin off the grid leaves the integer-bin phasor rotated
+	// by π·frac·(n−1)/nfft; derotate so θ is unbiased for off-bin δ.
+	theta := math.Atan2(imag(spec[bin]), real(spec[bin])) - math.Pi*frac*float64(n-1)/float64(nfft)
+	return FBEstimate{
+		DeltaHz: f,
+		Theta:   wrapTwoPi(theta),
+		Quality: math.Sqrt(magSq) / float64(n),
+	}, nil
+}
+
+// estimateZoom is the decimated coarse→zoom fast path.
+func (d *DechirpFFTEstimator) estimateZoom(seg []complex128, sampleRate float64, n int) (FBEstimate, error) {
+	dec := d.dec
+	m := len(d.decTime)
+	d.scratch.DechirpDecimateInto(d.decTime, seg, dec)
+
+	// Coarse stage: droop-compensated peak over the n/D-point spectrum
+	// (Transform zero-pads the shorter decimated series into the buffer).
+	buf := d.coarseBuf
+	d.coarsePlan.Transform(buf, d.decTime)
+	bin, best := 0, 0.0
+	for k, v := range buf {
+		re, im := real(v), imag(v)
+		if mm := (re*re + im*im) * d.droopInv[k]; mm > best {
+			best, bin = mm, k
+		}
 	}
-	return FBEstimate{DeltaHz: f, Theta: theta, Quality: math.Sqrt(magSq) / float64(n)}, nil
+	if best == 0 {
+		return FBEstimate{}, ErrNoEstimate
+	}
+	decRate := sampleRate / float64(dec)
+	coarseHz := dsp.BinFrequency(bin, len(buf), decRate)
+
+	// Zoom stage: chirp-Z grid over ±2 coarse bins around the pick.
+	points := len(d.zoomOut)
+	f0 := coarseHz - float64(points/2)*d.zoomStep
+	d.zoom.Transform(d.zoomOut, d.decTime, 2*math.Pi*f0/decRate)
+	zb, zbest := dsp.PeakBinSq(d.zoomOut)
+	if zbest == 0 {
+		return FBEstimate{}, ErrNoEstimate
+	}
+	frac := 0.0
+	if zb > 0 && zb < points-1 {
+		frac = dsp.InterpolatePeak(d.zoomOut, zb)
+	}
+	f := dsp.FoldFrequency(f0+(float64(zb)+frac)*d.zoomStep, decRate)
+
+	// θ from one Goertzel evaluation of the decimated series at the final
+	// frequency: no integer-bin phase bias, only the boxcar accumulator's
+	// (D−1)/2-sample group delay to remove.
+	x := dsp.GoertzelDFT(d.decTime, 2*math.Pi*f*float64(dec)/sampleRate)
+	theta := math.Atan2(imag(x), real(x)) - math.Pi*f*float64(dec-1)/sampleRate
+	droopAmp := math.Sqrt(dsp.BoxcarDroopSq(dec, f/sampleRate))
+	quality := 0.0
+	if droopAmp > 0 {
+		// |X| ≈ A·m·D·droop for a tone of amplitude A: normalize to match
+		// the reference path's Quality ≈ A.
+		quality = math.Sqrt(real(x)*real(x)+imag(x)*imag(x)) / (float64(m*dec) * droopAmp)
+	}
+	return FBEstimate{DeltaHz: f, Theta: wrapTwoPi(theta), Quality: quality}, nil
 }

@@ -219,6 +219,139 @@ func TestDechirpFFTLowSNR(t *testing.T) {
 	}
 }
 
+// chirpAtRate synthesizes one chirp at an arbitrary sample rate (cleanChirp
+// is pinned to testRate).
+func chirpAtRate(rng *rand.Rand, p lora.Params, rate, deltaHz, theta, snrDB float64) []complex128 {
+	spec := lora.ChirpSpec{
+		SF:              p.SF,
+		Bandwidth:       p.Bandwidth,
+		FrequencyOffset: deltaHz,
+		Phase:           theta,
+	}
+	iq := spec.Synthesize(rate)
+	if !math.IsInf(snrDB, 1) {
+		noise := dsp.GaussianNoise(rng, len(iq), 1)
+		g := dsp.NoiseForSNR(dsp.Power(iq), 1, snrDB)
+		for i := range iq {
+			iq[i] += noise[i] * complex(g, 0)
+		}
+	}
+	return iq
+}
+
+// TestDechirpFFTNyquistFold is the regression for the Nyquist-fold readout
+// bug: at a sample rate close to the bandwidth, a δ just inside −rate/2
+// peaks at the fold bin (len/2), and the fractional-bin correction pushes
+// the interpolated frequency past +rate/2 unless it is folded back into
+// (−rate/2, +rate/2]. The unfixed estimator reported ≈ +rate/2 here — a
+// full-band (~125 kHz) error.
+func TestDechirpFFTNyquistFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	p := lora.DefaultParams(7)
+	rate := p.Bandwidth // critically sampled: Nyquist = ±BW/2
+	for _, exhaustive := range []bool{false, true} {
+		est := &DechirpFFTEstimator{Params: p, Exhaustive: exhaustive}
+		for _, delta := range []float64{
+			-p.Bandwidth/2 + 24,  // just inside −BW/2: peak at the fold bin
+			-p.Bandwidth/2 + 180, // within one padded bin of the fold
+			p.Bandwidth/2 - 24,   // just inside +BW/2
+		} {
+			iq := chirpAtRate(rng, p, rate, delta, 0.9, 30)
+			got, err := est.EstimateFB(iq, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.DeltaHz > rate/2 || got.DeltaHz <= -rate/2 {
+				t.Errorf("exhaustive=%v δ=%.0f: estimate %.1f Hz outside (−rate/2, rate/2]",
+					exhaustive, delta, got.DeltaHz)
+			}
+			// Compare on the alias circle: δ at ±BW/2∓ε is unambiguous, so
+			// the folded estimate must also be numerically close.
+			errHz := math.Abs(dsp.FoldFrequency(got.DeltaHz-delta, rate))
+			if errHz > 60 {
+				t.Errorf("exhaustive=%v δ=%.0f: estimated %.1f (error %.1f Hz)",
+					exhaustive, delta, got.DeltaHz, errHz)
+			}
+		}
+	}
+}
+
+// TestDechirpFFTThetaUnbiasedOffBin is the regression for the fractional-bin
+// θ bias: the unfixed estimator read θ from the integer peak bin, which for
+// a δ half a bin off the grid rotates θ by up to π·n/(2·nfft) ≈ 0.24 rad.
+// Clean chirps, worst-case half-bin offsets; θ is pinned against the true
+// synthesized phase and cross-checked against LeastSquaresEstimator.
+func TestDechirpFFTThetaUnbiasedOffBin(t *testing.T) {
+	p := lora.DefaultParams(7)
+	n := int(p.SamplesPerChirp(testRate))
+	nfft := float64(dsp.NextPow2(4 * n)) // legacy padded length: 16384
+	angDiff := func(a, b float64) float64 {
+		return math.Abs(math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi)
+	}
+	for _, exhaustive := range []bool{false, true} {
+		est := &DechirpFFTEstimator{Params: p, Exhaustive: exhaustive}
+		for _, tc := range []struct {
+			deltaHz, theta float64
+		}{
+			{(10 + 0.5) * testRate / nfft, 2.0},  // exactly half a padded bin off-grid
+			{(-33 - 0.5) * testRate / nfft, 0.3}, // negative side
+			{(150 + 0.3) * testRate / nfft, 5.1},
+			{1234.5, 4.0}, // arbitrary off-grid δ
+		} {
+			iq := chirpAtRate(rand.New(rand.NewSource(111)), p, testRate, tc.deltaHz, tc.theta, math.Inf(1))
+			got, err := est.EstimateFB(iq, testRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := angDiff(got.Theta, tc.theta); d > 0.06 {
+				t.Errorf("exhaustive=%v δ=%.1f: θ=%.3f, want %.3f (off by %.3f rad)",
+					exhaustive, tc.deltaHz, got.Theta, tc.theta, d)
+			}
+		}
+	}
+	// Cross-check against the least-squares estimator's θ on one clean
+	// half-bin-offset chirp (the satellite's reference).
+	rng := rand.New(rand.NewSource(112))
+	delta := (10 + 0.5) * testRate / nfft
+	iq := chirpAtRate(rng, p, testRate, delta, 2.0, math.Inf(1))
+	ls := &LeastSquaresEstimator{Params: p, Decimation: 8, Rand: rng}
+	want, err := ls.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := &DechirpFFTEstimator{Params: p}
+	got, err := df.EstimateFB(iq, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := angDiff(got.Theta, want.Theta); d > 0.15 {
+		t.Errorf("dechirp-FFT θ=%.3f vs least-squares θ=%.3f (off by %.3f rad)", got.Theta, want.Theta, d)
+	}
+}
+
+// TestDechirpFFTExhaustiveMatchesZoom pins the two paths against each other
+// at moderate SNR: the zoom fast path must track the monolithic reference
+// within a few Hz.
+func TestDechirpFFTExhaustiveMatchesZoom(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	fast := &DechirpFFTEstimator{Params: lora.DefaultParams(7)}
+	ref := &DechirpFFTEstimator{Params: lora.DefaultParams(7), Exhaustive: true}
+	for _, delta := range []float64{-55e3, -21.3e3, -543, 0, 743.9, 22e3, 55e3} {
+		iq := cleanChirp(rng, delta, 1.1, 10)
+		a, err := fast.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ref.EstimateFB(iq, testRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.DeltaHz-b.DeltaHz) > 30 {
+			t.Errorf("δ=%.0f: zoom %.1f vs exhaustive %.1f Hz", delta, a.DeltaHz, b.DeltaHz)
+		}
+	}
+}
+
 func TestEstimatorsAgreeOnRealisticChirp(t *testing.T) {
 	// Cross-validation: all three estimators within 150 Hz of each other
 	// at moderate SNR.

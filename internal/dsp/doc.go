@@ -39,7 +39,20 @@
 // resolution: it boxcar-sums the dechirped product by the decimation
 // factor before a proportionally smaller transform, preserving the full
 // window's coherent gain over the surviving band (compensate the boxcar's
-// sinc droop per bin with BoxcarDroopSq).
+// sinc droop per bin with BoxcarDroopSq; DechirpDecimateInto exposes the
+// decimated time series when a caller needs it past the transform).
+//
+// ZoomDFT adds the zoom tier between "one bin" and "all bins": a planned
+// chirp-Z transform that evaluates a dense uniform grid of `points`
+// frequencies anywhere in the band at O((m+points)·log(m+points)) — two
+// planned FFTs per call — against O(points·m) for a GoertzelGrid sweep
+// (measured ~4.5× faster at the FB estimator's 307-sample/65-point
+// geometry, BenchmarkZoomGrid). The frequency-bias estimator's
+// coarse-to-fine path is the canonical composition: DechirpDecimateInto
+// shrinks the band, a small plan transform localizes the tone to a coarse
+// bin, and ZoomDFT refines it on a grid finer than any affordable padded
+// FFT, with FoldFrequency wrapping interpolated readouts back into the
+// principal alias band.
 //
 // # Synthesis-path cost tiers and the oscillator drift contract
 //

@@ -58,6 +58,20 @@ func BinFrequency(k, n int, sampleRate float64) float64 {
 	return float64(k) * sampleRate / float64(n)
 }
 
+// FoldFrequency wraps f into the principal alias band (−rate/2, rate/2] of
+// a sampling rate. Interpolated peak readouts need this: a fractional-bin
+// correction applied at the Nyquist bin can push the result past +rate/2,
+// where the physically observable frequency has already wrapped negative.
+func FoldFrequency(f, rate float64) float64 {
+	f = math.Mod(f, rate)
+	if f > rate/2 {
+		f -= rate
+	} else if f <= -rate/2 {
+		f += rate
+	}
+	return f
+}
+
 // PeakBinSq returns the index and SQUARED magnitude of the strongest bin —
 // the one squared-magnitude scanner behind every peak search in the
 // gateway (one multiply-add per bin, no square roots). Callers that need

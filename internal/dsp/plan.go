@@ -338,6 +338,24 @@ func (s *DechirpScratch[K]) DechirpDecimated(seg []complex128, d int) []complex1
 		s.decFactor = d
 	}
 	buf := s.decBuf
+	s.DechirpDecimateInto(buf[:m], seg, d)
+	for i := m; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	s.decPlan.TransformInPlace(buf)
+	return buf
+}
+
+// DechirpDecimateInto is the time-domain half of DechirpDecimated: it
+// dechirps seg against the template and boxcar-sums adjacent groups of d
+// samples into dst, returning dst[:n/d] without transforming. Callers that
+// need both the decimated spectrum and the decimated time series (the FB
+// estimator's coarse FFT + zoom refinement) use this once and transform a
+// copy, keeping the time series intact. dst must have capacity ≥ n/d; the
+// last n mod d samples of the template window are dropped.
+func (s *DechirpScratch[K]) DechirpDecimateInto(dst []complex128, seg []complex128, d int) []complex128 {
+	m := s.n / d
+	dst = dst[:m]
 	conj := s.conj
 	for i := 0; i < m; i++ {
 		var acc complex128
@@ -345,13 +363,9 @@ func (s *DechirpScratch[K]) DechirpDecimated(seg []complex128, d int) []complex1
 		for r := 0; r < d; r++ {
 			acc += seg[base+r] * conj[base+r]
 		}
-		buf[i] = acc
+		dst[i] = acc
 	}
-	for i := m; i < len(buf); i++ {
-		buf[i] = 0
-	}
-	s.decPlan.TransformInPlace(buf)
-	return buf
+	return dst
 }
 
 // SpectrogramPlan computes short-time Fourier transform power spectrograms

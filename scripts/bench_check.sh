@@ -4,7 +4,7 @@
 # change, both measured on the same box — and fails when a guarded
 # benchmark regressed by more than the threshold in ns/op. Guarded:
 # BenchmarkDechirpOnset, BenchmarkFFTPlan/planned-*,
-# BenchmarkGatewayBatchThroughput/workers-1.
+# BenchmarkGatewayBatchThroughput/workers-1, BenchmarkFBDechirpFFT.
 #
 # CI runs this against the committed history (commit-to-commit on the
 # snapshot-producing box), NOT against a fresh runner measurement — a
@@ -27,6 +27,7 @@ tail -n 2 "$HIST" | awk -v thresh="$THRESH" '
 function guarded(name) {
 	return name == "BenchmarkDechirpOnset" ||
 	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
+	       name == "BenchmarkFBDechirpFFT" ||
 	       name ~ /^BenchmarkFFTPlan\/planned-/
 }
 {

@@ -121,6 +121,12 @@ type Config struct {
 	// FB selects the bias estimator (FBLinearRegression by default;
 	// FBLeastSquares is the low-SNR option at higher CPU cost).
 	FB FBMethod
+	// FBExhaustive runs the dechirp-FFT estimator's monolithic padded-FFT
+	// reference instead of the decimated coarse→zoom hierarchy — several
+	// times slower, intended for accuracy parity runs and for biases
+	// beyond the ±BW/2 fingerprint band the fast path searches. Only
+	// meaningful with FBDechirpFFT.
+	FBExhaustive bool
 	// ToleranceHz is the replay-detection deviation threshold
 	// (core.DefaultToleranceHz when 0).
 	ToleranceHz float64
@@ -139,6 +145,11 @@ type pipeline struct {
 	onset     core.OnsetDetector
 	estimator core.FBEstimator
 	updown    *core.UpDownEstimator // non-nil when FBUpDown is selected
+
+	// rng is the pipeline's reusable batch random source: ProcessBatch
+	// reseeds it per uplink instead of allocating a fresh generator (a
+	// ~5 KB rngSource each) for every job.
+	rng *rand.Rand
 }
 
 // setRand points the pipeline's stochastic stages (SDR phase draw,
@@ -160,6 +171,7 @@ type Gateway struct {
 	params     lora.Params
 	sampleRate float64
 	fbMethod   FBMethod
+	fbExh      bool // dechirp-FFT estimator reference mode (Config knob)
 	onsetMeth  OnsetMethod
 	onsetDecim int          // dechirp detector coarse decimation (Config knob)
 	onsetComb  int          // dechirp detector refinement comb half-width
@@ -229,6 +241,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		params:     params,
 		sampleRate: rate,
 		fbMethod:   cfg.FB,
+		fbExh:      cfg.FBExhaustive,
 		onsetMeth:  cfg.Onset,
 		onsetDecim: cfg.OnsetCoarseDecimation,
 		onsetComb:  cfg.OnsetRefineCombBins,
@@ -261,9 +274,10 @@ func NewGateway(cfg Config) (*Gateway, error) {
 }
 
 // newPipeline builds a fresh processing chain with its own scratch state.
-// The pipeline's random source is unset; callers must setRand before use.
+// The pipeline's random source is unset; callers must setRand before use
+// (batch workers reseed and install the pipeline's own rng per uplink).
 func (g *Gateway) newPipeline() *pipeline {
-	p := &pipeline{}
+	p := &pipeline{rng: rand.New(rand.NewSource(0))}
 	recv := g.recvProto
 	p.receiver = &recv
 	switch g.onsetMeth {
@@ -285,7 +299,7 @@ func (g *Gateway) newPipeline() *pipeline {
 	case FBLeastSquares:
 		p.estimator = &core.LeastSquaresEstimator{Params: g.params, Decimation: 4}
 	case FBDechirpFFT:
-		p.estimator = &core.DechirpFFTEstimator{Params: g.params}
+		p.estimator = &core.DechirpFFTEstimator{Params: g.params, Exhaustive: g.fbExh}
 	case FBUpDown:
 		p.updown = &core.UpDownEstimator{Params: g.params}
 	}
@@ -328,14 +342,17 @@ type UplinkReport struct {
 // ProcessUplink runs on the gateway's serial pipeline and must not be
 // called concurrently; use ProcessBatch for concurrent processing.
 func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
-	return g.process(g.pipe, cap, claimedID, records)
+	return g.process(g.pipe, cap, claimedID, records, &UplinkReport{}, nil)
 }
 
-// process runs the pipeline stages on one capture. Everything except the
-// replay-database check touches only the pipeline's own scratch, so
-// distinct pipelines may run process concurrently.
-func (g *Gateway) process(p *pipeline, cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
-	sdrCap, err := p.receiver.Downconvert(cap)
+// process runs the pipeline stages on one capture into the caller-provided
+// report (batch callers hand slots of a per-batch slab so the steady state
+// allocates nothing per uplink; ts, when its capacity suffices, likewise
+// backs the report's Timestamps). Everything except the replay-database
+// check touches only the pipeline's own scratch, so distinct pipelines may
+// run process concurrently.
+func (g *Gateway) process(p *pipeline, capt *radio.Capture, claimedID string, records []timestamp.FrameRecord, report *UplinkReport, ts []float64) (*UplinkReport, error) {
+	sdrCap, err := p.receiver.Downconvert(capt)
 	if err != nil {
 		return nil, fmt.Errorf("softlora: %w", err)
 	}
@@ -372,7 +389,7 @@ func (g *Gateway) process(p *pipeline, cap *radio.Capture, claimedID string, rec
 		fbHz = est.DeltaHz
 	}
 	verdict := g.detector.Check(claimedID, fbHz)
-	report := &UplinkReport{
+	*report = UplinkReport{
 		ArrivalTime:      arrival,
 		OnsetSample:      onset.Sample,
 		FrequencyBiasHz:  fbHz,
@@ -388,7 +405,11 @@ func (g *Gateway) process(p *pipeline, cap *radio.Capture, claimedID string, rec
 	}
 	report.Accepted = report.Verdict != VerdictReplay
 	if report.Accepted {
-		report.Timestamps = make([]float64, len(records))
+		if cap(ts) >= len(records) {
+			report.Timestamps = ts[:len(records)]
+		} else {
+			report.Timestamps = make([]float64, len(records))
+		}
 		for i, r := range records {
 			report.Timestamps[i] = timestamp.Reconstruct(report.ArrivalTime, r)
 		}
@@ -482,6 +503,16 @@ func (g *Gateway) ProcessBatch(ctx context.Context, uplinks []Uplink) []BatchRes
 	if workers < 1 {
 		workers = 1
 	}
+	// Reports and reconstructed timestamps come out of two batch-level
+	// slabs instead of per-uplink allocations: the record counts are known
+	// upfront, workers write disjoint slots, and the whole batch hands
+	// ownership to the caller in one piece.
+	reports := make([]UplinkReport, len(uplinks))
+	tsOff := make([]int, len(uplinks)+1)
+	for i, u := range uplinks {
+		tsOff[i+1] = tsOff[i] + len(u.Records)
+	}
+	tsSlab := make([]float64, tsOff[len(uplinks)])
 	seedBase := g.batchRandSeed()
 	batchNo := g.batchCount.Add(1)
 	var next atomic.Int64
@@ -510,8 +541,13 @@ func (g *Gateway) ProcessBatch(ctx context.Context, uplinks []Uplink) []BatchRes
 					results[i] = BatchResult{Err: ErrNilCapture}
 					continue
 				}
-				p.setRand(rand.New(rand.NewSource(jobSeed(seedBase, batchNo, i))))
-				report, err := g.process(p, uplinks[i].Capture, uplinks[i].ClaimedID, uplinks[i].Records)
+				// Reseeding the pipeline's own generator replaces the old
+				// per-uplink rand.New (a fresh ~5 KB source per job) and
+				// draws the identical stream for a given seed.
+				p.rng.Seed(jobSeed(seedBase, batchNo, i))
+				p.setRand(p.rng)
+				ts := tsSlab[tsOff[i]:tsOff[i]:tsOff[i+1]]
+				report, err := g.process(p, uplinks[i].Capture, uplinks[i].ClaimedID, uplinks[i].Records, &reports[i], ts)
 				results[i] = BatchResult{Report: report, Err: err}
 			}
 		}()
