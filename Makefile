@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race determinism bench
 
 # ci is the gate every PR must pass: formatting, static checks, build, the
-# full test suite, and the race detector over the concurrent batch pipeline.
-ci: fmt vet build test race
+# full test suite, the race detector over the concurrent paths (batch
+# pipeline + network server), and the batch-determinism contract.
+ci: fmt vet build test race determinism
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -21,6 +22,13 @@ test:
 
 race:
 	$(GO) test -race -run Batch .
+	$(GO) test -race ./internal/netserver
+
+# determinism re-runs the ordered-commit contract explicitly: verdicts and
+# serialized bias-database bytes must be identical for every worker count,
+# including same-device batches.
+determinism:
+	$(GO) test -count=1 -run 'TestProcessBatchSameDeviceDeterministicCommit|TestProcessBatchDeterministicAcrossWorkerCounts|TestMultiGatewayDeterministic' .
 
 # bench refreshes BENCH_softlora.json (the cross-PR perf trajectory).
 bench:

@@ -1,6 +1,7 @@
 package softlora
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math"
@@ -76,6 +77,51 @@ func TestProcessBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 		a, b := res1[i].Report, res8[i].Report
 		if a.FrequencyBiasHz != b.FrequencyBiasHz || a.ArrivalTime != b.ArrivalTime || a.OnsetSample != b.OnsetSample {
 			t.Errorf("uplink %d: 1-worker %+v vs 8-worker %+v", i, a, b)
+		}
+	}
+}
+
+// TestProcessBatchSameDeviceDeterministicCommit is the ordered-commit
+// contract on the paper's core security decision: a batch containing
+// several uplinks from the SAME device must yield identical verdicts and
+// an identical serialized bias database for every worker count. Under the
+// old interleaved per-worker Check, the order the device's frames folded
+// into the EWMA database depended on goroutine scheduling, so the learned
+// state (and potentially the verdicts) varied run to run; the two-stage
+// pipeline commits in uplink-index order after the PHY stage, making both
+// bit-identical.
+func TestProcessBatchSameDeviceDeterministicCommit(t *testing.T) {
+	run := func(workers int) ([]Verdict, []byte) {
+		t.Helper()
+		// batchFixture renders every uplink from the same device "dev";
+		// the per-uplink noise draws differ, so each frame carries a
+		// different FB estimate and the database fold order matters.
+		gw, jobs := batchFixture(t, workers, 8)
+		verdicts := make([]Verdict, len(jobs))
+		for i, r := range gw.ProcessBatch(context.Background(), jobs) {
+			if r.Err != nil {
+				t.Fatalf("workers=%d uplink %d: %v", workers, i, r.Err)
+			}
+			verdicts[i] = r.Report.Verdict
+		}
+		var buf bytes.Buffer
+		if err := gw.SaveBiasDatabase(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return verdicts, buf.Bytes()
+	}
+	wantVerdicts, wantDB := run(1)
+	for _, workers := range []int{4, 8} {
+		verdicts, db := run(workers)
+		for i := range verdicts {
+			if verdicts[i] != wantVerdicts[i] {
+				t.Errorf("workers=%d uplink %d: verdict %s, want %s (workers=1)",
+					workers, i, verdicts[i], wantVerdicts[i])
+			}
+		}
+		if !bytes.Equal(db, wantDB) {
+			t.Errorf("workers=%d: serialized bias database differs from workers=1:\n%s\nvs\n%s",
+				workers, db, wantDB)
 		}
 	}
 }

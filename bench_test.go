@@ -21,6 +21,7 @@ import (
 	"softlora/internal/dsp"
 	"softlora/internal/experiments"
 	"softlora/internal/lora"
+	"softlora/internal/netserver"
 	"softlora/internal/radio"
 	"softlora/internal/sdr"
 )
@@ -505,6 +506,34 @@ func BenchmarkGatewayBatchThroughput(b *testing.B) {
 			benchGatewayBatch(b, c.name, c.onset, workers, batch)
 		}
 	}
+}
+
+// BenchmarkNetworkServerCheck measures the network server's sharded-lock
+// verdict hot path: a pre-enrolled fleet, goroutines issuing one Check per
+// iteration against devices spread across the shards. This is the per-frame
+// detection cost every gateway's commit stage pays.
+func BenchmarkNetworkServerCheck(b *testing.B) {
+	s := netserver.New(netserver.Config{})
+	const fleet = 4096
+	ids := make([]string, fleet)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev-%d", i)
+		s.Enroll(ids[i], -22e3, 10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Check(netserver.PHYObservation{
+				GatewayID: "gw-0",
+				DeviceID:  ids[i&(fleet-1)],
+				FBHz:      -22e3 + float64(i%64),
+				JitterHz:  40,
+			})
+			i++
+		}
+	})
 }
 
 func benchGatewayBatch(b *testing.B, name string, onset OnsetMethod, workers, batch int) {

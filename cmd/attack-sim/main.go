@@ -15,7 +15,9 @@ import (
 	"softlora"
 	"softlora/internal/attack"
 	"softlora/internal/chip"
+	"softlora/internal/core"
 	"softlora/internal/lora"
+	"softlora/internal/netserver"
 	"softlora/internal/radio"
 	"softlora/internal/sdr"
 	"softlora/internal/timestamp"
@@ -24,14 +26,15 @@ import (
 func main() {
 	delay := flag.Float64("delay", 30, "injected delay τ in seconds")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	gateways := flag.Int("gateways", 1, "number of gateways hearing the replay; >1 routes the verdict through a shared network server (dedup + FB fusion)")
 	flag.Parse()
-	if err := run(*delay, *seed); err != nil {
+	if err := run(*delay, *seed, *gateways); err != nil {
 		fmt.Fprintf(os.Stderr, "attack-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(tau float64, seed int64) error {
+func run(tau float64, seed int64, gateways int) error {
 	rng := rand.New(rand.NewSource(seed))
 	b := radio.DefaultBuilding()
 	device := b.FixedNode()
@@ -96,6 +99,10 @@ func run(tau float64, seed int64) error {
 	fmt.Printf("[3] replay after τ=%.1f s at 7 dBm (RSSI %.1f dBm, inconspicuous=%v)\n",
 		res.InjectedDelay, res.ReplayRSSIdBm, res.RSSIInconspicuous)
 
+	if gateways > 1 {
+		return multiGatewayVerdict(b, p, rng, res.ReplayEmission, deviceBias, tau, t0, gateways)
+	}
+
 	// Gateway processes the replayed frame. The datum was captured 5 s
 	// before the original transmission.
 	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: b.NoiseFloordBm, Rand: rng}
@@ -117,6 +124,66 @@ func run(tau float64, seed int64) error {
 		report.FrequencyBiasHz, deviceBias, report.Verdict)
 	if report.Verdict == softlora.VerdictReplay {
 		fmt.Println("SoftLoRa drops the replayed frame: timestamps cannot be spoofed.")
+	} else {
+		fmt.Println("WARNING: replay was not detected!")
+	}
+	return nil
+}
+
+// multiGatewayVerdict runs the replayed emission through a fleet of
+// top-floor gateways feeding one network server: every receiver that locks
+// onto the frame contributes a PHY observation, the server dedups the
+// copies and fuses the FB estimates, and the replay is flagged exactly
+// once. The replayer transmits next to the first gateway; the other sites
+// hear it across the building.
+func multiGatewayVerdict(b *radio.Building, p lora.Params, rng *rand.Rand, replay radio.Emission, deviceBias, tau, t0 float64, gateways int) error {
+	multi, err := softlora.NewMultiGatewaySimulation(b, gateways, softlora.Config{
+		Params: p,
+		Rand:   rng,
+		Onset:  softlora.OnsetDechirp,
+		FB:     softlora.FBDechirpFFT,
+	})
+	if err != nil {
+		return err
+	}
+	multi.Server.Enroll("node-1", deviceBias, 10)
+	fmt.Printf("\n=== Network-server verdict across %d gateways ===\n", gateways)
+	var obs []netserver.PHYObservation
+	for i, site := range multi.Sites {
+		em := replay
+		if i > 0 {
+			// The replayer sits next to gw-0; the other sites hear it
+			// through the building.
+			em.PathLossdB = b.LossdB(multi.Sites[0].Position, site.Position)
+			em.Distance = b.Distance(multi.Sites[0].Position, site.Position)
+		}
+		sim := &softlora.Simulation{Gateway: site.Gateway, NoiseFloordBm: b.NoiseFloordBm, Rand: rng}
+		cap, err := sim.CaptureEmission(em)
+		if err != nil {
+			return err
+		}
+		o, err := site.Gateway.Observe(cap, "node-1", "replayed-frame")
+		cap.Release()
+		if err != nil {
+			fmt.Printf("gw-%d (%s fl %d): no lock (%v)\n", i, site.Position.Label, site.Position.Floor, err)
+			continue
+		}
+		fmt.Printf("gw-%d (%s fl %d): FB %.0f Hz (jitter ±%.0f Hz)\n",
+			i, site.Position.Label, site.Position.Floor, o.FBHz, o.JitterHz)
+		obs = append(obs, o)
+	}
+	if len(obs) == 0 {
+		return fmt.Errorf("no gateway received the replayed frame")
+	}
+	fv, err := multi.Server.CheckFrame(obs)
+	if err != nil {
+		return err
+	}
+	st := multi.Server.Stats()
+	fmt.Printf("fused: FB %.0f Hz vs enrolled %.0f Hz → verdict %s (heard by %d, judged once, %d duplicates suppressed)\n",
+		fv.FBHz, deviceBias, fv.Verdict, fv.Receivers, st.DuplicatesSuppressed)
+	if fv.Verdict == core.VerdictReplay {
+		fmt.Println("SoftLoRa drops the replayed frame fleet-wide: one verdict, no duplicate alarms.")
 	} else {
 		fmt.Println("WARNING: replay was not detected!")
 	}

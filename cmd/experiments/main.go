@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,throughput); empty runs all")
+	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,multigw,throughput); empty runs all")
 	quick := flag.Bool("quick", false, "reduce trial counts for a fast pass")
 	workers := flag.Int("workers", 0, "gateway batch workers for the throughput experiment (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -159,6 +159,13 @@ func run(only string, quick bool, workers int) error {
 		}
 		experiments.PrintAblationUpDown(w, ud)
 		experiments.PrintRTTCost(w, experiments.RTTCost())
+	}
+	if want("multigw") {
+		rows, err := experiments.AblationMultiGateway(trials(10, 3))
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationMultiGateway(w, rows)
 	}
 	return nil
 }

@@ -30,5 +30,24 @@
 //   - Frame delay attack detection (§7.2): a per-device frequency-bias
 //     database; a received frame whose estimated bias falls outside the
 //     claimed source's learned range is flagged as a replay and its bias is
-//     not folded back into the database.
+//     not folded back into the database. The per-record policy (CheckRecord:
+//     enroll with count-weighted running statistics, then classify against
+//     the adaptive band and EWMA-fold genuine estimates) is exported so
+//     every database backend applies it identically: the in-process
+//     ReplayDetector here, and the sharded multi-gateway store in package
+//     netserver. Loaded databases are validated record by record
+//     (ValidateDatabase) — a non-finite mean or deviation would otherwise
+//     make the acceptance test vacuously true and silently disable
+//     detection for that device.
+//
+// # Detection ordering contract
+//
+// Check (and CheckRecord) both reads and updates state, so the verdict for
+// frame k depends on which frames folded in before it. Callers that process
+// frames concurrently must therefore split work into a side-effect-free PHY
+// stage and an ordered commit stage that applies Check in a deterministic
+// frame order — softlora.Gateway.ProcessBatch commits in uplink-index order
+// and netserver.NetworkServer.CheckBatch sorts frames by UplinkIndex —
+// otherwise verdicts and the learned database depend on goroutine
+// scheduling.
 package core

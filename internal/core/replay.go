@@ -83,6 +83,106 @@ func (rec BiasRecord) Band(toleranceHz, devMultiplier float64) float64 {
 	return toleranceHz
 }
 
+// Fold updates the record with a genuine estimate. While the device is
+// still enrolling (Count < enrollFrames) the statistics are count-weighted
+// running averages, so the learned mean is exactly the average of the
+// enrollment window and the deviation its mean absolute deviation; an EWMA
+// here would weight the first frame by (1−α)^(n−1) — 0.64 of the total at
+// the default α=0.2 over 3 frames. Once enrolled, the EWMA with weight
+// alpha tracks slow temperature-induced skew (§7.2).
+func (rec *BiasRecord) Fold(fbHz, alpha float64, enrollFrames int) {
+	dev := math.Abs(fbHz - rec.Mean)
+	if rec.Count < enrollFrames {
+		n := float64(rec.Count)
+		rec.Mean += (fbHz - rec.Mean) / (n + 1)
+		rec.Dev += (dev - rec.Dev) / (n + 1)
+	} else {
+		rec.Dev = (1-alpha)*rec.Dev + alpha*dev
+		rec.Mean = (1-alpha)*rec.Mean + alpha*fbHz
+	}
+	if fbHz < rec.Min {
+		rec.Min = fbHz
+	}
+	if fbHz > rec.Max {
+		rec.Max = fbHz
+	}
+	rec.Count++
+}
+
+// CheckRecord applies the §7.2 verdict-and-update policy to one device
+// record: unknown devices (rec == nil) start enrolling (the returned record
+// must be stored by the caller), enrolling devices fold the estimate into
+// their running statistics, and enrolled devices are classified against the
+// adaptive acceptance band — genuine estimates update the record, replays do
+// not ("the FB estimated from a frame that is detected to be a replayed one
+// should not be used to update the database"). A non-finite estimate fails
+// closed: VerdictReplay, nothing folded, no record created — folding a NaN
+// into Mean would make the band comparison vacuously true forever after and
+// silently disable detection for the device. It is exported so every bias
+// database backend (the in-process ReplayDetector, the network server's
+// sharded store) applies the identical policy under its own locking.
+func CheckRecord(rec *BiasRecord, fbHz, toleranceHz, devMultiplier, alpha float64, enrollFrames int) (Verdict, *BiasRecord) {
+	if math.IsNaN(fbHz) || math.IsInf(fbHz, 0) {
+		return VerdictReplay, rec
+	}
+	if rec == nil {
+		return VerdictEnrolling, &BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: 1}
+	}
+	if rec.Count < enrollFrames {
+		rec.Fold(fbHz, alpha, enrollFrames)
+		return VerdictEnrolling, rec
+	}
+	if math.Abs(fbHz-rec.Mean) > rec.Band(toleranceHz, devMultiplier) {
+		return VerdictReplay, rec
+	}
+	rec.Fold(fbHz, alpha, enrollFrames)
+	return VerdictGenuine, rec
+}
+
+// Validate rejects records that would corrupt detection: non-finite
+// statistics (a NaN Dev makes Band NaN and the band comparison always
+// false, accepting every frame), negative deviations or counts, and an
+// inverted observed range.
+func (rec *BiasRecord) Validate() error {
+	for _, f := range [...]struct {
+		name  string
+		value float64
+	}{
+		{"mean_hz", rec.Mean}, {"dev_hz", rec.Dev},
+		{"min_hz", rec.Min}, {"max_hz", rec.Max},
+	} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Errorf("%s %v is not finite", f.name, f.value)
+		}
+	}
+	if rec.Dev < 0 {
+		return fmt.Errorf("dev_hz %v is negative", rec.Dev)
+	}
+	if rec.Count < 0 {
+		return fmt.Errorf("count %d is negative", rec.Count)
+	}
+	if rec.Min > rec.Max {
+		return fmt.Errorf("min_hz %v exceeds max_hz %v", rec.Min, rec.Max)
+	}
+	return nil
+}
+
+// ValidateDatabase checks every record of a decoded bias database,
+// wrapping failures in ErrBadDatabase. Both ReplayDetector.Load and the
+// network server's loader gate on it so a hostile database (e.g. a NaN Dev
+// smuggled into a record) cannot disable detection for a device.
+func ValidateDatabase(devices map[string]*BiasRecord) error {
+	for id, rec := range devices {
+		if rec == nil {
+			return fmt.Errorf("%w: device %q: null record", ErrBadDatabase, id)
+		}
+		if err := rec.Validate(); err != nil {
+			return fmt.Errorf("%w: device %q: %v", ErrBadDatabase, id, err)
+		}
+	}
+	return nil
+}
+
 // ReplayDetector implements §7.2: per-device FB history with
 // deviation-based replay detection. The acceptance band adapts to the
 // device's observed estimation jitter, implementing the paper's
@@ -148,34 +248,11 @@ func (r *ReplayDetector) Check(deviceID string, fbHz float64) Verdict {
 	if r.devices == nil {
 		r.devices = make(map[string]*BiasRecord)
 	}
-	rec, ok := r.devices[deviceID]
-	if !ok {
-		r.devices[deviceID] = &BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: 1}
-		return VerdictEnrolling
+	verdict, rec := CheckRecord(r.devices[deviceID], fbHz, tol, devMul, alpha, enroll)
+	if rec != nil {
+		r.devices[deviceID] = rec
 	}
-	if rec.Count < enroll {
-		r.fold(rec, fbHz, alpha)
-		return VerdictEnrolling
-	}
-	if math.Abs(fbHz-rec.Mean) > rec.Band(tol, devMul) {
-		return VerdictReplay
-	}
-	r.fold(rec, fbHz, alpha)
-	return VerdictGenuine
-}
-
-// fold updates a record with a genuine estimate.
-func (r *ReplayDetector) fold(rec *BiasRecord, fbHz, alpha float64) {
-	dev := math.Abs(fbHz - rec.Mean)
-	rec.Dev = (1-alpha)*rec.Dev + alpha*dev
-	rec.Mean = (1-alpha)*rec.Mean + alpha*fbHz
-	if fbHz < rec.Min {
-		rec.Min = fbHz
-	}
-	if fbHz > rec.Max {
-		rec.Max = fbHz
-	}
-	rec.Count++
+	return verdict
 }
 
 // Record returns a copy of the learned state for a device and whether it
@@ -225,11 +302,17 @@ func (r *ReplayDetector) Save(w io.Writer) error {
 	return nil
 }
 
-// Load replaces the database from JSON previously written by Save.
+// Load replaces the database from JSON previously written by Save. Records
+// are validated before installation (ErrBadDatabase otherwise): a hostile
+// or corrupted database must not be able to disable detection, and a
+// failed Load leaves the current database untouched.
 func (r *ReplayDetector) Load(reader io.Reader) error {
 	var devices map[string]*BiasRecord
 	if err := json.NewDecoder(reader).Decode(&devices); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadDatabase, err)
+	}
+	if err := ValidateDatabase(devices); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -157,6 +159,144 @@ func TestDetectorLoadMalformed(t *testing.T) {
 	d := NewReplayDetector()
 	if err := d.Load(bytes.NewBufferString("not json")); err == nil {
 		t.Error("expected error for malformed database")
+	}
+}
+
+func TestDetectorEnrollmentLearnsWindowAverage(t *testing.T) {
+	// With the default 3-frame enrollment, the learned mean must be the
+	// plain average of the window, not an EWMA that weights the first
+	// frame by 0.64 and reacts sluggishly to the rest.
+	d := NewReplayDetector()
+	window := []float64{-22000, -21900, -21700}
+	for i, fb := range window {
+		if v := d.Check("n", fb); v != VerdictEnrolling {
+			t.Fatalf("frame %d: verdict = %v, want enrolling", i, v)
+		}
+	}
+	rec, ok := d.Record("n")
+	if !ok {
+		t.Fatal("record missing")
+	}
+	wantMean := (window[0] + window[1] + window[2]) / 3
+	if math.Abs(rec.Mean-wantMean) > 1e-9 {
+		t.Errorf("post-enrollment mean = %f, want window average %f", rec.Mean, wantMean)
+	}
+	if rec.Count != len(window) {
+		t.Errorf("count = %d, want %d", rec.Count, len(window))
+	}
+	// The running mean-abs-deviation must be positive for a spread window
+	// (it seeds the adaptive band) and bounded by the window's span.
+	if rec.Dev <= 0 || rec.Dev > 300 {
+		t.Errorf("post-enrollment dev = %f", rec.Dev)
+	}
+	// Detection activates on the next frame using the window statistics.
+	if v := d.Check("n", wantMean-620); v != VerdictReplay {
+		t.Errorf("replay after enrollment: verdict = %v", v)
+	}
+}
+
+func TestDetectorEnrollmentRunningMeanLongWindow(t *testing.T) {
+	// A longer explicit enrollment window must also average exactly: the
+	// count-weighted running mean is order-independent up to rounding.
+	d := NewReplayDetector()
+	d.EnrollFrames = 5
+	window := []float64{-100, 300, -500, 700, -900}
+	sum := 0.0
+	for _, fb := range window {
+		d.Check("long", fb)
+		sum += fb
+	}
+	rec, _ := d.Record("long")
+	if math.Abs(rec.Mean-sum/5) > 1e-9 {
+		t.Errorf("mean = %f, want %f", rec.Mean, sum/5)
+	}
+}
+
+func TestDetectorLoadRejectsHostileDatabase(t *testing.T) {
+	// A record with Dev: NaN makes Band NaN, and |fb − mean| > NaN is
+	// always false — every frame from that device would be accepted as
+	// genuine. Load must reject such databases outright.
+	cases := map[string]string{
+		"nan mean":       `{"n": {"mean_hz": "NaN", "dev_hz": 0, "min_hz": 0, "max_hz": 0, "count": 1}}`,
+		"negative dev":   `{"n": {"mean_hz": -22000, "dev_hz": -5, "min_hz": -22000, "max_hz": -22000, "count": 10}}`,
+		"negative count": `{"n": {"mean_hz": -22000, "dev_hz": 0, "min_hz": -22000, "max_hz": -22000, "count": -1}}`,
+		"inverted range": `{"n": {"mean_hz": -22000, "dev_hz": 0, "min_hz": -21000, "max_hz": -22000, "count": 10}}`,
+		"null record":    `{"n": null}`,
+	}
+	for name, db := range cases {
+		d := NewReplayDetector()
+		d.Enroll("keep", -20000, 10)
+		err := d.Load(bytes.NewBufferString(db))
+		if !errors.Is(err, ErrBadDatabase) {
+			t.Errorf("%s: err = %v, want ErrBadDatabase", name, err)
+		}
+		// A rejected load must leave the existing database untouched.
+		if _, ok := d.Record("keep"); !ok {
+			t.Errorf("%s: failed load clobbered the existing database", name)
+		}
+	}
+}
+
+func TestNonFiniteRecordWouldAcceptReplays(t *testing.T) {
+	// Demonstrate the attack Validate closes: with a NaN Mean installed,
+	// |fb − NaN| > band is always false and CheckRecord accepts an
+	// arbitrarily wrong bias as genuine; an infinite Dev inflates the
+	// band the same way. Validate must refuse such records before they
+	// can reach a database.
+	hostile := []BiasRecord{
+		{Mean: math.NaN(), Dev: 0, Min: -22000, Max: -22000, Count: 10},
+		{Mean: -22000, Dev: math.Inf(1), Min: -22000, Max: -22000, Count: 10},
+		{Mean: -22000, Dev: math.NaN(), Min: -22000, Max: -22000, Count: 10},
+	}
+	for i := range hostile {
+		rec := hostile[i]
+		v, _ := CheckRecord(&rec, -22000-5e6, DefaultToleranceHz, DefaultDevMultiplier, DefaultEWMAAlpha, DefaultEnrollFrames)
+		if i < 2 && v != VerdictGenuine {
+			t.Errorf("record %d: verdict = %v: non-finite record no longer swallows replays", i, v)
+		}
+		if err := hostile[i].Validate(); err == nil {
+			t.Errorf("record %d passed validation", i)
+		}
+	}
+}
+
+func TestCheckNonFiniteEstimateFailsClosed(t *testing.T) {
+	// A NaN/Inf estimate must be rejected without folding: folding NaN
+	// into Mean would disable detection for the device forever after.
+	d := NewReplayDetector()
+	d.Enroll("n", -22000, 10)
+	for _, fb := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if v := d.Check("n", fb); v != VerdictReplay {
+			t.Errorf("Check(%v) = %v, want replay (fail closed)", fb, v)
+		}
+	}
+	rec, _ := d.Record("n")
+	if rec.Mean != -22000 || rec.Count != 10 {
+		t.Errorf("non-finite estimate mutated the record: %+v", rec)
+	}
+	// An unknown device must not get a record created from garbage.
+	if v := d.Check("newcomer", math.NaN()); v != VerdictReplay {
+		t.Errorf("unknown device NaN: %v", v)
+	}
+	if _, ok := d.Record("newcomer"); ok {
+		t.Error("NaN estimate created a device record")
+	}
+	// Save must still succeed (no NaN smuggled into the database).
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Errorf("Save after NaN checks: %v", err)
+	}
+}
+
+func TestValidateBiasRecord(t *testing.T) {
+	good := BiasRecord{Mean: -22000, Dev: 10, Min: -22100, Max: -21900, Count: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	bad := good
+	bad.Max = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("infinite max accepted")
 	}
 }
 

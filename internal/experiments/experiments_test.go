@@ -350,3 +350,50 @@ func TestAblationUpDownDecoupling(t *testing.T) {
 		}
 	}
 }
+
+func TestAblationMultiGatewayFusionAtLeastBestSingle(t *testing.T) {
+	rows, err := AblationMultiGateway(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fused := rows[len(rows)-1]
+	if fused.Receiver != "fused" {
+		t.Fatalf("last row = %s, want fused", fused.Receiver)
+	}
+	best := 0.0
+	bestErr := 1e18
+	for _, r := range rows[:len(rows)-1] {
+		if acc := r.Accuracy(); acc > best {
+			best = acc
+		}
+		if r.MeanAbsErrHz < bestErr {
+			bestErr = r.MeanAbsErrHz
+		}
+	}
+	// The acceptance bar: fused replay-detection accuracy must be at
+	// least the best single gateway's (inverse-variance weighting is
+	// dominated by the best link; the consistency gate rejects receivers
+	// that lost the tone).
+	if fused.Accuracy() < best {
+		t.Errorf("fused accuracy %.2f below best single gateway %.2f", fused.Accuracy(), best)
+	}
+	// And the fused estimate should not be worse than the best receiver's
+	// (strictly better in expectation; allow 20%% slack for the finite run).
+	if fused.MeanAbsErrHz > bestErr*1.2 {
+		t.Errorf("fused mean |err| %.1f Hz vs best single %.1f Hz", fused.MeanAbsErrHz, bestErr)
+	}
+	// The far gateway must actually be degraded, or the ablation shows
+	// nothing.
+	worst := 1.0
+	for _, r := range rows[:len(rows)-1] {
+		if acc := r.Accuracy(); acc < worst {
+			worst = acc
+		}
+	}
+	if worst >= 1 {
+		t.Log("note: every single gateway was perfect this run; separation came from mean error only")
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"softlora/internal/core"
+	"softlora/internal/dsp"
+	"softlora/internal/lora"
+	"softlora/internal/netserver"
+	"softlora/internal/radio"
+	"softlora/internal/sdr"
+)
+
+// AblationMultiGWRow scores replay detection through one receiver (or the
+// jitter-weighted fusion of all of them) in a multi-gateway deployment.
+type AblationMultiGWRow struct {
+	// Receiver is the gateway id, or "fused" for the network-server
+	// fusion row.
+	Receiver string
+	// SNRdB is the device→receiver link SNR (NaN for the fused row).
+	SNRdB float64
+	// GenuineOK and ReplayOK count correct verdicts; Frames is the count
+	// of each kind.
+	GenuineOK, ReplayOK, Frames int
+	// MeanAbsErrHz is the mean |FB estimate − truth| of the receiver's
+	// (or fused) estimates.
+	MeanAbsErrHz float64
+}
+
+// Accuracy returns the fraction of correct verdicts over all frames.
+func (r AblationMultiGWRow) Accuracy() float64 {
+	return float64(r.GenuineOK+r.ReplayOK) / float64(2*r.Frames)
+}
+
+// AblationMultiGateway evaluates the §7.2 replay detector when the same
+// frame is heard by several receivers at different SNRs (the paper's
+// building: device fixed in section A, gateways spread across the top
+// floor): each gateway's FB estimate alone versus the network server's
+// jitter-weighted fusion. The transmit power is set low enough that the
+// far links estimate poorly — fusion must match or beat the best single
+// gateway because inverse-variance weighting is dominated by it.
+func AblationMultiGateway(trials int) ([]AblationMultiGWRow, error) {
+	if trials <= 0 {
+		trials = 4
+	}
+	rng := newRand(63)
+	const (
+		rate        = sdr.DefaultSampleRate
+		txPowerdBm  = -10 // weak uplink: far links drop below −15 dB SNR
+		trueBias    = -22.4e3
+		replayExtra = -620 // replayer's added bias, paper Fig. 13
+		nGW         = 3
+	)
+	p := lora.DefaultParams(7)
+	b := radio.DefaultBuilding()
+	device := b.FixedNode()
+	cols := b.Columns()
+
+	// Per-receiver link budget and CRB-derived fusion weight.
+	n := int(p.SamplesPerChirp(rate))
+	snr := make([]float64, nGW)
+	jitter := make([]float64, nGW)
+	gwIDs := make([]string, nGW)
+	for i := 0; i < nGW; i++ {
+		pos, err := b.Column(cols[i*(len(cols)-1)/(nGW-1)], b.Floors)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multigw placement: %w", err)
+		}
+		snr[i] = b.SNRdB(device, pos, txPowerdBm)
+		lin := dsp.FromdB(snr[i])
+		jitter[i] = rate / (2 * math.Pi) * math.Sqrt(6/(lin*float64(n)*float64(n)*float64(n)))
+		gwIDs[i] = fmt.Sprintf("gw-%d", i)
+	}
+
+	// One independent detector per single-receiver column plus the fused
+	// network server, all enrolled with the device's true bias.
+	single := make([]*netserver.NetworkServer, nGW)
+	estimators := make([]*core.DechirpFFTEstimator, nGW)
+	for i := range single {
+		single[i] = netserver.New(netserver.Config{})
+		single[i].Enroll("node", trueBias, 10)
+		estimators[i] = &core.DechirpFFTEstimator{Params: p}
+	}
+	fused := netserver.New(netserver.Config{})
+	fused.Enroll("node", trueBias, 10)
+
+	rows := make([]AblationMultiGWRow, nGW+1)
+	for i := 0; i < nGW; i++ {
+		rows[i] = AblationMultiGWRow{Receiver: gwIDs[i], SNRdB: snr[i]}
+	}
+	rows[nGW] = AblationMultiGWRow{Receiver: "fused", SNRdB: math.NaN()}
+
+	frames := 0
+	for trial := 0; trial < trials; trial++ {
+		for _, replay := range []bool{false, true} {
+			frames++
+			truth := float64(trueBias)
+			if replay {
+				truth += replayExtra
+			}
+			spec := lora.ChirpSpec{
+				SF: p.SF, Bandwidth: p.Bandwidth,
+				FrequencyOffset: truth,
+				Phase:           rng.Float64() * 2 * math.Pi,
+			}
+			clean := spec.Synthesize(rate)
+			obs := make([]netserver.PHYObservation, 0, nGW)
+			for i := 0; i < nGW; i++ {
+				iq := make([]complex128, len(clean))
+				g := complex(dsp.NoiseForSNR(1, 1, snr[i]), 0)
+				noise := dsp.GaussianNoise(rng, len(clean), 1)
+				for k := range iq {
+					iq[k] = clean[k] + noise[k]*g
+				}
+				est, err := estimators[i].EstimateFB(iq, rate)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: multigw estimate (gw %d): %w", i, err)
+				}
+				o := netserver.PHYObservation{
+					GatewayID: gwIDs[i],
+					DeviceID:  "node",
+					FrameID:   fmt.Sprintf("f%d", frames),
+					FBHz:      est.DeltaHz,
+					JitterHz:  jitter[i],
+				}
+				obs = append(obs, o)
+				rows[i].MeanAbsErrHz += math.Abs(est.DeltaHz - truth)
+				score(&rows[i], single[i].Check(o), replay)
+			}
+			fv, err := fused.CheckFrame(obs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: multigw fusion: %w", err)
+			}
+			rows[nGW].MeanAbsErrHz += math.Abs(fv.FBHz - truth)
+			score(&rows[nGW], fv.Verdict, replay)
+		}
+	}
+	for i := range rows {
+		rows[i].Frames = frames / 2
+		rows[i].MeanAbsErrHz /= float64(frames)
+	}
+	return rows, nil
+}
+
+// score tallies one verdict against the frame's ground truth.
+func score(row *AblationMultiGWRow, v core.Verdict, replay bool) {
+	if replay && v == core.VerdictReplay {
+		row.ReplayOK++
+	}
+	if !replay && v == core.VerdictGenuine {
+		row.GenuineOK++
+	}
+}
+
+// PrintAblationMultiGateway renders the fused-vs-single comparison.
+func PrintAblationMultiGateway(w io.Writer, rows []AblationMultiGWRow) {
+	section(w, "Ablation: multi-gateway FB fusion (replay detection per receiver vs fused)")
+	fmt.Fprintf(w, "%8s %9s %12s %12s %10s %14s\n",
+		"receiver", "SNR(dB)", "genuine-ok", "replay-ok", "accuracy", "mean|err| Hz")
+	for _, r := range rows {
+		snr := fmt.Sprintf("%.1f", r.SNRdB)
+		if math.IsNaN(r.SNRdB) {
+			snr = "-"
+		}
+		fmt.Fprintf(w, "%8s %9s %9d/%-3d %9d/%-3d %9.2f %14.1f\n",
+			r.Receiver, snr, r.GenuineOK, r.Frames, r.ReplayOK, r.Frames,
+			r.Accuracy(), r.MeanAbsErrHz)
+	}
+	fmt.Fprintf(w, "fusion weighs each receiver by 1/jitter²: it tracks the best link and suppresses the far ones\n")
+}

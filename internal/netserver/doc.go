@@ -1,0 +1,41 @@
+// Package netserver is the LoRaWAN network-server side of the SoftLoRa
+// defense: the per-device frequency-bias database of §7.2 lifted out of the
+// single gateway into a backend that one or many gateways feed.
+//
+// # Architecture
+//
+// Gateways run the concurrent, side-effect-free PHY stage (down-conversion,
+// onset timestamping, FB estimation) and emit one PHYObservation per
+// received frame copy. The NetworkServer owns the bias database and applies
+// the §7.2 verdict-and-update policy (core.CheckRecord) exactly once per
+// frame:
+//
+//   - Dedup: the same frame heard by several receivers (same DeviceID and
+//     FrameID) contributes multiple observations but gets ONE verdict and at
+//     most one database update — without dedup, N receivers would fold the
+//     same frame N times and a replay would be flagged N times.
+//
+//   - Fusion: the FB estimates of the receivers are combined by an
+//     inverse-variance (jitter-weighted) mean, so a frame heard through one
+//     good link and two marginal ones is judged on an estimate at least as
+//     tight as the best single receiver's.
+//
+// # Ordering contract
+//
+// Check and CheckBatch commit database updates under per-device locks;
+// CheckBatch additionally orders frames by UplinkIndex before committing, so
+// a batch's verdicts and the resulting database state are independent of
+// the order observations were gathered. Gateways rely on this: ProcessBatch
+// runs its PHY stage on an unordered worker pool and then commits verdicts
+// in uplink-index order, making batch results bit-identical across worker
+// counts.
+//
+// # Scaling
+//
+// The database is sharded: device IDs hash (FNV-1a) onto DefaultShards
+// independently locked partitions, so concurrent Check traffic from many
+// gateways serializes only per shard, not globally. Save/Load use the same
+// JSON schema as core.ReplayDetector, so single-gateway databases migrate
+// to the network server unchanged; Load validates every record
+// (core.ValidateDatabase) before installing anything.
+package netserver

@@ -1,0 +1,456 @@
+package netserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"softlora/internal/core"
+)
+
+// DefaultShards is the number of independently locked database partitions.
+// Power of two so the shard index is a mask of the device-ID hash.
+const DefaultShards = 64
+
+// DefaultJitterHz is the per-observation estimation jitter assumed when an
+// observation does not carry one (JitterHz <= 0): the paper's 120 Hz
+// estimation resolution, a neutral weight.
+const DefaultJitterHz = 120
+
+// PHYObservation is one gateway's side-effect-free PHY-stage result for one
+// received frame copy: everything the network server needs to fuse, judge
+// and timestamp the frame, and nothing that touches the bias database.
+type PHYObservation struct {
+	// GatewayID identifies the receiver that produced the observation.
+	GatewayID string
+	// DeviceID is the frame's claimed source device.
+	DeviceID string
+	// FrameID identifies the frame so copies heard by several gateways
+	// deduplicate. Empty means "unknown": the observation is treated as
+	// its own frame and never merged.
+	FrameID string
+	// UplinkIndex is the frame's position in the commit order (the batch
+	// index at a gateway, a sequence number in a deployment). CheckBatch
+	// commits frames in ascending UplinkIndex so database state is
+	// independent of arrival interleaving.
+	UplinkIndex int64
+	// FBHz is the estimated frequency bias δ = δTx − δRx.
+	FBHz float64
+	// JitterHz is the PHY stage's per-frame FB estimation jitter (1σ, Hz)
+	// through this receiver's link — the fusion weight. <= 0 means
+	// unknown (DefaultJitterHz is assumed).
+	JitterHz float64
+	// ArrivalTime is the PHY-timestamped preamble onset on the channel
+	// timeline (seconds).
+	ArrivalTime float64
+	// OnsetSample is the onset position within the receiver's capture.
+	OnsetSample int
+}
+
+// FrameVerdict is the network server's per-frame decision after dedup and
+// fusion.
+type FrameVerdict struct {
+	// DeviceID and FrameID identify the judged frame.
+	DeviceID string
+	FrameID  string
+	// Verdict is the §7.2 decision, made once per frame.
+	Verdict core.Verdict
+	// FBHz is the fused (inverse-variance weighted) frequency bias the
+	// verdict was computed from.
+	FBHz float64
+	// JitterHz is the fused estimate's jitter: 1/sqrt(Σ 1/σi²), at least
+	// as tight as the best contributing receiver.
+	JitterHz float64
+	// ArrivalTime and GatewayID are the PHY timestamp and identity of the
+	// lowest-jitter receiver — timestamping uses one receiver's PHY
+	// clock, not a blend of unsynchronized ones.
+	ArrivalTime float64
+	GatewayID   string
+	// Receivers is how many observations the frame arrived with (dedup
+	// count + 1).
+	Receivers int
+	// OutliersRejected is how many of those observations the fusion's
+	// consistency gate excluded from the weighted mean (a receiver that
+	// lost the tone returns a gross outlier, not a jitter-sized error).
+	OutliersRejected int
+}
+
+// Stats are cumulative network-server counters.
+type Stats struct {
+	// FramesChecked is the number of per-frame verdicts issued.
+	FramesChecked int64
+	// Observations is the number of PHYObservations consumed.
+	Observations int64
+	// DuplicatesSuppressed counts observations merged into another
+	// observation of the same frame instead of receiving their own
+	// verdict.
+	DuplicatesSuppressed int64
+}
+
+// Config configures a NetworkServer. Zero values select the
+// paper-calibrated defaults of package core.
+type Config struct {
+	// ToleranceHz is the minimum acceptance half-width
+	// (core.DefaultToleranceHz when 0).
+	ToleranceHz float64
+	// DevMultiplier scales tracked per-frame deviation into the adaptive
+	// band (core.DefaultDevMultiplier when 0).
+	DevMultiplier float64
+	// Alpha is the post-enrollment EWMA weight (core.DefaultEWMAAlpha
+	// when 0).
+	Alpha float64
+	// EnrollFrames is the per-device learning period
+	// (core.DefaultEnrollFrames when 0).
+	EnrollFrames int
+	// Shards is the number of database partitions, rounded up to a power
+	// of two (DefaultShards when 0).
+	Shards int
+}
+
+// shard is one independently locked database partition.
+type shard struct {
+	mu      sync.Mutex
+	devices map[string]*core.BiasRecord
+}
+
+// NetworkServer owns the per-device frequency-bias database behind sharded
+// locks and applies the §7.2 verdict once per frame. All methods are safe
+// for concurrent use from any number of gateways.
+type NetworkServer struct {
+	tol    float64
+	devMul float64
+	alpha  float64
+	enroll int
+
+	shards []shard
+
+	framesChecked atomic.Int64
+	observations  atomic.Int64
+	duplicates    atomic.Int64
+}
+
+// New builds a NetworkServer with the given configuration.
+func New(cfg Config) *NetworkServer {
+	if cfg.ToleranceHz <= 0 {
+		cfg.ToleranceHz = core.DefaultToleranceHz
+	}
+	if cfg.DevMultiplier <= 0 {
+		cfg.DevMultiplier = core.DefaultDevMultiplier
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = core.DefaultEWMAAlpha
+	}
+	if cfg.EnrollFrames <= 0 {
+		cfg.EnrollFrames = core.DefaultEnrollFrames
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shardFor can mask instead of mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &NetworkServer{
+		tol:    cfg.ToleranceHz,
+		devMul: cfg.DevMultiplier,
+		alpha:  cfg.Alpha,
+		enroll: cfg.EnrollFrames,
+		shards: make([]shard, pow),
+	}
+	for i := range s.shards {
+		s.shards[i].devices = make(map[string]*core.BiasRecord)
+	}
+	return s
+}
+
+// fnv32a is an inlined allocation-free FNV-1a over the device ID —
+// hash/fnv's New32a would heap-allocate on the per-frame Check hot path.
+func fnv32a(s string) uint32 {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// shardFor maps a device ID onto its partition.
+func (s *NetworkServer) shardFor(deviceID string) *shard {
+	return &s.shards[fnv32a(deviceID)&uint32(len(s.shards)-1)]
+}
+
+// checkDevice applies the shared §7.2 record policy under the device's
+// shard lock.
+func (s *NetworkServer) checkDevice(deviceID string, fbHz float64) core.Verdict {
+	sh := s.shardFor(deviceID)
+	sh.mu.Lock()
+	verdict, rec := core.CheckRecord(sh.devices[deviceID], fbHz, s.tol, s.devMul, s.alpha, s.enroll)
+	if rec != nil {
+		sh.devices[deviceID] = rec
+	}
+	sh.mu.Unlock()
+	s.framesChecked.Add(1)
+	return verdict
+}
+
+// Check judges a single-receiver frame: the observation is its own frame
+// (no fusion) and the database is read and updated once, under the
+// device's shard lock. This is the single-gateway hot path.
+func (s *NetworkServer) Check(obs PHYObservation) core.Verdict {
+	s.observations.Add(1)
+	return s.checkDevice(obs.DeviceID, obs.FBHz)
+}
+
+// Frame-level errors.
+var (
+	ErrNoObservations = errors.New("netserver: frame has no observations")
+	ErrMixedFrame     = errors.New("netserver: observations from different devices in one frame")
+)
+
+// ConsistencySigma is the outlier gate of Fuse: an observation whose FB
+// disagrees with the best receiver's by more than this many combined
+// standard deviations is excluded from the weighted mean. Estimation errors
+// are jitter-sized Gaussians only while a receiver holds the tone; a
+// receiver that lost it (deep-fade link) returns a gross outlier that
+// inverse-variance weighting alone cannot discount enough. A replay's bias
+// shift is common-mode across receivers, so the gate never masks one.
+const ConsistencySigma = 8
+
+// effJitter returns an observation's usable jitter: DefaultJitterHz when
+// the PHY stage could not estimate one.
+func effJitter(o PHYObservation) float64 {
+	j := o.JitterHz
+	if j <= 0 || math.IsNaN(j) || math.IsInf(j, 0) {
+		return DefaultJitterHz
+	}
+	return j
+}
+
+// Fuse combines multi-receiver observations of one frame into a fused FB
+// estimate: the lowest-jitter receiver with a finite estimate anchors the
+// fusion (and provides the PHY timestamp), observations inconsistent with
+// it beyond ConsistencySigma — or with a non-finite FB — are rejected as
+// outliers, and the rest are averaged by inverse-variance weight. If no
+// receiver produced a finite estimate the fused FB is NaN, which the
+// verdict stage fails closed on (core.CheckRecord flags non-finite
+// estimates as replays without touching the database). Fuse itself does
+// not touch the database.
+func Fuse(obs []PHYObservation) (FrameVerdict, error) {
+	if len(obs) == 0 {
+		return FrameVerdict{}, ErrNoObservations
+	}
+	fv := FrameVerdict{
+		DeviceID:  obs[0].DeviceID,
+		FrameID:   obs[0].FrameID,
+		Receivers: len(obs),
+	}
+	best := -1
+	for i, o := range obs {
+		if o.DeviceID != fv.DeviceID {
+			return FrameVerdict{}, fmt.Errorf("%w: %q vs %q", ErrMixedFrame, o.DeviceID, fv.DeviceID)
+		}
+		if math.IsNaN(o.FBHz) || math.IsInf(o.FBHz, 0) {
+			continue
+		}
+		if best < 0 || effJitter(o) < effJitter(obs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		fv.FBHz = math.NaN()
+		fv.JitterHz = math.NaN()
+		fv.OutliersRejected = len(obs)
+		fv.ArrivalTime = obs[0].ArrivalTime
+		fv.GatewayID = obs[0].GatewayID
+		return fv, nil
+	}
+	bestJ := effJitter(obs[best])
+	var sumW, sumWFB float64
+	for _, o := range obs {
+		j := effJitter(o)
+		gate := ConsistencySigma * math.Hypot(j, bestJ)
+		if !(math.Abs(o.FBHz-obs[best].FBHz) <= gate) {
+			fv.OutliersRejected++
+			continue
+		}
+		w := 1 / (j * j)
+		sumW += w
+		sumWFB += w * o.FBHz
+	}
+	fv.FBHz = sumWFB / sumW
+	fv.JitterHz = 1 / math.Sqrt(sumW)
+	fv.ArrivalTime = obs[best].ArrivalTime
+	fv.GatewayID = obs[best].GatewayID
+	return fv, nil
+}
+
+// CheckFrame judges one frame heard by one or more receivers: the
+// observations (all from the same claimed device) are fused and the §7.2
+// verdict runs once, so N receivers cause one database update, not N.
+func (s *NetworkServer) CheckFrame(obs []PHYObservation) (FrameVerdict, error) {
+	fv, err := Fuse(obs)
+	if err != nil {
+		return fv, err
+	}
+	s.observations.Add(int64(len(obs)))
+	s.duplicates.Add(int64(len(obs) - 1))
+	fv.Verdict = s.checkDevice(fv.DeviceID, fv.FBHz)
+	return fv, nil
+}
+
+// CheckBatch judges a batch of observations from any number of gateways:
+// observations sharing (DeviceID, FrameID) deduplicate into one frame
+// (empty FrameIDs never merge), frames commit in ascending UplinkIndex
+// (ties broken by first appearance), and one FrameVerdict per frame is
+// returned in commit order. Database state after a CheckBatch is therefore
+// a pure function of the batch's contents, regardless of how the
+// observations were gathered or ordered by the callers.
+func (s *NetworkServer) CheckBatch(obs []PHYObservation) ([]FrameVerdict, error) {
+	type group struct {
+		key   string
+		index int64 // min UplinkIndex of the group
+		obs   []PHYObservation
+	}
+	var groups []*group
+	byKey := make(map[string]*group, len(obs))
+	for _, o := range obs {
+		key := ""
+		if o.FrameID != "" {
+			// The key embeds the device ID, so a FrameID collision across
+			// devices yields separate frames rather than a mixed group.
+			key = o.DeviceID + "\x00" + o.FrameID
+		}
+		if key != "" {
+			if g, ok := byKey[key]; ok {
+				g.obs = append(g.obs, o)
+				if o.UplinkIndex < g.index {
+					g.index = o.UplinkIndex
+				}
+				continue
+			}
+		}
+		g := &group{key: key, index: o.UplinkIndex, obs: []PHYObservation{o}}
+		groups = append(groups, g)
+		if key != "" {
+			byKey[key] = g
+		}
+	}
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].index < groups[j].index })
+	verdicts := make([]FrameVerdict, 0, len(groups))
+	for _, g := range groups {
+		fv, err := s.CheckFrame(g.obs)
+		if err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, fv)
+	}
+	return verdicts, nil
+}
+
+// Enroll pre-loads a device record (offline database construction, §7.2).
+func (s *NetworkServer) Enroll(deviceID string, fbHz float64, frames int) {
+	if frames < 1 {
+		frames = 1
+	}
+	sh := s.shardFor(deviceID)
+	sh.mu.Lock()
+	sh.devices[deviceID] = &core.BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: frames}
+	sh.mu.Unlock()
+}
+
+// Record returns a copy of the learned state for a device and whether it
+// exists.
+func (s *NetworkServer) Record(deviceID string) (core.BiasRecord, bool) {
+	sh := s.shardFor(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.devices[deviceID]
+	if !ok {
+		return core.BiasRecord{}, false
+	}
+	return *rec, true
+}
+
+// Devices returns the number of devices in the database.
+func (s *NetworkServer) Devices() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.devices)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative counters.
+func (s *NetworkServer) Stats() Stats {
+	return Stats{
+		FramesChecked:        s.framesChecked.Load(),
+		Observations:         s.observations.Load(),
+		DuplicatesSuppressed: s.duplicates.Load(),
+	}
+}
+
+// Save serializes the database as JSON — the same schema
+// core.ReplayDetector writes, so databases move between a single gateway
+// and the network server unchanged. Shards are merged and keys sorted by
+// the encoder, so equal database states serialize to equal bytes.
+func (s *NetworkServer) Save(w io.Writer) error {
+	merged := make(map[string]*core.BiasRecord, s.Devices())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, rec := range sh.devices {
+			cp := *rec
+			merged[id] = &cp
+		}
+		sh.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		return fmt.Errorf("netserver: saving bias database: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database from JSON previously written by Save (or by
+// core.ReplayDetector.Save). Every record is validated first
+// (core.ErrBadDatabase otherwise) and a failed load leaves the current
+// database untouched.
+func (s *NetworkServer) Load(r io.Reader) error {
+	var devices map[string]*core.BiasRecord
+	if err := json.NewDecoder(r).Decode(&devices); err != nil {
+		return fmt.Errorf("%w: %v", core.ErrBadDatabase, err)
+	}
+	if err := core.ValidateDatabase(devices); err != nil {
+		return err
+	}
+	// Stage the replacement per shard, then install shard by shard: a
+	// concurrent Check serializes against each shard's lock and sees
+	// either the old or the new record for its device, never a torn mix
+	// within one shard.
+	staged := make([]map[string]*core.BiasRecord, len(s.shards))
+	for i := range staged {
+		staged[i] = make(map[string]*core.BiasRecord)
+	}
+	for id, rec := range devices {
+		staged[fnv32a(id)&uint32(len(s.shards)-1)][id] = rec
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.devices = staged[i]
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -50,6 +50,14 @@ func (b *Building) junctionX() (float64, float64) {
 	return 3 * step, 7 * step
 }
 
+// Columns returns the survey column labels in order along the long
+// dimension, for callers placing nodes or gateways on the geometry.
+func (b *Building) Columns() []string {
+	out := make([]string, len(columnLabels))
+	copy(out, columnLabels)
+	return out
+}
+
 // Column returns the position of the named column on the given floor.
 func (b *Building) Column(label string, floor int) (Position, error) {
 	step := b.Length / float64(len(columnLabels)-1)

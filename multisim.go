@@ -1,0 +1,220 @@
+package softlora
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"softlora/internal/netserver"
+	"softlora/internal/radio"
+	"softlora/internal/timestamp"
+)
+
+// GatewaySite is one gateway of a multi-receiver deployment, pinned to a
+// position in the building geometry.
+type GatewaySite struct {
+	Gateway  *Gateway
+	Position radio.Position
+}
+
+// MultiGatewaySimulation wires N gateways placed on the paper's building
+// geometry to one shared NetworkServer: every uplink is heard by every
+// gateway through its own link (per-site path loss, propagation delay and
+// independent channel noise), each gateway contributes a side-effect-free
+// PHYObservation, and the server dedups the copies and fuses their FB
+// estimates before judging the frame once.
+type MultiGatewaySimulation struct {
+	// Building is the deployment geometry.
+	Building *radio.Building
+	// Sites are the gateways and their positions.
+	Sites []GatewaySite
+	// Server is the shared network server every site's gateway feeds.
+	Server *netserver.NetworkServer
+	// LeadTime is the noise lead-in captured before each frame onset
+	// (default 2 ms).
+	LeadTime float64
+	// Rand drives channel noise and device impairments; required.
+	Rand *rand.Rand
+
+	frameSeq int64
+}
+
+// NewMultiGatewaySimulation builds n gateways spread across the building's
+// top-floor survey columns, all feeding one NetworkServer (cfg.Server when
+// set, otherwise a fresh one). Each gateway gets cfg with its own
+// GatewayID ("gw-0"…) and the shared server.
+func NewMultiGatewaySimulation(b *radio.Building, n int, cfg Config) (*MultiGatewaySimulation, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("softlora: need at least 1 gateway, got %d", n)
+	}
+	server := cfg.Server
+	if server == nil {
+		server = netserver.New(netserver.Config{ToleranceHz: cfg.ToleranceHz})
+	}
+	cols := b.Columns()
+	sites := make([]GatewaySite, n)
+	for i := range sites {
+		// Spread along the long dimension: one gateway sits mid-building,
+		// more divide the column span evenly end to end.
+		ci := (len(cols) - 1) / 2
+		if n > 1 {
+			ci = i * (len(cols) - 1) / (n - 1)
+		}
+		pos, err := b.Column(cols[ci], b.Floors)
+		if err != nil {
+			return nil, fmt.Errorf("softlora: placing gateway %d: %w", i, err)
+		}
+		gcfg := cfg
+		gcfg.Server = server
+		gcfg.GatewayID = fmt.Sprintf("gw-%d", i)
+		gw, err := NewGateway(gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("softlora: building gateway %d: %w", i, err)
+		}
+		sites[i] = GatewaySite{Gateway: gw, Position: pos}
+	}
+	return &MultiGatewaySimulation{
+		Building: b,
+		Sites:    sites,
+		Server:   server,
+		Rand:     cfg.Rand,
+	}, nil
+}
+
+// MultiUplinkReport is the deployment-level outcome of one frame heard by
+// the gateway fleet.
+type MultiUplinkReport struct {
+	// Frame is the network server's fused per-frame decision.
+	Frame netserver.FrameVerdict
+	// Verdict and Accepted mirror Frame.Verdict in the gateway-level
+	// vocabulary.
+	Verdict  Verdict
+	Accepted bool
+	// Timestamps are the reconstructed global times of the frame's data
+	// records, from the elected receiver's PHY timestamp (nil when the
+	// frame is rejected).
+	Timestamps []float64
+	// Observations are the successful per-gateway PHY observations the
+	// verdict fused, in site order.
+	Observations []netserver.PHYObservation
+	// SiteErrs is site-aligned: non-nil where a gateway failed to observe
+	// the frame (e.g. the link was too weak for onset detection).
+	SiteErrs []error
+}
+
+// Uplink transmits the device's buffered records at global time t0 from
+// devPos: the single emission is rendered once per site through that
+// site's link, every gateway that locks onto it contributes one
+// PHYObservation, and the shared server fuses them into one verdict.
+// Rendering and observation run serially (the shared noise stream and the
+// serial pipelines keep the simulation deterministic). At least one
+// gateway must receive the frame or an error is returned.
+func (m *MultiGatewaySimulation) Uplink(d *SimDevice, devPos radio.Position, t0 float64) (*MultiUplinkReport, []timestamp.FrameRecord, error) {
+	if m.Rand == nil {
+		return nil, nil, ErrNilRand
+	}
+	if len(m.Sites) == 0 {
+		return nil, nil, fmt.Errorf("softlora: simulation has no gateway sites")
+	}
+	params := m.Sites[0].Gateway.params
+	em, records, err := flushEmission(d, params, m.Rand, t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.frameSeq++
+	frameID := fmt.Sprintf("%s#%d", d.ID, m.frameSeq)
+	report := &MultiUplinkReport{
+		Observations: make([]netserver.PHYObservation, 0, len(m.Sites)),
+		SiteErrs:     make([]error, len(m.Sites)),
+	}
+	for i, site := range m.Sites {
+		link := em
+		link.PathLossdB = m.Building.LossdB(devPos, site.Position)
+		link.Distance = m.Building.Distance(devPos, site.Position)
+		sim := Simulation{
+			Gateway:       site.Gateway,
+			NoiseFloordBm: m.Building.NoiseFloordBm,
+			LeadTime:      m.LeadTime,
+			Rand:          m.Rand,
+		}
+		cap, err := sim.CaptureEmission(link)
+		if err != nil {
+			report.SiteErrs[i] = err
+			continue
+		}
+		obs, err := site.Gateway.Observe(cap, d.ID, frameID)
+		cap.Release()
+		if err != nil {
+			report.SiteErrs[i] = err
+			continue
+		}
+		obs.UplinkIndex = m.frameSeq
+		report.Observations = append(report.Observations, obs)
+	}
+	if len(report.Observations) == 0 {
+		return nil, nil, fmt.Errorf("softlora: no gateway received frame %s: e.g. %w", frameID, firstErr(report.SiteErrs))
+	}
+	fv, err := m.Server.CheckFrame(report.Observations)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.Frame = fv
+	report.Verdict = verdictFromCore(fv.Verdict)
+	report.Accepted = report.Verdict != VerdictReplay
+	if report.Accepted {
+		report.Timestamps = make([]float64, len(records))
+		for i, r := range records {
+			report.Timestamps[i] = timestamp.Reconstruct(fv.ArrivalTime, r)
+		}
+	}
+	return report, records, nil
+}
+
+// MultiSimUplink queues one device transmission for UplinkBatch.
+type MultiSimUplink struct {
+	Device   *SimDevice
+	Position radio.Position
+	// Time is the device's transmit time t0 on the global timeline.
+	Time float64
+}
+
+// UplinkBatch transmits the queued uplinks through the whole fleet.
+// Rendering and PHY observation stay serial per uplink; the server's
+// batch commit orders frames by sequence number, so results are
+// deterministic. Results are positionally aligned with ups; entries whose
+// frame no gateway received carry the error.
+func (m *MultiGatewaySimulation) UplinkBatch(ctx context.Context, ups []MultiSimUplink) ([]SimBatchResult, error) {
+	results := make([]SimBatchResult, len(ups))
+	for i, u := range ups {
+		if err := ctx.Err(); err != nil {
+			results[i].Err = err
+			continue
+		}
+		report, records, err := m.Uplink(u.Device, u.Position, u.Time)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		results[i].Records = records
+		results[i].Report = &UplinkReport{
+			ArrivalTime:      report.Frame.ArrivalTime,
+			FrequencyBiasHz:  report.Frame.FBHz,
+			FrequencyBiasPPM: m.Sites[0].Gateway.params.PPM(report.Frame.FBHz),
+			FBJitterHz:       report.Frame.JitterHz,
+			Verdict:          report.Verdict,
+			Accepted:         report.Accepted,
+			Timestamps:       report.Timestamps,
+		}
+	}
+	return results, nil
+}
+
+// firstErr returns the first non-nil error of errs (nil if none).
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

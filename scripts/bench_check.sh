@@ -4,7 +4,8 @@
 # change, both measured on the same box — and fails when a guarded
 # benchmark regressed by more than the threshold in ns/op. Guarded:
 # BenchmarkDechirpOnset, BenchmarkFFTPlan/planned-*,
-# BenchmarkGatewayBatchThroughput/workers-1, BenchmarkFBDechirpFFT.
+# BenchmarkGatewayBatchThroughput/workers-1, BenchmarkFBDechirpFFT,
+# BenchmarkNetworkServerCheck.
 #
 # CI runs this against the committed history (commit-to-commit on the
 # snapshot-producing box), NOT against a fresh runner measurement — a
@@ -28,6 +29,7 @@ function guarded(name) {
 	return name == "BenchmarkDechirpOnset" ||
 	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
 	       name == "BenchmarkFBDechirpFFT" ||
+	       name == "BenchmarkNetworkServerCheck" ||
 	       name ~ /^BenchmarkFFTPlan\/planned-/
 }
 {

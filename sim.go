@@ -79,15 +79,14 @@ func (s *Simulation) Uplink(d *SimDevice, t0 float64) (*UplinkReport, []timestam
 	return report, records, nil
 }
 
-// RenderUplink flushes the device's records, builds the frame emission and
-// renders the channel capture the gateway will process.
-func (s *Simulation) RenderUplink(d *SimDevice, t0 float64) (*radio.Capture, []timestamp.FrameRecord, error) {
-	if s.Rand == nil {
-		return nil, nil, ErrNilRand
-	}
+// flushEmission flushes the device's buffered records into a frame emission
+// at transmit time t0. Impairments are drawn once from rng — the same
+// emission can then be heard by any number of receivers by overriding its
+// per-link PathLossdB/Distance.
+func flushEmission(d *SimDevice, params lora.Params, rng *rand.Rand, t0 float64) (radio.Emission, []timestamp.FrameRecord, error) {
 	records, err := d.Data.Flush(t0)
 	if err != nil {
-		return nil, nil, fmt.Errorf("softlora: flushing records: %w", err)
+		return radio.Emission{}, nil, fmt.Errorf("softlora: flushing records: %w", err)
 	}
 	payload := make([]byte, 0, 4*len(records))
 	for _, r := range records {
@@ -102,14 +101,26 @@ func (s *Simulation) RenderUplink(d *SimDevice, t0 float64) (*radio.Capture, []t
 	if len(payload) == 0 {
 		payload = []byte{0}
 	}
-	frame := lora.Frame{Params: s.Gateway.params, Payload: payload}
 	em := radio.Emission{
-		Frame:       frame,
-		Impairments: d.Transmitter.NextImpairments(s.Gateway.params, s.Rand),
+		Frame:       lora.Frame{Params: params, Payload: payload},
+		Impairments: d.Transmitter.NextImpairments(params, rng),
 		StartTime:   t0,
 		TxPowerdBm:  d.Transmitter.PowerdBm,
 		PathLossdB:  d.PathLossdB,
 		Distance:    d.DistanceMeters,
+	}
+	return em, records, nil
+}
+
+// RenderUplink flushes the device's records, builds the frame emission and
+// renders the channel capture the gateway will process.
+func (s *Simulation) RenderUplink(d *SimDevice, t0 float64) (*radio.Capture, []timestamp.FrameRecord, error) {
+	if s.Rand == nil {
+		return nil, nil, ErrNilRand
+	}
+	em, records, err := flushEmission(d, s.Gateway.params, s.Rand, t0)
+	if err != nil {
+		return nil, nil, err
 	}
 	cap, err := s.CaptureEmission(em)
 	if err != nil {

@@ -28,9 +28,26 @@
 // the gateway's own serial pipeline, while ProcessBatch fans a batch of
 // captures across a bounded worker pool (Config.Workers, default
 // GOMAXPROCS), each worker building its own pipeline so the hot path stays
-// lock- and allocation-free. Only the replay-detection bias database is
-// shared, behind its own mutex. Never hand one pipeline's scratch to two
+// lock- and allocation-free. Never hand one pipeline's scratch to two
 // goroutines: one plan/scratch set per worker, no sharing.
+//
+// # Two-stage processing and the ordering contract
+//
+// Each uplink is processed in two stages. The PHY stage (down-conversion,
+// onset timestamping, FB + jitter estimation) is side-effect-free and runs
+// concurrently on the worker pool. The detection/commit stage applies the
+// §7.2 verdict against the bias database and is deterministic: ProcessBatch
+// commits verdicts in uplink-index order after the PHY stage completes, so
+// a batch's verdicts AND the resulting database state are bit-identical
+// regardless of worker count or goroutine scheduling — even when one device
+// appears several times in a batch.
+//
+// The database itself lives in an internal netserver.NetworkServer. A
+// gateway built without Config.Server embeds a private one (single-gateway
+// mode, the historical behavior); gateways sharing one server form a
+// multi-receiver deployment in which the server deduplicates frames heard
+// by several gateways and fuses their FB estimates before judging each
+// frame once (see MultiGatewaySimulation and package netserver).
 package softlora
 
 import (
@@ -38,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -45,6 +63,7 @@ import (
 
 	"softlora/internal/core"
 	"softlora/internal/lora"
+	"softlora/internal/netserver"
 	"softlora/internal/radio"
 	"softlora/internal/sdr"
 	"softlora/internal/timestamp"
@@ -128,8 +147,17 @@ type Config struct {
 	// meaningful with FBDechirpFFT.
 	FBExhaustive bool
 	// ToleranceHz is the replay-detection deviation threshold
-	// (core.DefaultToleranceHz when 0).
+	// (core.DefaultToleranceHz when 0). Ignored when Server is set — a
+	// shared network server owns its own detection configuration.
 	ToleranceHz float64
+	// GatewayID identifies this gateway in the PHY observations it emits
+	// ("gw-0" when empty). Only meaningful in multi-gateway deployments.
+	GatewayID string
+	// Server, when non-nil, is the shared network server this gateway
+	// feeds its observations to: several gateways pointing at one server
+	// form a multi-receiver deployment with frame dedup and FB fusion.
+	// Nil embeds a private server (single-gateway mode).
+	Server *netserver.NetworkServer
 	// Workers bounds the ProcessBatch worker pool (GOMAXPROCS when 0).
 	Workers int
 	// Rand drives the SDR phase and the least-squares optimizer; required.
@@ -165,8 +193,9 @@ func (p *pipeline) setRand(rng *rand.Rand) {
 //
 // ProcessUplink runs on the gateway's own serial pipeline and is not safe
 // for concurrent use; ProcessBatch is the concurrent entry point (each
-// worker owns a private pipeline). The bias database behind both is
-// mutex-protected and shared.
+// worker owns a private pipeline). The bias database behind both lives in
+// the gateway's network server (embedded unless Config.Server was set) and
+// is safe for concurrent use.
 type Gateway struct {
 	params     lora.Params
 	sampleRate float64
@@ -179,7 +208,8 @@ type Gateway struct {
 	recvProto  sdr.Receiver // per-worker receivers are stamped from this
 	workers    int
 	pipe       *pipeline // serial-path pipeline (ProcessUplink)
-	detector   *core.ReplayDetector
+	gatewayID  string
+	server     *netserver.NetworkServer
 
 	rand       *rand.Rand
 	seedOnce   sync.Once
@@ -237,6 +267,10 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	gatewayID := cfg.GatewayID
+	if gatewayID == "" {
+		gatewayID = "gw-0"
+	}
 	g := &Gateway{
 		params:     params,
 		sampleRate: rate,
@@ -247,6 +281,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		onsetComb:  cfg.OnsetRefineCombBins,
 		onsetExh:   cfg.OnsetExhaustive,
 		workers:    workers,
+		gatewayID:  gatewayID,
 		rand:       cfg.Rand,
 	}
 	if cfg.SDR != nil {
@@ -266,9 +301,10 @@ func NewGateway(cfg Config) (*Gateway, error) {
 	if ls, ok := g.pipe.estimator.(*core.LeastSquaresEstimator); ok {
 		ls.Rand = cfg.Rand
 	}
-	g.detector = core.NewReplayDetector()
-	if cfg.ToleranceHz > 0 {
-		g.detector.ToleranceHz = cfg.ToleranceHz
+	if cfg.Server != nil {
+		g.server = cfg.Server
+	} else {
+		g.server = netserver.New(netserver.Config{ToleranceHz: cfg.ToleranceHz})
 	}
 	return g, nil
 }
@@ -320,6 +356,10 @@ type UplinkReport struct {
 	FrequencyBiasHz float64
 	// FrequencyBiasPPM expresses the bias in ppm of the channel center.
 	FrequencyBiasPPM float64
+	// FBJitterHz is the PHY stage's estimate of this frame's FB
+	// estimation jitter (1σ, Hz) through this link — the weight a
+	// network server uses when fusing multi-gateway estimates.
+	FBJitterHz float64
 	// Verdict is the replay-detection decision.
 	Verdict Verdict
 	// Accepted reports whether the frame's data was accepted for
@@ -342,19 +382,25 @@ type UplinkReport struct {
 // ProcessUplink runs on the gateway's serial pipeline and must not be
 // called concurrently; use ProcessBatch for concurrent processing.
 func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []timestamp.FrameRecord) (*UplinkReport, error) {
-	return g.process(g.pipe, cap, claimedID, records, &UplinkReport{}, nil)
+	report := &UplinkReport{}
+	if err := g.phyStage(g.pipe, cap, report); err != nil {
+		return nil, err
+	}
+	g.commitStage(claimedID, "", 0, records, report, nil)
+	return report, nil
 }
 
-// process runs the pipeline stages on one capture into the caller-provided
-// report (batch callers hand slots of a per-batch slab so the steady state
-// allocates nothing per uplink; ts, when its capacity suffices, likewise
-// backs the report's Timestamps). Everything except the replay-database
-// check touches only the pipeline's own scratch, so distinct pipelines may
-// run process concurrently.
-func (g *Gateway) process(p *pipeline, capt *radio.Capture, claimedID string, records []timestamp.FrameRecord, report *UplinkReport, ts []float64) (*UplinkReport, error) {
+// phyStage runs the side-effect-free half of the pipeline on one capture:
+// SDR down-conversion, PHY onset timestamping, FB estimation on the second
+// preamble chirp, and FB-jitter estimation from the link's measured SNR. It
+// fills the report's measurement fields and touches nothing shared — no
+// database, no verdict — so distinct pipelines may run it concurrently.
+// Batch callers hand slots of a per-batch report slab so the steady state
+// allocates nothing per uplink.
+func (g *Gateway) phyStage(p *pipeline, capt *radio.Capture, report *UplinkReport) error {
 	sdrCap, err := p.receiver.Downconvert(capt)
 	if err != nil {
-		return nil, fmt.Errorf("softlora: %w", err)
+		return fmt.Errorf("softlora: %w", err)
 	}
 	// The down-converted capture is consumed entirely within this call;
 	// recycling its buffer keeps the batch path free of per-uplink
@@ -362,15 +408,16 @@ func (g *Gateway) process(p *pipeline, capt *radio.Capture, claimedID string, re
 	defer sdrCap.Release()
 	onset, err := p.onset.DetectOnset(sdrCap.IQ, sdrCap.Rate)
 	if err != nil {
-		return nil, fmt.Errorf("softlora: %w", err)
+		return fmt.Errorf("softlora: %w", err)
 	}
 	n := int(g.params.SamplesPerChirp(sdrCap.Rate))
 	var fbHz float64
+	fbStart := onset.Sample
 	arrival := sdrCap.TimeOf(onset.Sample)
 	if p.updown != nil {
 		res, udErr := p.updown.Estimate(sdrCap.IQ, onset.Sample, sdrCap.Rate)
 		if udErr != nil {
-			return nil, fmt.Errorf("softlora: %w", udErr)
+			return fmt.Errorf("softlora: %w", udErr)
 		}
 		fbHz = res.DeltaHz
 		// The joint estimator also refines the PHY timestamp.
@@ -380,29 +427,79 @@ func (g *Gateway) process(p *pipeline, capt *radio.Capture, claimedID string, re
 		// the FB (§5.1).
 		second := onset.Sample + n
 		if second+n > len(sdrCap.IQ) {
-			return nil, fmt.Errorf("%w: onset %d, capture %d", ErrCaptureShort, onset.Sample, len(sdrCap.IQ))
+			return fmt.Errorf("%w: onset %d, capture %d", ErrCaptureShort, onset.Sample, len(sdrCap.IQ))
 		}
 		est, estErr := p.estimator.EstimateFB(sdrCap.IQ[second:second+n], sdrCap.Rate)
 		if estErr != nil {
-			return nil, fmt.Errorf("softlora: %w", estErr)
+			return fmt.Errorf("softlora: %w", estErr)
 		}
 		fbHz = est.DeltaHz
+		fbStart = second
 	}
-	verdict := g.detector.Check(claimedID, fbHz)
 	*report = UplinkReport{
 		ArrivalTime:      arrival,
 		OnsetSample:      onset.Sample,
 		FrequencyBiasHz:  fbHz,
 		FrequencyBiasPPM: g.params.PPM(fbHz),
+		FBJitterHz:       fbJitterHz(sdrCap.IQ, onset.Sample, fbStart, n, sdrCap.Rate),
 	}
-	switch verdict {
-	case core.VerdictReplay:
-		report.Verdict = VerdictReplay
-	case core.VerdictEnrolling:
-		report.Verdict = VerdictEnrolling
-	default:
-		report.Verdict = VerdictGenuine
+	return nil
+}
+
+// fbJitterHz estimates the 1σ FB estimation jitter of one frame from the
+// capture itself: noise power from the lead-in before the onset, signal
+// power from the chirp the estimator analyzed, folded through the
+// Cramér-Rao frequency bound σ_f ≈ (rate/2π)·sqrt(6/(SNR·n³)). Real
+// estimators sit above the bound (the PHY onset feeds timing error into δ,
+// see fb.go), so this is a relative fusion weight, not an absolute error
+// bar; observations through noisier links weigh proportionally less. Falls
+// back to DefaultJitterHz (the paper's 120 Hz estimation resolution) when
+// the capture has no usable lead-in.
+func fbJitterHz(iq []complex128, onset, fbStart, n int, rate float64) float64 {
+	noiseLo := onset - 1024
+	if noiseLo < 0 {
+		noiseLo = 0
 	}
+	if fbStart+n > len(iq) {
+		n = len(iq) - fbStart
+	}
+	if onset-noiseLo < 16 || n < 16 {
+		return netserver.DefaultJitterHz
+	}
+	var noise float64
+	for _, v := range iq[noiseLo:onset] {
+		re, im := real(v), imag(v)
+		noise += re*re + im*im
+	}
+	noise /= float64(onset - noiseLo)
+	var sig float64
+	for _, v := range iq[fbStart : fbStart+n] {
+		re, im := real(v), imag(v)
+		sig += re*re + im*im
+	}
+	sig = sig/float64(n) - noise
+	if noise <= 0 || sig <= 0 {
+		return netserver.DefaultJitterHz
+	}
+	snr := sig / noise
+	nf := float64(n)
+	j := rate / (2 * math.Pi) * math.Sqrt(6/(snr*nf*nf*nf))
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// commitStage is the deterministic half of the pipeline: it wraps the PHY
+// measurements into an observation for the gateway's network server, runs
+// the §7.2 verdict (the only shared-state touch in the whole pipeline) and
+// finalizes the report — verdict, acceptance, and reconstructed timestamps
+// (backed by ts when its capacity suffices). Callers own the commit order:
+// ProcessBatch invokes it in uplink-index order so verdicts and database
+// state do not depend on PHY-stage scheduling.
+func (g *Gateway) commitStage(claimedID, frameID string, uplinkIndex int64, records []timestamp.FrameRecord, report *UplinkReport, ts []float64) {
+	verdict := g.server.Check(g.observation(report, claimedID, frameID, uplinkIndex))
+	report.Verdict = verdictFromCore(verdict)
 	report.Accepted = report.Verdict != VerdictReplay
 	if report.Accepted {
 		if cap(ts) >= len(records) {
@@ -414,18 +511,65 @@ func (g *Gateway) process(p *pipeline, capt *radio.Capture, claimedID string, re
 			report.Timestamps[i] = timestamp.Reconstruct(report.ArrivalTime, r)
 		}
 	}
-	return report, nil
 }
 
+// verdictFromCore maps a core verdict into the gateway-level vocabulary.
+func verdictFromCore(v core.Verdict) Verdict {
+	switch v {
+	case core.VerdictReplay:
+		return VerdictReplay
+	case core.VerdictEnrolling:
+		return VerdictEnrolling
+	default:
+		return VerdictGenuine
+	}
+}
+
+// Observe runs only the PHY stage on a capture and returns the resulting
+// observation for a shared network server — the multi-gateway entry point:
+// each gateway that heard the frame Observes its own capture (tagging it
+// with the common frameID), and the server dedups, fuses and judges the
+// frame once. Observe never touches the bias database. It runs on the
+// gateway's serial pipeline and must not be called concurrently with
+// ProcessUplink or another Observe on the same gateway.
+func (g *Gateway) Observe(cap *radio.Capture, claimedID, frameID string) (netserver.PHYObservation, error) {
+	var report UplinkReport
+	if err := g.phyStage(g.pipe, cap, &report); err != nil {
+		return netserver.PHYObservation{}, err
+	}
+	return g.observation(&report, claimedID, frameID, 0), nil
+}
+
+// observation wraps a PHY-stage report into the network-server observation
+// for the claimed device and frame — the one place the report-to-observation
+// field mapping lives, shared by the single-gateway commit stage and the
+// multi-gateway Observe path.
+func (g *Gateway) observation(report *UplinkReport, claimedID, frameID string, uplinkIndex int64) netserver.PHYObservation {
+	return netserver.PHYObservation{
+		GatewayID:   g.gatewayID,
+		DeviceID:    claimedID,
+		FrameID:     frameID,
+		UplinkIndex: uplinkIndex,
+		FBHz:        report.FrequencyBiasHz,
+		JitterHz:    report.FBJitterHz,
+		ArrivalTime: report.ArrivalTime,
+		OnsetSample: report.OnsetSample,
+	}
+}
+
+// NetworkServer returns the server holding this gateway's bias database —
+// the embedded single-gateway one unless Config.Server was provided.
+func (g *Gateway) NetworkServer() *netserver.NetworkServer { return g.server }
+
 // EnrollDevice pre-loads a device's known bias (offline database
-// construction, §7.2).
+// construction, §7.2) into the gateway's network server.
 func (g *Gateway) EnrollDevice(id string, biasHz float64) {
-	g.detector.Enroll(id, biasHz, core.DefaultEnrollFrames)
+	g.server.Enroll(id, biasHz, core.DefaultEnrollFrames)
 }
 
 // DeviceBias returns the learned bias state for a device.
 func (g *Gateway) DeviceBias(id string) (mean float64, frames int, ok bool) {
-	rec, ok := g.detector.Record(id)
+	rec, ok := g.server.Record(id)
 	if !ok {
 		return 0, 0, false
 	}
@@ -433,10 +577,12 @@ func (g *Gateway) DeviceBias(id string) (mean float64, frames int, ok bool) {
 }
 
 // SaveBiasDatabase writes the FB database as JSON.
-func (g *Gateway) SaveBiasDatabase(w io.Writer) error { return g.detector.Save(w) }
+func (g *Gateway) SaveBiasDatabase(w io.Writer) error { return g.server.Save(w) }
 
-// LoadBiasDatabase replaces the FB database from JSON.
-func (g *Gateway) LoadBiasDatabase(r io.Reader) error { return g.detector.Load(r) }
+// LoadBiasDatabase replaces the FB database from JSON. Records are
+// validated; a hostile or corrupted database is rejected with
+// core.ErrBadDatabase and the current database is kept.
+func (g *Gateway) LoadBiasDatabase(r io.Reader) error { return g.server.Load(r) }
 
 // Uplink is one queued capture for batch processing: the antenna-level
 // capture plus the frame metadata the commodity radio decoded from it.
@@ -479,15 +625,18 @@ func jobSeed(base, batchNo int64, i int) int64 {
 // ProcessBatch fans a batch of uplink captures across a bounded worker pool
 // (Config.Workers, default GOMAXPROCS). Each worker builds a private
 // pipeline — its own SDR front end, onset detector and FB estimator with
-// their plans and scratch — so the DSP hot path runs without locks or
-// allocation; only the replay-database check serializes, per uplink.
+// their plans and scratch — and runs only the side-effect-free PHY stage,
+// so the DSP hot path runs without locks or allocation. Once every PHY
+// stage has finished, the detection/commit stage applies the §7.2 verdict
+// in uplink-index order on the calling goroutine.
 //
 // Results are positionally aligned with uplinks. Stochastic stages draw
 // from a per-uplink seed derived from Config.Rand and the batch ordinal,
-// so a batch's results do not depend on worker count or scheduling, while
-// successive batches still draw independent randomness per uplink. Replay verdicts still depend on
-// database update order: when one device appears several times in a batch,
-// the order its frames reach the shared bias database is not deterministic.
+// and verdicts commit in uplink-index order, so a batch's results AND the
+// bias-database state after it are bit-identical regardless of worker
+// count or scheduling — including when one device appears several times in
+// the batch. Successive batches still draw independent randomness per
+// uplink.
 //
 // Cancelling ctx stops workers from starting further uplinks; already
 // started ones finish. Cancelled entries report ctx's error.
@@ -546,12 +695,23 @@ func (g *Gateway) ProcessBatch(ctx context.Context, uplinks []Uplink) []BatchRes
 				// draws the identical stream for a given seed.
 				p.rng.Seed(jobSeed(seedBase, batchNo, i))
 				p.setRand(p.rng)
-				ts := tsSlab[tsOff[i]:tsOff[i]:tsOff[i+1]]
-				report, err := g.process(p, uplinks[i].Capture, uplinks[i].ClaimedID, uplinks[i].Records, &reports[i], ts)
-				results[i] = BatchResult{Report: report, Err: err}
+				if err := g.phyStage(p, uplinks[i].Capture, &reports[i]); err != nil {
+					results[i] = BatchResult{Err: err}
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	// Deterministic commit stage: every verdict is applied in uplink-index
+	// order, so the database sees the same update sequence no matter how
+	// the PHY stages above were scheduled.
+	for i := range uplinks {
+		if results[i].Err != nil {
+			continue
+		}
+		ts := tsSlab[tsOff[i]:tsOff[i]:tsOff[i+1]]
+		g.commitStage(uplinks[i].ClaimedID, "", int64(i), uplinks[i].Records, &reports[i], ts)
+		results[i] = BatchResult{Report: &reports[i]}
+	}
 	return results
 }
