@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race determinism bench
+.PHONY: ci fmt vet build test race determinism faults bench
 
 # ci is the gate every PR must pass: formatting, static checks, build, the
 # full test suite, the race detector over the concurrent paths (batch
-# pipeline + network server), and the batch-determinism contract.
-ci: fmt vet build test race determinism
+# pipeline + network server), the batch-determinism contract, and the
+# crash-consistency fault-injection suite.
+ci: fmt vet build test race determinism faults
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -29,6 +30,17 @@ race:
 # including same-device batches.
 determinism:
 	$(GO) test -count=1 -run 'TestProcessBatchSameDeviceDeterministicCommit|TestProcessBatchDeterministicAcrossWorkerCounts|TestMultiGatewayDeterministic' .
+
+# faults replays the crash-consistency suite: the injector (internal/
+# faultinject) kills a bias-database flush at every filesystem operation —
+# crash-before and crash-after — plus the recoverable-error retry and
+# silent-bit-flip quarantine paths, then a short fuzz pass over the
+# snapshot decoder. The durability contract in internal/netserver/doc.go
+# is exactly what this target enforces.
+faults:
+	$(GO) test -count=1 ./internal/faultinject
+	$(GO) test -count=1 -run 'TestCrash|TestFault' ./internal/netserver
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadShard$$' -fuzztime 10s ./internal/netserver
 
 # bench refreshes BENCH_softlora.json (the cross-PR perf trajectory).
 bench:

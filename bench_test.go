@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"softlora/internal/core"
@@ -534,6 +535,52 @@ func BenchmarkNetworkServerCheck(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkSnapshotRoundTrip measures the durable persistence path: a full
+// sharded SaveDir of a populated bias database followed by a crash-safe
+// LoadDir recovery into a fresh server. bytes/device reports the on-disk
+// footprint of one enrolled device in the snapshot container (per-record
+// and whole-file checksums included).
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	const fleet = 4096
+	s := netserver.New(netserver.Config{})
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("dev-%d", i)
+		s.Enroll(id, -22e3+float64(i%500), 10)
+		s.Check(netserver.PHYObservation{
+			GatewayID:   "gw-0",
+			DeviceID:    id,
+			FBHz:        -22e3 + float64(i%500),
+			JitterHz:    40,
+			ArrivalTime: 100 + float64(i),
+		})
+	}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SaveDir(nil, dir); err != nil {
+			b.Fatal(err)
+		}
+		fresh := netserver.New(netserver.Config{})
+		if _, err := fresh.LoadDir(nil, dir); err != nil {
+			b.Fatal(err)
+		}
+		if fresh.Devices() != fleet {
+			b.Fatalf("round trip lost devices: %d of %d", fresh.Devices(), fleet)
+		}
+	}
+	b.StopTimer()
+	path := filepath.Join(b.TempDir(), "db.snap")
+	if err := s.SaveFile(nil, path); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(fi.Size())/fleet, "bytes/device")
 }
 
 func benchGatewayBatch(b *testing.B, name string, onset OnsetMethod, workers, batch int) {

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,multigw,throughput); empty runs all")
+	only := flag.String("only", "", "comma-separated experiment ids (table1,table2,fig6..fig16,sec811,sec82,sec32,ablations,multigw,throughput,fleet); empty runs all")
 	quick := flag.Bool("quick", false, "reduce trial counts for a fast pass")
 	workers := flag.Int("workers", 0, "gateway batch workers for the throughput experiment (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -166,6 +166,25 @@ func run(only string, quick bool, workers int) error {
 			return err
 		}
 		experiments.PrintAblationMultiGateway(w, rows)
+	}
+	// The fleet durability driver is explicit opt-in (-only fleet): at
+	// full scale it enrolls a million devices and issues millions of
+	// verdicts, too heavy to ride in the run-everything default pass.
+	if selected["fleet"] {
+		// Full scale proves a million enrolled devices and millions of
+		// CheckBatch verdicts with the background flusher persisting
+		// through a faulty filesystem; quick keeps the same machinery at
+		// a size suited to a smoke pass.
+		cfg := experiments.FleetConfig{FaultRate: 0.02, Workers: workers}
+		if quick {
+			cfg.Devices = 50_000
+			cfg.Verdicts = 250_000
+		}
+		r, err := experiments.Fleet(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFleet(w, r)
 	}
 	return nil
 }

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"softlora"
+	"softlora/internal/netserver"
 	"softlora/internal/profiling"
 	"softlora/internal/radio"
 )
@@ -32,14 +34,16 @@ func main() {
 	gateways := flag.Int("gateways", 1, "number of gateways; >1 runs the building deployment with a shared network server (frame dedup + FB fusion)")
 	fb := flag.String("fb", "", "FB estimator: linear-regression, least-squares, dechirp-fft, updown (empty = gateway default)")
 	fbExhaustive := flag.Bool("fb-exhaustive", false, "run the dechirp-fft estimator's monolithic padded-FFT reference instead of the decimated+zoom fast path")
+	snapshotDir := flag.String("snapshot-dir", "", "durable bias-database directory: recover it at startup, flush dirty shards in the background, flush once more at exit")
+	flushInterval := flag.Duration("flush-interval", netserver.DefaultFlushInterval, "background flush cadence when -snapshot-dir is set")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	err := profiling.Run(*cpuprofile, *memprofile, func() error {
 		if *gateways > 1 {
-			return runMulti(*devices, *uplinks, *seed, *gateways, *fb, *fbExhaustive)
+			return runMulti(*devices, *uplinks, *seed, *gateways, *fb, *fbExhaustive, *snapshotDir, *flushInterval)
 		}
-		return run(*devices, *uplinks, *seed, *batch, *workers, *fb, *fbExhaustive)
+		return run(*devices, *uplinks, *seed, *batch, *workers, *fb, *fbExhaustive, *snapshotDir, *flushInterval)
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "softlora-sim: %v\n", err)
@@ -47,7 +51,41 @@ func main() {
 	}
 }
 
-func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string, fbExhaustive bool) error {
+// openDurable recovers the bias database from dir into srv, reports what
+// the crash-safe loader found, and starts the background flusher that
+// keeps dirty shards persisted while the simulation runs.
+func openDurable(srv *netserver.NetworkServer, dir string, interval time.Duration) (*netserver.Flusher, error) {
+	stats, err := srv.LoadDir(nil, dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovering bias database from %s: %w", dir, err)
+	}
+	fmt.Printf("bias database %s: %d devices recovered (%d shards newest gen, %d older gen, %d lost, %d quarantined)\n",
+		dir, stats.DevicesLoaded, stats.ShardsLoaded, stats.ShardsRecoveredOlder,
+		stats.ShardsLost, stats.FilesQuarantined)
+	if stats.LegacyFile != "" {
+		fmt.Printf("bias database %s: migrated legacy %s; first flush rewrites it sharded\n", dir, stats.LegacyFile)
+	}
+	if stats.BehindManifest > 0 {
+		fmt.Printf("bias database %s: %d shards behind the manifest (crashed flush; last interval lost)\n", dir, stats.BehindManifest)
+	}
+	return netserver.StartFlusher(srv, dir, netserver.FlusherOptions{Interval: interval})
+}
+
+// closeDurable flushes whatever is still dirty and stops the flusher.
+func closeDurable(fl *netserver.Flusher) error {
+	if fl == nil {
+		return nil
+	}
+	if err := fl.Close(); err != nil {
+		return fmt.Errorf("final bias-database flush: %w", err)
+	}
+	st := fl.Stats()
+	fmt.Printf("\nbias database %s: flushed (%d cycles, %d shard snapshots, %d errors)\n",
+		fl.Dir(), st.Cycles, st.ShardsFlushed, st.Errors)
+	return nil
+}
+
+func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string, fbExhaustive bool, snapshotDir string, flushInterval time.Duration) error {
 	rng := rand.New(rand.NewSource(seed))
 	gw, err := softlora.NewGateway(softlora.Config{
 		Rand:         rng,
@@ -57,6 +95,12 @@ func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string,
 	})
 	if err != nil {
 		return err
+	}
+	var flusher *netserver.Flusher
+	if snapshotDir != "" {
+		if flusher, err = openDurable(gw.NetworkServer(), snapshotDir, flushInterval); err != nil {
+			return err
+		}
 	}
 	sim := &softlora.Simulation{Gateway: gw, NoiseFloordBm: -100, Rand: rng}
 
@@ -131,14 +175,14 @@ func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string,
 			fmt.Printf("  %s: %.2f kHz over %d frames\n", d.ID, mean/1e3, frames)
 		}
 	}
-	return nil
+	return closeDurable(flusher)
 }
 
 // runMulti drives the multi-gateway deployment: devices spread through the
 // paper's building transmit to a fleet of top-floor gateways feeding one
 // network server, which dedups each frame and fuses the receivers' FB
 // estimates into one verdict.
-func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbExhaustive bool) error {
+func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbExhaustive bool, snapshotDir string, flushInterval time.Duration) error {
 	rng := rand.New(rand.NewSource(seed))
 	b := radio.DefaultBuilding()
 	if fb == "" {
@@ -158,6 +202,12 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 	})
 	if err != nil {
 		return err
+	}
+	var flusher *netserver.Flusher
+	if snapshotDir != "" {
+		if flusher, err = openDurable(sim.Server, snapshotDir, flushInterval); err != nil {
+			return err
+		}
 	}
 	params := sim.Sites[0].Gateway.Params()
 	fmt.Printf("SoftLoRa multi-gateway deployment: %d devices, %d uplinks each, %d gateways\n",
@@ -180,7 +230,11 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 			return err
 		}
 		positions[i] = pos
-		sim.Server.Enroll(devs[i].ID, devs[i].Transmitter.BiasHz(params), 10)
+		// A device recovered from the snapshot directory keeps its learned
+		// record; re-enrolling would discard the tracked deviation.
+		if _, known := sim.Server.Record(devs[i].ID); !known {
+			sim.Server.Enroll(devs[i].ID, devs[i].Transmitter.BiasHz(params), 10)
+		}
 		fmt.Printf("%s at column %s floor %d: oscillator %.1f ppm\n",
 			devs[i].ID, pos.Label, pos.Floor, biasPPM)
 	}
@@ -204,5 +258,5 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 	st := sim.Server.Stats()
 	fmt.Printf("\nnetwork server: %d frames judged, %d observations, %d duplicates suppressed\n",
 		st.FramesChecked, st.Observations, st.DuplicatesSuppressed)
-	return nil
+	return closeDurable(flusher)
 }

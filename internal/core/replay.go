@@ -72,6 +72,27 @@ type BiasRecord struct {
 	Max float64 `json:"max_hz"`
 	// Count is the number of genuine frames folded in.
 	Count int `json:"count"`
+	// LastSeen is when the device was last observed, in seconds on the
+	// deployment's observation timeline (the PHY arrival-time clock, not
+	// wall time). Zero means "never stamped" — records written before
+	// aging existed, or by backends without a timeline (ReplayDetector).
+	// The network server's TTL sweep evicts on it; see
+	// NetworkServer.EvictExpired for how zero is handled.
+	LastSeen float64 `json:"last_seen_s,omitempty"`
+}
+
+// Touch stamps the record as observed at now. LastSeen only moves forward:
+// observations can commit out of arrival order (CheckBatch orders by
+// UplinkIndex, gateways' clocks by arrival), and an older frame must not
+// rejuvenate-then-expose the record to an earlier eviction horizon.
+// Non-finite times are ignored rather than poisoning the record.
+func (rec *BiasRecord) Touch(now float64) {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return
+	}
+	if now > rec.LastSeen {
+		rec.LastSeen = now
+	}
 }
 
 // Band returns the acceptance half-width for the record given the nominal
@@ -150,6 +171,7 @@ func (rec *BiasRecord) Validate() error {
 	}{
 		{"mean_hz", rec.Mean}, {"dev_hz", rec.Dev},
 		{"min_hz", rec.Min}, {"max_hz", rec.Max},
+		{"last_seen_s", rec.LastSeen},
 	} {
 		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
 			return fmt.Errorf("%s %v is not finite", f.name, f.value)

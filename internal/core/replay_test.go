@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
@@ -297,6 +298,62 @@ func TestValidateBiasRecord(t *testing.T) {
 	bad.Max = math.Inf(1)
 	if err := bad.Validate(); err == nil {
 		t.Error("infinite max accepted")
+	}
+	bad = good
+	bad.LastSeen = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN LastSeen accepted")
+	}
+}
+
+func TestBiasRecordTouchMonotonic(t *testing.T) {
+	var rec BiasRecord
+	rec.Touch(100)
+	if rec.LastSeen != 100 {
+		t.Fatalf("LastSeen = %v after Touch(100)", rec.LastSeen)
+	}
+	// Out-of-order commits must not move the stamp backwards.
+	rec.Touch(40)
+	if rec.LastSeen != 100 {
+		t.Errorf("Touch(40) rewound LastSeen to %v", rec.LastSeen)
+	}
+	rec.Touch(250.5)
+	if rec.LastSeen != 250.5 {
+		t.Errorf("Touch(250.5) gave %v", rec.LastSeen)
+	}
+	// Non-finite times are ignored, never stored.
+	rec.Touch(math.NaN())
+	rec.Touch(math.Inf(1))
+	if rec.LastSeen != 250.5 {
+		t.Errorf("non-finite Touch changed LastSeen to %v", rec.LastSeen)
+	}
+}
+
+func TestBiasRecordLastSeenJSONCompat(t *testing.T) {
+	// Legacy databases have no last_seen_s field and must keep decoding
+	// to a zero stamp; a zero stamp must re-encode without the field so
+	// detector-written files stay byte-stable.
+	var rec BiasRecord
+	if err := json.Unmarshal([]byte(`{"mean_hz":-22000,"dev_hz":10,"min_hz":-22100,"max_hz":-21900,"count":5}`), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeen != 0 {
+		t.Errorf("legacy decode stamped LastSeen = %v", rec.LastSeen)
+	}
+	out, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(out, []byte("last_seen_s")) {
+		t.Errorf("zero LastSeen serialized: %s", out)
+	}
+	rec.Touch(12.5)
+	out, err = json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte(`"last_seen_s":12.5`)) {
+		t.Errorf("stamped LastSeen missing from %s", out)
 	}
 }
 

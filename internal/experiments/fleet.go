@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softlora/internal/core"
+	"softlora/internal/faultinject"
+	"softlora/internal/netserver"
+	"softlora/internal/vfs"
+)
+
+// FleetConfig sizes the fleet durability driver. Zero values select the
+// full-scale defaults (a million devices, millions of verdicts).
+type FleetConfig struct {
+	// Devices is the enrolled fleet size.
+	Devices int
+	// Verdicts is the total number of frame verdicts to issue.
+	Verdicts int
+	// Batch is the number of observations per CheckBatch call.
+	Batch int
+	// Workers is the number of concurrent load-generator goroutines
+	// (GOMAXPROCS when 0).
+	Workers int
+	// Dir is the snapshot directory the background flusher writes while
+	// the load runs. Empty creates a temp directory and removes it when
+	// the driver finishes.
+	Dir string
+	// FlushInterval is the background flusher's cycle period.
+	FlushInterval time.Duration
+	// FaultRate is the per-filesystem-op probability of an injected
+	// recoverable fault (write error, short write, ENOSPC) while the
+	// flusher runs.
+	FaultRate float64
+	// ReplayRate is the fraction of verdicts issued with an off-band
+	// attacker bias, exercising the replay branch under load.
+	ReplayRate float64
+	// Seed drives the deterministic load pattern.
+	Seed int64
+}
+
+// FleetResult is what the driver measured.
+type FleetResult struct {
+	Config FleetConfig
+
+	// Enroll phase.
+	EnrollDuration time.Duration
+
+	// Check phase: verdicts issued through CheckBatch while the flusher
+	// and fault injector ran.
+	CheckDuration  time.Duration
+	Verdicts       int64
+	VerdictsPerSec float64
+	Replays        int64
+	Enrolling      int64
+	Stats          netserver.Stats
+
+	// Flusher + injector counters over the check phase.
+	Flush          netserver.FlushStats
+	FSOps          int
+	FaultsInjected int
+
+	// Recovery from the fault-scarred directory into a fresh server.
+	Recovery         netserver.RecoveryStats
+	RecoveredDevices int
+
+	// Clean save/load round trip of the full database.
+	SaveDuration   time.Duration
+	LoadDuration   time.Duration
+	SnapshotBytes  int64
+	BytesPerDevice float64
+}
+
+// Fleet proves the network server at deployment scale: it enrolls
+// cfg.Devices devices, then issues cfg.Verdicts frame verdicts through
+// CheckBatch from concurrent workers while a background Flusher persists
+// dirty shards through a probabilistically faulty filesystem. When the load
+// stops it drains the remaining dirty shards through a clean filesystem,
+// recovers the directory into a fresh server, verifies the recovered
+// database matches the live one, and measures a clean full save/load round
+// trip plus the snapshot's bytes-per-device footprint.
+func Fleet(cfg FleetConfig) (FleetResult, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1_000_000
+	}
+	if cfg.Verdicts <= 0 {
+		cfg.Verdicts = 2_000_000
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	if cfg.FaultRate < 0 {
+		cfg.FaultRate = 0
+	}
+	if cfg.ReplayRate <= 0 {
+		cfg.ReplayRate = 0.02
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = Seed
+	}
+	res := FleetResult{Config: cfg}
+
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "softlora-fleet-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	s := netserver.New(netserver.Config{})
+
+	// Enroll phase: the fleet, split across workers.
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := (cfg.Devices + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > cfg.Devices {
+			hi = cfg.Devices
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s.Enroll(fleetID(i), fleetBias(i), 10)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.EnrollDuration = time.Since(start)
+	if got := s.Devices(); got != cfg.Devices {
+		return res, fmt.Errorf("fleet: enrolled %d of %d devices", got, cfg.Devices)
+	}
+
+	// Check phase: verdict load with the flusher persisting through an
+	// unreliable filesystem underneath.
+	inj := faultinject.New(vfs.OS{})
+	if cfg.FaultRate > 0 {
+		inj.Probabilistic(rand.New(rand.NewSource(cfg.Seed+1)), cfg.FaultRate,
+			faultinject.KindFail, faultinject.KindShortWrite, faultinject.KindENOSPC)
+	}
+	fl, err := netserver.StartFlusher(s, dir, netserver.FlusherOptions{
+		Interval: cfg.FlushInterval,
+		FS:       inj,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	var next, issued, replays, enrolling atomic.Int64
+	start = time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(worker)))
+			obs := make([]netserver.PHYObservation, cfg.Batch)
+			for {
+				base := next.Add(int64(cfg.Batch)) - int64(cfg.Batch)
+				if base >= int64(cfg.Verdicts) {
+					return
+				}
+				for j := range obs {
+					dev := rng.Intn(cfg.Devices)
+					fb := fleetBias(dev) + rng.NormFloat64()*40
+					if rng.Float64() < cfg.ReplayRate {
+						// The replay step's attacker transmits through its
+						// own oscillator: a gross, off-band bias.
+						fb = fleetBias(dev) + 3e3
+					}
+					obs[j] = netserver.PHYObservation{
+						GatewayID:   "gw-fleet",
+						DeviceID:    fleetID(dev),
+						UplinkIndex: base + int64(j),
+						FBHz:        fb,
+						JitterHz:    40,
+						ArrivalTime: 1000 + float64(base+int64(j))*1e-4,
+					}
+				}
+				verdicts, err := s.CheckBatch(obs)
+				if err != nil {
+					return
+				}
+				issued.Add(int64(len(verdicts)))
+				for _, v := range verdicts {
+					switch v.Verdict {
+					case core.VerdictReplay:
+						replays.Add(1)
+					case core.VerdictEnrolling:
+						enrolling.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.CheckDuration = time.Since(start)
+	res.Verdicts = issued.Load()
+	res.VerdictsPerSec = float64(res.Verdicts) / res.CheckDuration.Seconds()
+	res.Replays = replays.Load()
+	res.Enrolling = enrolling.Load()
+	res.Stats = s.Stats()
+
+	// One forced cycle while the injector is still armed, so short runs
+	// exercise the flush-under-faults path even when the load finished
+	// between ticks. Its error, if any, is the injector doing its job.
+	_ = fl.FlushNow()
+
+	// The fault phase is over: record the injector's tallies, then let the
+	// flusher's final flush drain every still-dirty shard through a clean
+	// filesystem — injected faults defer durability, they never lose it,
+	// so the drain must converge without error.
+	res.FSOps = inj.Ops()
+	res.FaultsInjected = inj.Injected()
+	inj.Reset()
+	if err := fl.Close(); err != nil {
+		return res, fmt.Errorf("fleet: final flush: %w", err)
+	}
+	res.Flush = fl.Stats()
+
+	// Recovery: the fault-scarred directory must load into a fresh server
+	// as exactly the live database.
+	fresh := netserver.New(netserver.Config{})
+	start = time.Now()
+	rec, err := fresh.LoadDir(nil, dir)
+	if err != nil {
+		return res, fmt.Errorf("fleet: recovery: %w", err)
+	}
+	res.LoadDuration = time.Since(start)
+	res.Recovery = rec
+	res.RecoveredDevices = fresh.Devices()
+	if res.RecoveredDevices != cfg.Devices {
+		return res, fmt.Errorf("fleet: recovered %d of %d devices", res.RecoveredDevices, cfg.Devices)
+	}
+	if err := fleetSpotCheck(s, fresh, cfg.Devices); err != nil {
+		return res, err
+	}
+
+	// Clean full-save timing + on-disk footprint, into a pristine
+	// directory so the sizes reflect one generation.
+	cleanDir := filepath.Join(dir, "clean")
+	if err := os.RemoveAll(cleanDir); err != nil {
+		return res, err
+	}
+	start = time.Now()
+	if err := s.SaveDir(nil, cleanDir); err != nil {
+		return res, fmt.Errorf("fleet: clean save: %w", err)
+	}
+	res.SaveDuration = time.Since(start)
+	entries, err := os.ReadDir(cleanDir)
+	if err != nil {
+		return res, err
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			res.SnapshotBytes += info.Size()
+		}
+	}
+	res.BytesPerDevice = float64(res.SnapshotBytes) / float64(cfg.Devices)
+	return res, nil
+}
+
+// fleetID and fleetBias derive a device's identity and enrolled oscillator
+// bias from its index, so load generators never need a shared table.
+func fleetID(i int) string { return fmt.Sprintf("fleet-%07d", i) }
+
+func fleetBias(i int) float64 {
+	// RN2483-like −29..−20 ppm at 868 MHz ≈ −25..−17 kHz, spread
+	// deterministically across the fleet.
+	return -25e3 + float64(i%97)*85
+}
+
+// fleetSpotCheck compares a deterministic sample of records between the
+// live and the recovered database.
+func fleetSpotCheck(live, recovered *netserver.NetworkServer, devices int) error {
+	step := devices/1000 + 1
+	for i := 0; i < devices; i += step {
+		id := fleetID(i)
+		a, okA := live.Record(id)
+		b, okB := recovered.Record(id)
+		if okA != okB || a != b {
+			return fmt.Errorf("fleet: device %s diverged after recovery: %+v vs %+v", id, a, b)
+		}
+	}
+	return nil
+}
+
+// PrintFleet prints the driver's report.
+func PrintFleet(w io.Writer, r FleetResult) {
+	section(w, "Fleet durability driver (extension)")
+	c := r.Config
+	fmt.Fprintf(w, "fleet: %d devices enrolled in %.2f s (%d workers)\n",
+		c.Devices, r.EnrollDuration.Seconds(), c.Workers)
+	fmt.Fprintf(w, "load:  %d verdicts via CheckBatch(%d) in %.2f s = %.0f verdicts/s\n",
+		r.Verdicts, c.Batch, r.CheckDuration.Seconds(), r.VerdictsPerSec)
+	fmt.Fprintf(w, "       %d replays flagged, %d enrolling, %d observations consumed\n",
+		r.Replays, r.Enrolling, r.Stats.Observations)
+	fmt.Fprintf(w, "flush: %d cycles, %d shard snapshots, interval %s\n",
+		r.Flush.Cycles, r.Flush.ShardsFlushed, c.FlushInterval)
+	fmt.Fprintf(w, "faults: %d of %d fs ops injected (rate %.0f%%): %d flush errors, %d retries, %d gave up\n",
+		r.FaultsInjected, r.FSOps, c.FaultRate*100, r.Flush.Errors, r.Flush.Retries, r.Flush.GaveUp)
+	fmt.Fprintf(w, "recovery: %d/%d devices from %d shard files in %.2f s (%d newest gen, %d older gen, %d lost, %d quarantined)\n",
+		r.RecoveredDevices, c.Devices, r.Recovery.ShardFiles, r.LoadDuration.Seconds(),
+		r.Recovery.ShardsLoaded, r.Recovery.ShardsRecoveredOlder, r.Recovery.ShardsLost,
+		r.Recovery.FilesQuarantined)
+	fmt.Fprintf(w, "snapshot: clean full save %.2f s, %d bytes on disk = %.1f bytes/device\n",
+		r.SaveDuration.Seconds(), r.SnapshotBytes, r.BytesPerDevice)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFleetSmall runs the full driver machinery — concurrent CheckBatch
+// load, background flusher through a heavily faulty filesystem, drain,
+// recovery, clean round trip — at a size suited to the test suite. The
+// driver itself errors when recovery loses a device or a sampled record
+// diverges, so a nil error carries the durability claim.
+func TestFleetSmall(t *testing.T) {
+	r, err := Fleet(FleetConfig{
+		Devices:       3000,
+		Verdicts:      20000,
+		Batch:         32,
+		Workers:       4,
+		Dir:           t.TempDir(),
+		FlushInterval: 5 * time.Millisecond,
+		FaultRate:     0.1,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdicts < 20000 {
+		t.Errorf("issued %d verdicts, want >= 20000", r.Verdicts)
+	}
+	if r.RecoveredDevices != 3000 {
+		t.Errorf("recovered %d devices, want 3000", r.RecoveredDevices)
+	}
+	if r.Replays == 0 {
+		t.Error("replay branch never exercised under load")
+	}
+	if r.Flush.ShardsFlushed == 0 {
+		t.Error("background flusher never flushed a shard")
+	}
+	if r.FaultsInjected == 0 {
+		t.Error("fault injector at rate 0.1 never fired")
+	}
+	if r.SnapshotBytes <= 0 || r.BytesPerDevice <= 0 {
+		t.Errorf("snapshot footprint not measured: %d bytes", r.SnapshotBytes)
+	}
+	var sb strings.Builder
+	PrintFleet(&sb, r)
+	if !strings.Contains(sb.String(), "verdicts/s") {
+		t.Errorf("report missing throughput line:\n%s", sb.String())
+	}
+}

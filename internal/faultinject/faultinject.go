@@ -1,0 +1,358 @@
+// Package faultinject wraps a vfs.FS with deterministic or probabilistic
+// fault injection: short writes, ENOSPC, fsync failures, torn renames,
+// bit-flip corruption, and whole-process crash points. The persistence
+// layer's crash-consistency suite uses it to kill a snapshot flush at every
+// filesystem operation and prove the loader always recovers a consistent
+// database; the fleet driver runs it probabilistically to prove the
+// background flusher's retry path under sustained I/O trouble.
+//
+// Every mutating operation (Create, Write, Sync, Close, Rename, Remove) is
+// counted in call order, so a test can measure a flush once with Ops(),
+// then re-run it with CrashAt(k) for every k — an exhaustive enumeration of
+// crash points rather than a sampled one.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+
+	"softlora/internal/vfs"
+)
+
+// Injected fault errors.
+var (
+	// ErrInjected is returned by a recoverable injected fault (short
+	// write, fsync failure, failed rename): the operation failed but the
+	// process lives and may retry.
+	ErrInjected = errors.New("faultinject: injected I/O error")
+	// ErrNoSpace is the injected ENOSPC.
+	ErrNoSpace = errors.New("faultinject: no space left on device")
+	// ErrCrashed is returned by every operation after a crash point: the
+	// simulated process is dead and nothing further reaches the disk.
+	ErrCrashed = errors.New("faultinject: crashed")
+)
+
+// Op selects which filesystem operation a scheduled fault matches.
+type Op int
+
+// Operations. OpAny matches every mutating operation.
+const (
+	OpAny Op = iota
+	OpCreate
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+)
+
+// Kind is the fault to inject when a schedule matches.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindFail fails the operation with ErrInjected (no side effect).
+	KindFail Kind = iota
+	// KindShortWrite writes only the first half of the buffer, then
+	// fails with ErrInjected. Meaningful on OpWrite; other ops fail
+	// plainly.
+	KindShortWrite
+	// KindENOSPC fails the operation with ErrNoSpace (no bytes written).
+	KindENOSPC
+	// KindBitFlip flips one bit of the written buffer and reports
+	// success — silent media corruption the loader must catch by
+	// checksum. Meaningful on OpWrite; a no-op elsewhere.
+	KindBitFlip
+	// KindCrash kills the process before the operation executes: the
+	// operation and every later one return ErrCrashed.
+	KindCrash
+	// KindCrashAfter lets the operation complete, then kills the
+	// process: the operation succeeds and every later one returns
+	// ErrCrashed. Applied to a rename this is the "torn rename" case —
+	// the rename landed but nothing after it (manifest update, cleanup)
+	// did.
+	KindCrashAfter
+)
+
+type rule struct {
+	op        Op
+	remaining int
+	kind      Kind
+}
+
+// FS wraps an inner vfs.FS with fault injection. The zero schedule injects
+// nothing; faults are armed with FailAt/CrashAt/CrashAfter/Probabilistic.
+// Safe for concurrent use.
+type FS struct {
+	inner vfs.FS
+
+	mu       sync.Mutex
+	rules    []rule
+	ops      int
+	injected int
+	crashed  bool
+
+	// probabilistic mode
+	rng   *rand.Rand
+	rate  float64
+	kinds []Kind
+}
+
+// New wraps inner with an empty fault schedule.
+func New(inner vfs.FS) *FS { return &FS{inner: inner} }
+
+// FailAt schedules the n-th (1-based) occurrence of op to fail with kind.
+func (f *FS) FailAt(op Op, n int, kind Kind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rule{op: op, remaining: n, kind: kind})
+}
+
+// CrashAt kills the simulated process at the n-th (1-based) mutating
+// operation, before it executes.
+func (f *FS) CrashAt(n int) { f.FailAt(OpAny, n, KindCrash) }
+
+// CrashAfter kills the simulated process immediately after the n-th
+// (1-based) mutating operation completes.
+func (f *FS) CrashAfter(n int) { f.FailAt(OpAny, n, KindCrashAfter) }
+
+// Probabilistic makes every mutating operation fail with probability rate,
+// drawing the fault uniformly from kinds (recoverable kinds make sense
+// here; a crash kind would end the run at the first hit). Deterministic
+// given the seeded rng.
+func (f *FS) Probabilistic(rng *rand.Rand, rate float64, kinds ...Kind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng, f.rate = rng, rate
+	if len(kinds) == 0 {
+		kinds = []Kind{KindFail}
+	}
+	f.kinds = kinds
+}
+
+// Ops returns how many mutating operations have been observed.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected returns how many faults have been injected.
+func (f *FS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether a crash point has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Reset clears the schedule, counters and crash state (the inner FS keeps
+// whatever state the faults left behind — that is the point).
+func (f *FS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.ops, f.injected = 0, 0
+	f.crashed = false
+	f.rng, f.rate, f.kinds = nil, 0, nil
+}
+
+// step records one mutating operation and returns the fault to inject, if
+// any. KindCrash/KindCrashAfter latch the crashed state here.
+func (f *FS) step(op Op) (Kind, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return KindCrash, true
+	}
+	f.ops++
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.remaining <= 0 || (r.op != OpAny && r.op != op) {
+			continue
+		}
+		r.remaining--
+		if r.remaining == 0 {
+			f.injected++
+			switch r.kind {
+			case KindCrash, KindCrashAfter:
+				f.crashed = true
+			}
+			return r.kind, true
+		}
+	}
+	if f.rng != nil && f.rng.Float64() < f.rate {
+		f.injected++
+		return f.kinds[f.rng.Intn(len(f.kinds))], true
+	}
+	return 0, false
+}
+
+// opErr maps a non-write fault kind onto the operation's result. ok means
+// the inner operation should still run (crash-after).
+func opErr(kind Kind) (runInner bool, err error) {
+	switch kind {
+	case KindCrash:
+		return false, ErrCrashed
+	case KindCrashAfter:
+		return true, nil
+	case KindENOSPC:
+		return false, ErrNoSpace
+	case KindBitFlip:
+		return true, nil // meaningless outside Write: pass through
+	default:
+		return false, ErrInjected
+	}
+}
+
+// MkdirAll implements vfs.FS. Directory creation is treated as
+// infrastructure, not a fault point (the snapshot protocol creates
+// directories once, not per flush).
+func (f *FS) MkdirAll(path string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// Create implements vfs.FS.
+func (f *FS) Create(path string) (vfs.File, error) {
+	if kind, hit := f.step(OpCreate); hit {
+		run, err := opErr(kind)
+		if !run {
+			return nil, err
+		}
+		inner, cerr := f.inner.Create(path)
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &file{fs: f, inner: inner}, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// Open implements vfs.FS. Reads pass through (the loader is exercised
+// against whatever bytes the faults left, not against read errors).
+func (f *FS) Open(path string) (io.ReadCloser, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.Open(path)
+}
+
+// Rename implements vfs.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if kind, hit := f.step(OpRename); hit {
+		run, err := opErr(kind)
+		if !run {
+			return err
+		}
+		if rerr := f.inner.Rename(oldpath, newpath); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements vfs.FS.
+func (f *FS) Remove(path string) error {
+	if kind, hit := f.step(OpRemove); hit {
+		run, err := opErr(kind)
+		if !run {
+			return err
+		}
+		if rerr := f.inner.Remove(path); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// file routes Write/Sync/Close through the injector.
+type file struct {
+	fs    *FS
+	inner vfs.File
+}
+
+// Write implements vfs.File.
+func (w *file) Write(p []byte) (int, error) {
+	if kind, hit := w.fs.step(OpWrite); hit {
+		switch kind {
+		case KindShortWrite:
+			n, _ := w.inner.Write(p[:len(p)/2])
+			return n, ErrInjected
+		case KindENOSPC:
+			return 0, ErrNoSpace
+		case KindBitFlip:
+			// Flip one bit, deterministically positioned by the op
+			// counter, and report success — the checksum's job now.
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			if len(cp) > 0 {
+				i := w.fs.Ops() % len(cp)
+				cp[i] ^= 1 << (w.fs.Ops() % 8)
+			}
+			return w.inner.Write(cp)
+		case KindCrash:
+			return 0, ErrCrashed
+		case KindCrashAfter:
+			return w.inner.Write(p)
+		default:
+			return 0, ErrInjected
+		}
+	}
+	return w.inner.Write(p)
+}
+
+// Sync implements vfs.File.
+func (w *file) Sync() error {
+	if kind, hit := w.fs.step(OpSync); hit {
+		run, err := opErr(kind)
+		if !run {
+			return err
+		}
+		if serr := w.inner.Sync(); serr != nil {
+			return serr
+		}
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close implements vfs.File. The inner handle is always closed — a crashed
+// or failed close must not leak the descriptor in the test process.
+func (w *file) Close() error {
+	kind, hit := w.fs.step(OpClose)
+	cerr := w.inner.Close()
+	if hit {
+		run, err := opErr(kind)
+		if !run || err != nil {
+			if err == nil {
+				err = ErrInjected
+			}
+			return err
+		}
+	}
+	return cerr
+}

@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softlora/internal/vfs"
+)
+
+func write(t *testing.T, fsys vfs.FS, path, content string) error {
+	t.Helper()
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestPassThroughWhenUnarmed(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	path := filepath.Join(dir, "a.txt")
+	if err := write(t, fs, path, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if fs.Ops() != 4 { // Create, Write, Sync, Close
+		t.Errorf("ops = %d, want 4", fs.Ops())
+	}
+	if fs.Injected() != 0 {
+		t.Errorf("injected = %d", fs.Injected())
+	}
+}
+
+func TestShortWriteWritesHalf(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	fs.FailAt(OpWrite, 1, KindShortWrite)
+	path := filepath.Join(dir, "a.txt")
+	err := write(t, fs, path, "0123456789")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Errorf("file holds %q, want the first half", got)
+	}
+}
+
+func TestCrashAtStopsEverythingAfter(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	fs.CrashAt(3) // dies at the first Sync
+	path := filepath.Join(dir, "a.txt")
+	if err := write(t, fs, path, "abc"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Error("crash did not latch")
+	}
+	// Every subsequent operation is dead.
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("rename after crash: %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "b.txt")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("create after crash: %v", err)
+	}
+	if _, err := fs.Open(path); !errors.Is(err, ErrCrashed) {
+		t.Errorf("open after crash: %v", err)
+	}
+}
+
+func TestCrashAfterLetsTheOpLand(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	old := filepath.Join(dir, "old")
+	new_ := filepath.Join(dir, "new")
+	if err := write(t, fs, old, "x"); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAt(OpRename, 1, KindCrashAfter)
+	if err := fs.Rename(old, new_); err != nil {
+		t.Fatalf("crash-after rename should report success, got %v", err)
+	}
+	if _, err := os.Stat(new_); err != nil {
+		t.Error("rename did not land before the crash")
+	}
+	if err := fs.Remove(new_); !errors.Is(err, ErrCrashed) {
+		t.Errorf("op after crash-after: %v", err)
+	}
+}
+
+func TestBitFlipCorruptsSilently(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	fs.FailAt(OpWrite, 1, KindBitFlip)
+	path := filepath.Join(dir, "a.bin")
+	want := []byte("payload-payload-payload")
+	if err := write(t, fs, path, string(want)); err != nil {
+		t.Fatalf("bit flip must be silent, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length changed: %d vs %d", len(got), len(want))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	// The caller's buffer must not have been mutated.
+	if string(want) != "payload-payload-payload" {
+		t.Error("injector scribbled on the caller's buffer")
+	}
+}
+
+func TestProbabilisticIsDeterministicPerSeed(t *testing.T) {
+	run := func() (ops, injected int) {
+		dir := t.TempDir()
+		fs := New(vfs.OS{})
+		fs.Probabilistic(rand.New(rand.NewSource(9)), 0.3, KindFail, KindENOSPC)
+		for i := 0; i < 50; i++ {
+			_ = write(t, fs, filepath.Join(dir, "f"), "data")
+		}
+		return fs.Ops(), fs.Injected()
+	}
+	o1, i1 := run()
+	o2, i2 := run()
+	if o1 != o2 || i1 != i2 {
+		t.Errorf("two seeded runs diverged: (%d,%d) vs (%d,%d)", o1, i1, o2, i2)
+	}
+	if i1 == 0 {
+		t.Error("probabilistic injector at rate 0.3 never fired in 50 writes")
+	}
+}
+
+func TestScheduledFaultCountsPerOpType(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(vfs.OS{})
+	fs.FailAt(OpSync, 2, KindFail) // second Sync only
+	if err := write(t, fs, filepath.Join(dir, "a"), "x"); err != nil {
+		t.Fatalf("first file should be clean: %v", err)
+	}
+	if err := write(t, fs, filepath.Join(dir, "b"), "x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync should fail: %v", err)
+	}
+	if err := write(t, fs, filepath.Join(dir, "c"), "x"); err != nil {
+		t.Fatalf("third file should be clean again: %v", err)
+	}
+}

@@ -90,6 +90,9 @@ type Stats struct {
 	// observation of the same frame instead of receiving their own
 	// verdict.
 	DuplicatesSuppressed int64
+	// Evicted counts device records removed by the TTL sweep
+	// (EvictExpired), cumulatively.
+	Evicted int64
 }
 
 // Config configures a NetworkServer. Zero values select the
@@ -110,12 +113,36 @@ type Config struct {
 	// Shards is the number of database partitions, rounded up to a power
 	// of two (DefaultShards when 0).
 	Shards int
+	// RecordTTL evicts device records not observed for this many seconds
+	// on the observation timeline (see EvictExpired). Zero disables
+	// aging. Only sweeps triggered by a Flusher or by explicit
+	// EvictExpired calls apply it; the verdict hot path never scans.
+	RecordTTL float64
 }
 
-// shard is one independently locked database partition.
+// shard is one independently read-write-locked database partition.
+// Steady-state traffic is read-dominated in aggregate — Record lookups,
+// Devices counts, Save/flush snapshots — while only Check/Enroll/Load
+// mutate, so readers share the lock and a flusher serializing a shard
+// never blocks reads of the other 63.
 type shard struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	devices map[string]*core.BiasRecord
+	// dirty marks the shard as modified since its last successful
+	// snapshot flush. Set by every mutation, cleared by the flusher with
+	// Swap(false); a mutation racing the flush re-marks it so the next
+	// cycle rewrites the shard — flushes may repeat, never skip.
+	dirty atomic.Bool
+}
+
+// markDirty flags the shard for the next incremental flush. Cheaper than
+// an unconditional atomic store on the hot path: steady-state traffic
+// re-dirties an already-dirty shard, so the load almost always short-
+// circuits.
+func (sh *shard) markDirty() {
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
 }
 
 // NetworkServer owns the per-device frequency-bias database behind sharded
@@ -126,12 +153,19 @@ type NetworkServer struct {
 	devMul float64
 	alpha  float64
 	enroll int
+	ttl    float64
 
 	shards []shard
+
+	// latest is the max observation ArrivalTime seen, as float64 bits —
+	// the "now" of the TTL sweep, so aging follows the deployment's own
+	// timeline instead of wall clock.
+	latest atomic.Uint64
 
 	framesChecked atomic.Int64
 	observations  atomic.Int64
 	duplicates    atomic.Int64
+	evicted       atomic.Int64
 }
 
 // New builds a NetworkServer with the given configuration.
@@ -162,6 +196,7 @@ func New(cfg Config) *NetworkServer {
 		devMul: cfg.DevMultiplier,
 		alpha:  cfg.Alpha,
 		enroll: cfg.EnrollFrames,
+		ttl:    cfg.RecordTTL,
 		shards: make([]shard, pow),
 	}
 	for i := range s.shards {
@@ -188,17 +223,48 @@ func (s *NetworkServer) shardFor(deviceID string) *shard {
 }
 
 // checkDevice applies the shared §7.2 record policy under the device's
-// shard lock.
-func (s *NetworkServer) checkDevice(deviceID string, fbHz float64) core.Verdict {
+// shard lock, stamping the record's LastSeen with the frame's arrival time
+// and marking the shard dirty for the incremental flusher. A replay verdict
+// still touches LastSeen: the device is demonstrably of interest, and
+// evicting a record mid-attack would let the attacker re-enroll as the
+// device it is impersonating.
+func (s *NetworkServer) checkDevice(deviceID string, fbHz, now float64) core.Verdict {
 	sh := s.shardFor(deviceID)
 	sh.mu.Lock()
 	verdict, rec := core.CheckRecord(sh.devices[deviceID], fbHz, s.tol, s.devMul, s.alpha, s.enroll)
 	if rec != nil {
+		rec.Touch(now)
 		sh.devices[deviceID] = rec
+		sh.markDirty()
 	}
 	sh.mu.Unlock()
+	s.observeTime(now)
 	s.framesChecked.Add(1)
 	return verdict
+}
+
+// observeTime advances the server's notion of "now" on the observation
+// timeline (monotonic max). Non-finite and non-advancing times are
+// ignored; the common case is one load + compare, no CAS.
+func (s *NetworkServer) observeTime(now float64) {
+	if math.IsNaN(now) || math.IsInf(now, 0) {
+		return
+	}
+	for {
+		old := s.latest.Load()
+		if now <= math.Float64frombits(old) {
+			return
+		}
+		if s.latest.CompareAndSwap(old, math.Float64bits(now)) {
+			return
+		}
+	}
+}
+
+// LatestObservation returns the newest ArrivalTime the server has seen —
+// the TTL sweep's reference clock.
+func (s *NetworkServer) LatestObservation() float64 {
+	return math.Float64frombits(s.latest.Load())
 }
 
 // Check judges a single-receiver frame: the observation is its own frame
@@ -206,7 +272,7 @@ func (s *NetworkServer) checkDevice(deviceID string, fbHz float64) core.Verdict 
 // device's shard lock. This is the single-gateway hot path.
 func (s *NetworkServer) Check(obs PHYObservation) core.Verdict {
 	s.observations.Add(1)
-	return s.checkDevice(obs.DeviceID, obs.FBHz)
+	return s.checkDevice(obs.DeviceID, obs.FBHz, obs.ArrivalTime)
 }
 
 // Frame-level errors.
@@ -302,7 +368,7 @@ func (s *NetworkServer) CheckFrame(obs []PHYObservation) (FrameVerdict, error) {
 	}
 	s.observations.Add(int64(len(obs)))
 	s.duplicates.Add(int64(len(obs) - 1))
-	fv.Verdict = s.checkDevice(fv.DeviceID, fv.FBHz)
+	fv.Verdict = s.checkDevice(fv.DeviceID, fv.FBHz, fv.ArrivalTime)
 	return fv, nil
 }
 
@@ -363,6 +429,7 @@ func (s *NetworkServer) Enroll(deviceID string, fbHz float64, frames int) {
 	sh := s.shardFor(deviceID)
 	sh.mu.Lock()
 	sh.devices[deviceID] = &core.BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: frames}
+	sh.markDirty()
 	sh.mu.Unlock()
 }
 
@@ -370,8 +437,8 @@ func (s *NetworkServer) Enroll(deviceID string, fbHz float64, frames int) {
 // exists.
 func (s *NetworkServer) Record(deviceID string) (core.BiasRecord, bool) {
 	sh := s.shardFor(deviceID)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	rec, ok := sh.devices[deviceID]
 	if !ok {
 		return core.BiasRecord{}, false
@@ -384,9 +451,9 @@ func (s *NetworkServer) Devices() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		n += len(sh.devices)
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -397,6 +464,93 @@ func (s *NetworkServer) Stats() Stats {
 		FramesChecked:        s.framesChecked.Load(),
 		Observations:         s.observations.Load(),
 		DuplicatesSuppressed: s.duplicates.Load(),
+		Evicted:              s.evicted.Load(),
+	}
+}
+
+// EvictExpired removes device records whose LastSeen is older than ttl
+// seconds before now (both on the observation timeline) and returns how
+// many were evicted. Records with a zero LastSeen — written before aging
+// existed, or enrolled offline — are stamped with now on the first sweep
+// instead of evicted, so a freshly migrated fleet gets a full TTL of grace
+// rather than being wiped by its first sweep. ttl <= 0 is a no-op. Shards
+// that lose records are marked dirty so the next flush persists the
+// eviction.
+func (s *NetworkServer) EvictExpired(now, ttl float64) int {
+	if ttl <= 0 || math.IsNaN(now) || math.IsInf(now, 0) {
+		return 0
+	}
+	horizon := now - ttl
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := 0
+		for id, rec := range sh.devices {
+			if rec.LastSeen == 0 {
+				rec.LastSeen = now
+				continue
+			}
+			if rec.LastSeen < horizon {
+				delete(sh.devices, id)
+				n++
+			}
+		}
+		if n > 0 {
+			sh.markDirty()
+		}
+		sh.mu.Unlock()
+		total += n
+	}
+	if total > 0 {
+		s.evicted.Add(int64(total))
+	}
+	return total
+}
+
+// Sweep runs EvictExpired at the server's configured TTL against its own
+// latest observed time — the form the background Flusher calls each cycle.
+func (s *NetworkServer) Sweep() int {
+	return s.EvictExpired(s.LatestObservation(), s.ttl)
+}
+
+// snapshotShard copies shard i's records under its read lock, appending to
+// dst — the flusher serializes and writes the copy outside the lock so a
+// slow disk never stalls verdict traffic. Records are deep-copied: the
+// originals keep mutating under Check while the flush encodes.
+func (s *NetworkServer) snapshotShard(i int, dst map[string]core.BiasRecord) map[string]core.BiasRecord {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	if dst == nil {
+		dst = make(map[string]core.BiasRecord, len(sh.devices))
+	}
+	for id, rec := range sh.devices {
+		dst[id] = *rec
+	}
+	sh.mu.RUnlock()
+	return dst
+}
+
+// installShards replaces the whole database with devices, re-hashed onto
+// the current shard count: a concurrent Check serializes against each
+// shard's lock and sees either the old or the new record set for its
+// shard, never a torn mix within one. Every shard is marked dirty so the
+// first flush after a load persists the full database (this is also what
+// migrates a legacy monolithic snapshot to sharded files).
+func (s *NetworkServer) installShards(devices map[string]*core.BiasRecord) {
+	staged := make([]map[string]*core.BiasRecord, len(s.shards))
+	for i := range staged {
+		staged[i] = make(map[string]*core.BiasRecord)
+	}
+	for id, rec := range devices {
+		staged[fnv32a(id)&uint32(len(s.shards)-1)][id] = rec
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.devices = staged[i]
+		sh.markDirty()
+		sh.mu.Unlock()
 	}
 }
 
@@ -404,16 +558,20 @@ func (s *NetworkServer) Stats() Stats {
 // core.ReplayDetector writes, so databases move between a single gateway
 // and the network server unchanged. Shards are merged and keys sorted by
 // the encoder, so equal database states serialize to equal bytes.
+//
+// Save offers no atomicity: it writes whatever the caller's io.Writer is.
+// Use SaveFile (temp + fsync + rename + checksum) for a durable single
+// file, or a Snapshotter/Flusher for sharded incremental snapshots.
 func (s *NetworkServer) Save(w io.Writer) error {
 	merged := make(map[string]*core.BiasRecord, s.Devices())
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.mu.RLock()
 		for id, rec := range sh.devices {
 			cp := *rec
 			merged[id] = &cp
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -435,22 +593,6 @@ func (s *NetworkServer) Load(r io.Reader) error {
 	if err := core.ValidateDatabase(devices); err != nil {
 		return err
 	}
-	// Stage the replacement per shard, then install shard by shard: a
-	// concurrent Check serializes against each shard's lock and sees
-	// either the old or the new record for its device, never a torn mix
-	// within one shard.
-	staged := make([]map[string]*core.BiasRecord, len(s.shards))
-	for i := range staged {
-		staged[i] = make(map[string]*core.BiasRecord)
-	}
-	for id, rec := range devices {
-		staged[fnv32a(id)&uint32(len(s.shards)-1)][id] = rec
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		sh.devices = staged[i]
-		sh.mu.Unlock()
-	}
+	s.installShards(devices)
 	return nil
 }

@@ -1,6 +1,6 @@
 // Package netserver is the LoRaWAN network-server side of the SoftLoRa
 // defense: the per-device frequency-bias database of §7.2 lifted out of the
-// single gateway into a backend that one or many gateways feed.
+// single gateway into a durable backend that one or many gateways feed.
 //
 // # Architecture
 //
@@ -20,22 +20,80 @@
 //     good link and two marginal ones is judged on an estimate at least as
 //     tight as the best single receiver's.
 //
+// The package is split by concern: db.go (the sharded in-memory store and
+// verdict path), persist.go (snapshot container format, Snapshotter,
+// crash-safe loader), flush.go (the background Flusher).
+//
 // # Ordering contract
 //
-// Check and CheckBatch commit database updates under per-device locks;
-// CheckBatch additionally orders frames by UplinkIndex before committing, so
-// a batch's verdicts and the resulting database state are independent of
-// the order observations were gathered. Gateways rely on this: ProcessBatch
-// runs its PHY stage on an unordered worker pool and then commits verdicts
-// in uplink-index order, making batch results bit-identical across worker
-// counts.
+// Check and CheckBatch commit database updates under per-device shard
+// locks; CheckBatch additionally orders frames by UplinkIndex before
+// committing, so a batch's verdicts and the resulting database state are
+// independent of the order observations were gathered. Gateways rely on
+// this: ProcessBatch runs its PHY stage on an unordered worker pool and
+// then commits verdicts in uplink-index order, making batch results
+// bit-identical across worker counts. Persistence is an observer of this
+// contract, never a participant: a flush serializes shards under read
+// locks, so verdicts are unaffected by flusher timing (enforced by
+// TestVerdictsUnaffectedByFlusherTiming).
 //
 // # Scaling
 //
 // The database is sharded: device IDs hash (FNV-1a) onto DefaultShards
-// independently locked partitions, so concurrent Check traffic from many
-// gateways serializes only per shard, not globally. Save/Load use the same
-// JSON schema as core.ReplayDetector, so single-gateway databases migrate
-// to the network server unchanged; Load validates every record
-// (core.ValidateDatabase) before installing anything.
+// independently RW-locked partitions, so concurrent Check traffic from many
+// gateways serializes only per shard, and read-side traffic — Record,
+// Devices, snapshot flushes — shares each lock. Records age: a TTL sweep
+// (Config.RecordTTL, driven by the Flusher or EvictExpired) evicts devices
+// not observed within the TTL, keyed on BiasRecord.LastSeen and the
+// server's own observation clock (max ArrivalTime seen), so a churning
+// fleet does not grow the database without bound. A replay verdict still
+// refreshes LastSeen: evicting a record mid-attack would let the attacker
+// re-enroll as its victim.
+//
+// # Durability contract
+//
+// The persistent form is a directory of per-shard snapshot files plus a
+// manifest, written exclusively through the atomic protocol: serialize to
+// <file>.tmp, fsync, close, rename into place. Shard files carry a
+// CRC32-C per record and a whole-file CRC32-C trailer; generation numbers
+// increase per flush and the previous generation is retained, so for every
+// shard there are normally two independently valid snapshots on disk.
+// What survives a crash at each point of a flush:
+//
+//   - Before a shard's rename: that shard's previous generation, intact
+//     (the .tmp is swept on the next Snapshotter open).
+//   - After a shard's rename, before the manifest write: the new
+//     generation — the loader trusts per-file checksums and newest valid
+//     generation, not the manifest, which only flags shards found behind
+//     it (RecoveryStats.BehindManifest).
+//   - Torn or bit-flipped file content: caught by checksum; the loader
+//     quarantines the damaged file (never deletes it) and falls back to
+//     the shard's previous generation.
+//
+// Recovery (Snapshotter.Load / NetworkServer.LoadDir) is therefore
+// per-shard all-or-nothing: every recovered shard is exactly the state of
+// one successful flush, and a crash loses at most each dirty shard's last
+// un-flushed interval — never the fleet. A directory whose every
+// generation of some shard is corrupt loses only that shard's devices
+// (they re-enroll); the rest of the fleet loads. These properties are
+// enforced by exhaustive fault injection (internal/faultinject): the crash
+// suite kills a flush at every filesystem operation, in both crash-before
+// and crash-after modes, and asserts the loader recovers a validated,
+// generation-consistent database each time.
+//
+// Single-file snapshots (SaveFile/LoadFile) use the same container and
+// atomic-write protocol. Legacy monolithic JSON databases (Save/Load and
+// core.ReplayDetector files) keep loading: LoadFile auto-detects the
+// format, and LoadDir falls back to a legacy .json in the directory and
+// migrates it — a load marks every shard dirty, so the first flush
+// rewrites the database sharded.
+//
+// # Flushing
+//
+// The Flusher persists incrementally: mutations mark their shard dirty,
+// and each cycle snapshots only dirty shards (under read locks, encoding
+// and I/O outside them), retrying failed cycles with bounded exponential
+// backoff — a shard stays dirty until some flush of it succeeds, so I/O
+// errors defer durability but never corrupt or drop state. Close stops
+// the loop and flushes what is still dirty.
 package netserver

@@ -1,0 +1,218 @@
+package netserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softlora/internal/vfs"
+)
+
+// Flusher defaults.
+const (
+	// DefaultFlushInterval is the background flush cadence.
+	DefaultFlushInterval = 2 * time.Second
+	// DefaultFlushRetries is how many times one flush cycle retries
+	// after an I/O error before giving up until the next tick (dirty
+	// shards stay dirty, so nothing is lost by waiting).
+	DefaultFlushRetries = 4
+	// DefaultFlushBackoff is the first retry delay; each subsequent
+	// retry doubles it.
+	DefaultFlushBackoff = 25 * time.Millisecond
+)
+
+// FlusherOptions configures StartFlusher. Zero values select the
+// defaults above.
+type FlusherOptions struct {
+	// Interval between background flush cycles.
+	Interval time.Duration
+	// MaxRetries bounds the retries of one failing cycle.
+	MaxRetries int
+	// Backoff is the initial retry delay (doubled per retry).
+	Backoff time.Duration
+	// FS is the filesystem to write through (vfs.OS when nil) — the
+	// fault-injection seam.
+	FS vfs.FS
+}
+
+// FlushStats are cumulative flusher counters.
+type FlushStats struct {
+	// Cycles is how many flush cycles ran (including no-op ones).
+	Cycles int64
+	// ShardsFlushed is the total number of shard snapshots written.
+	ShardsFlushed int64
+	// Errors is how many flush attempts failed with an I/O error.
+	Errors int64
+	// Retries is how many backoff retries were taken.
+	Retries int64
+	// GaveUp is how many cycles exhausted MaxRetries with the error
+	// still standing (their shards stayed dirty for the next cycle).
+	GaveUp int64
+}
+
+// Flusher incrementally persists a NetworkServer's dirty shards to a
+// snapshot directory from a background goroutine, retrying failed cycles
+// with bounded exponential backoff, and runs the TTL eviction sweep each
+// cycle (aging and durability advance on the same clock). Correctness
+// never depends on flusher timing: a flush serializes each shard under its
+// read lock, so verdict traffic proceeds concurrently and sees no
+// difference beyond lock contention.
+type Flusher struct {
+	s          *NetworkServer
+	interval   time.Duration
+	maxRetries int
+	backoff    time.Duration
+
+	// mu serializes flush cycles (the ticker goroutine vs FlushNow vs
+	// Close) — Snapshotter is not concurrent-safe.
+	mu sync.Mutex
+	sn *Snapshotter
+
+	stop    chan struct{}
+	done    chan struct{}
+	lastErr atomic.Value // error
+
+	cycles  atomic.Int64
+	flushed atomic.Int64
+	errs    atomic.Int64
+	retries atomic.Int64
+	gaveUp  atomic.Int64
+}
+
+// StartFlusher opens (or creates) the snapshot directory and starts the
+// background flush loop. The caller must Close the returned Flusher to
+// stop the loop and write a final flush of outstanding dirty shards.
+func StartFlusher(s *NetworkServer, dir string, opt FlusherOptions) (*Flusher, error) {
+	sn, err := NewSnapshotter(opt.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flusher{
+		s:          s,
+		sn:         sn,
+		interval:   opt.Interval,
+		maxRetries: opt.MaxRetries,
+		backoff:    opt.Backoff,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if f.interval <= 0 {
+		f.interval = DefaultFlushInterval
+	}
+	if f.maxRetries <= 0 {
+		f.maxRetries = DefaultFlushRetries
+	}
+	if f.backoff <= 0 {
+		f.backoff = DefaultFlushBackoff
+	}
+	go f.loop()
+	return f, nil
+}
+
+// loop is the background cadence: sweep, flush, sleep.
+func (f *Flusher) loop() {
+	defer close(f.done)
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			f.cycle()
+		}
+	}
+}
+
+// cycle runs one sweep-and-flush with bounded retry/backoff. Failed cycles
+// leave their shards dirty; the error is retained for LastError.
+func (f *Flusher) cycle() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cycles.Add(1)
+	f.s.Sweep()
+	delay := f.backoff
+	for attempt := 0; ; attempt++ {
+		n, err := f.sn.FlushDirty(f.s)
+		f.flushed.Add(int64(n))
+		if err == nil {
+			f.lastErr.Store(errBox{})
+			return
+		}
+		f.errs.Add(1)
+		f.lastErr.Store(errBox{err})
+		if attempt >= f.maxRetries {
+			f.gaveUp.Add(1)
+			return
+		}
+		f.retries.Add(1)
+		select {
+		case <-f.stop:
+			// Shutting down: leave the rest to Close's final flush.
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// errBox wraps an error for atomic.Value (which needs one concrete type).
+type errBox struct{ err error }
+
+// FlushNow runs one synchronous flush cycle (sweep + dirty flush with
+// retries) — deterministic checkpoints for tests and shutdown paths.
+func (f *Flusher) FlushNow() error {
+	f.cycle()
+	return f.LastError()
+}
+
+// Close stops the background loop, flushes outstanding dirty shards one
+// last time, and returns the final flush's error (nil when the database on
+// disk is up to date).
+func (f *Flusher) Close() error {
+	select {
+	case <-f.stop:
+		// Already closed.
+		<-f.done
+		return f.LastError()
+	default:
+	}
+	close(f.stop)
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cycles.Add(1)
+	n, err := f.sn.FlushDirty(f.s)
+	f.flushed.Add(int64(n))
+	if err != nil {
+		f.errs.Add(1)
+		f.lastErr.Store(errBox{fmt.Errorf("netserver: final flush: %w", err)})
+		return fmt.Errorf("netserver: final flush: %w", err)
+	}
+	f.lastErr.Store(errBox{})
+	return nil
+}
+
+// LastError returns the most recent cycle's error (nil after a clean
+// cycle).
+func (f *Flusher) LastError() error {
+	if v, ok := f.lastErr.Load().(errBox); ok {
+		return v.err
+	}
+	return nil
+}
+
+// Stats returns cumulative flusher counters.
+func (f *Flusher) Stats() FlushStats {
+	return FlushStats{
+		Cycles:        f.cycles.Load(),
+		ShardsFlushed: f.flushed.Load(),
+		Errors:        f.errs.Load(),
+		Retries:       f.retries.Load(),
+		GaveUp:        f.gaveUp.Load(),
+	}
+}
+
+// Dir returns the snapshot directory the flusher writes to.
+func (f *Flusher) Dir() string { return f.sn.Dir() }

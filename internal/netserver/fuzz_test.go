@@ -1,0 +1,58 @@
+package netserver
+
+import (
+	"testing"
+
+	"softlora/internal/core"
+)
+
+// FuzzLoadShard fuzzes the shard-container decoder with arbitrary bytes:
+// it must never panic, never allocate unboundedly, and — whenever it does
+// accept an input — return only records that pass core validation (the
+// loader installs accepted containers directly, so acceptance implies
+// trust). Valid encodings seed the corpus so mutation explores the framing
+// boundaries, not just the magic check.
+func FuzzLoadShard(f *testing.F) {
+	seed := func(records map[string]core.BiasRecord) {
+		data, err := encodeSnapshot(kindShard, 5, 3, records)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed(map[string]core.BiasRecord{})
+	seed(map[string]core.BiasRecord{
+		"dev-1": {Mean: -22000, Dev: 35, Min: -22100, Max: -21900, Count: 12, LastSeen: 99.5},
+	})
+	seed(map[string]core.BiasRecord{
+		"dev-1": {Mean: -22000, Dev: 35, Min: -22100, Max: -21900, Count: 12},
+		"dev-2": {Mean: 1500, Dev: 0, Min: 1500, Max: 1500, Count: 1},
+		"":      {Count: 0},
+	})
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, records, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if int(h.count) != len(records) {
+			t.Fatalf("header count %d but %d records decoded", h.count, len(records))
+		}
+		for id, rec := range records {
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("accepted container holds invalid record %q: %v", id, verr)
+			}
+		}
+		// An accepted container must re-encode and decode to the same
+		// records (the loader may rewrite it on the next flush).
+		out, err := encodeSnapshot(h.kind, h.shard, h.gen, records)
+		if err != nil {
+			t.Fatalf("re-encode of accepted container failed: %v", err)
+		}
+		if _, again, err := decodeSnapshot(out); err != nil || len(again) != len(records) {
+			t.Fatalf("re-encoded container rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,472 @@
+package netserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"softlora/internal/core"
+	"softlora/internal/vfs"
+)
+
+// populate enrolls and exercises n devices so records carry real
+// statistics and LastSeen stamps.
+func populate(s *NetworkServer, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("dev-%05d", i)
+		base := -25000 + rng.Float64()*8000
+		s.Enroll(id, base, core.DefaultEnrollFrames)
+		s.Check(PHYObservation{
+			DeviceID:    id,
+			FBHz:        base + rng.NormFloat64()*40,
+			ArrivalTime: 100 + float64(i),
+		})
+	}
+}
+
+// dump copies the full database for equality comparison.
+func dump(s *NetworkServer) map[string]core.BiasRecord {
+	out := make(map[string]core.BiasRecord)
+	for i := range s.shards {
+		s.snapshotShard(i, out)
+	}
+	return out
+}
+
+func equalDB(t *testing.T, want, got map[string]core.BiasRecord, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d devices, want %d", label, len(got), len(want))
+	}
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: device %s missing", label, id)
+		}
+		if w != g {
+			t.Fatalf("%s: device %s = %+v, want %+v", label, id, g, w)
+		}
+	}
+}
+
+func TestSnapshotContainerRoundTrip(t *testing.T) {
+	records := map[string]core.BiasRecord{
+		"a": {Mean: -22000, Dev: 35, Min: -22100, Max: -21900, Count: 17, LastSeen: 1234.5},
+		"b": {Mean: 4000, Dev: 0, Min: 4000, Max: 4000, Count: 1},
+	}
+	data, err := encodeSnapshot(kindShard, 7, 42, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, got, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.kind != kindShard || h.shard != 7 || h.gen != 42 || int(h.count) != len(records) {
+		t.Fatalf("header = %+v", h)
+	}
+	for id, w := range records {
+		if got[id] != w {
+			t.Errorf("record %s = %+v, want %+v", id, got[id], w)
+		}
+	}
+	// Equal states must encode to equal bytes (the flush determinism the
+	// crash tests lean on).
+	again, err := encodeSnapshot(kindShard, 7, 42, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestSnapshotContainerRejectsDamage(t *testing.T) {
+	records := map[string]core.BiasRecord{
+		"dev-1": {Mean: -22000, Dev: 35, Min: -22100, Max: -21900, Count: 9, LastSeen: 50},
+		"dev-2": {Mean: -21000, Dev: 12, Min: -21050, Max: -20950, Count: 4, LastSeen: 60},
+	}
+	data, err := encodeSnapshot(kindShard, 3, 9, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation at every byte boundary must be rejected — a torn write
+	// can stop anywhere.
+	for n := 0; n < len(data); n++ {
+		if _, _, err := decodeSnapshot(data[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes silently accepted", n, len(data))
+		}
+	}
+	// Any single flipped bit must be rejected.
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			cp[i] ^= 1 << bit
+			if _, _, err := decodeSnapshot(cp); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d silently accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{})
+	populate(s, 300, 1)
+	want := dump(s)
+	if err := s.SaveDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{})
+	stats, err := fresh.LoadDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, want, dump(fresh), "after round trip")
+	if stats.DevicesLoaded != 300 {
+		t.Errorf("stats.DevicesLoaded = %d", stats.DevicesLoaded)
+	}
+	if stats.ShardsLost != 0 || stats.FilesQuarantined != 0 || stats.BehindManifest != 0 {
+		t.Errorf("recovery stats report damage on a clean dir: %+v", stats)
+	}
+	if got := fresh.LatestObservation(); got != s.LatestObservation() {
+		t.Errorf("latest observation = %v, want %v", got, s.LatestObservation())
+	}
+}
+
+func TestLoadDirShardCountChange(t *testing.T) {
+	// Snapshots written with one shard count must load into a server
+	// with another: records are re-hashed, not bound to partitions.
+	dir := t.TempDir()
+	s := New(Config{Shards: 64})
+	populate(s, 200, 2)
+	want := dump(s)
+	if err := s.SaveDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{Shards: 8})
+	if _, err := fresh.LoadDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, want, dump(fresh), "after shard-count change")
+}
+
+func TestFlushDirtyIsIncremental(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{})
+	populate(s, 100, 3)
+	sn, err := NewSnapshotter(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.FlushDirty(s); err != nil {
+		t.Fatal(err)
+	}
+	// A clean database flushes nothing.
+	if n, err := sn.FlushDirty(s); err != nil || n != 0 {
+		t.Fatalf("idle flush wrote %d shards (err %v), want 0", n, err)
+	}
+	// One device's update dirties exactly one shard.
+	s.Check(PHYObservation{DeviceID: "dev-00007", FBHz: -22000, ArrivalTime: 500})
+	n, err := sn.FlushDirty(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("after one device update, flushed %d shards, want 1", n)
+	}
+	// And the flushed state reloads exactly.
+	fresh := New(Config{})
+	if _, err := fresh.LoadDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, dump(s), dump(fresh), "after incremental flush")
+}
+
+func TestLoadDirQuarantinesCorruptNewestGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Shards: 4})
+	populate(s, 60, 4)
+	gen1 := dump(s)
+	if err := s.SaveDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Advance every shard to a second generation.
+	sn, err := NewSnapshotter(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		s.Check(PHYObservation{DeviceID: fmt.Sprintf("dev-%05d", i), FBHz: gen1[fmt.Sprintf("dev-%05d", i)].Mean, ArrivalTime: 1000 + float64(i)})
+	}
+	gen2 := dump(s)
+	if _, err := sn.FlushDirty(s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt shard 0's newest generation on disk (flip a byte in the
+	// middle so the CRC trailer catches it).
+	name := shardFileName(0, 2)
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(Config{Shards: 4})
+	stats, err := fresh.LoadDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsRecoveredOlder != 1 || stats.FilesQuarantined != 1 {
+		t.Fatalf("stats = %+v, want one shard recovered from gen 1 and one file quarantined", stats)
+	}
+	if stats.BehindManifest != 1 {
+		t.Errorf("stats.BehindManifest = %d, want 1 (manifest recorded gen 2)", stats.BehindManifest)
+	}
+	if len(stats.QuarantinedFiles) != 1 || stats.QuarantinedFiles[0] != name {
+		t.Errorf("quarantined %v, want [%s]", stats.QuarantinedFiles, name)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, name)); err != nil {
+		t.Errorf("corrupt file not moved to quarantine: %v", err)
+	}
+	// Every recovered record is either gen-1 or gen-2 state, and shard
+	// 0's devices are all gen-1 (prefix consistency per shard).
+	got := dump(fresh)
+	if err := core.ValidateDatabase(toPtr(got)); err != nil {
+		t.Fatalf("recovered database invalid: %v", err)
+	}
+	for id, rec := range got {
+		if rec != gen1[id] && rec != gen2[id] {
+			t.Fatalf("device %s recovered as %+v, matching neither generation", id, rec)
+		}
+		if int(fnv32a(id)&3) == 0 && rec != gen1[id] {
+			t.Fatalf("device %s in corrupted shard 0 = %+v, want gen-1 state %+v", id, rec, gen1[id])
+		}
+	}
+}
+
+func toPtr(m map[string]core.BiasRecord) map[string]*core.BiasRecord {
+	out := make(map[string]*core.BiasRecord, len(m))
+	for id, rec := range m {
+		cp := rec
+		out[id] = &cp
+	}
+	return out
+}
+
+func TestLoadDirAllGenerationsCorruptLosesOnlyThatShard(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Shards: 4})
+	populate(s, 60, 5)
+	if err := s.SaveDir(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy shard 2's only generation.
+	name := shardFileName(2, 1)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{Shards: 4})
+	stats, err := fresh.LoadDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ShardsLost != 1 || stats.ShardsLoaded != 3 {
+		t.Fatalf("stats = %+v, want exactly one shard lost", stats)
+	}
+	want := dump(s)
+	got := dump(fresh)
+	for id, rec := range want {
+		inLost := int(fnv32a(id)&3) == 2
+		g, ok := got[id]
+		if inLost && ok {
+			t.Fatalf("device %s of the lost shard resurrected as %+v", id, g)
+		}
+		if !inLost && (!ok || g != rec) {
+			t.Fatalf("device %s of a healthy shard = %+v ok=%v, want %+v", id, g, ok, rec)
+		}
+	}
+}
+
+func TestSaveFileLoadFileRoundTripAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.snap")
+	s := New(Config{})
+	populate(s, 64, 6)
+	want := dump(s)
+	if err := s.SaveFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{})
+	if err := fresh.LoadFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, want, dump(fresh), "single-file round trip")
+
+	// A truncated snapshot must be rejected whole, at any cut point, and
+	// must leave the in-memory database untouched.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 7, 8, len(data) / 4, len(data) / 2, len(data) - 5, len(data) - 1} {
+		trunc := filepath.Join(dir, "trunc.snap")
+		if err := os.WriteFile(trunc, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := dump(fresh)
+		err := fresh.LoadFile(nil, trunc)
+		if n >= len(snapMagic) {
+			// Container-format file: must fail as a bad snapshot.
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("truncation to %d bytes: err = %v, want ErrBadSnapshot", n, err)
+			}
+		} else if err == nil {
+			t.Fatalf("truncation to %d bytes silently accepted", n)
+		}
+		equalDB(t, before, dump(fresh), "database after rejected load")
+	}
+}
+
+func TestLoadFileLegacyJSON(t *testing.T) {
+	// A monolithic JSON database written by the pre-sharded Save (and by
+	// core.ReplayDetector.Save) must keep loading through LoadFile.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.json")
+	s := New(Config{})
+	populate(s, 40, 7)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(Config{})
+	if err := fresh.LoadFile(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	equalDB(t, dump(s), dump(fresh), "legacy single file")
+}
+
+func TestLoadDirMigratesLegacyMonolithicDatabase(t *testing.T) {
+	// A directory holding only a legacy monolithic JSON database loads,
+	// and the first flush rewrites it as sharded snapshots that round-trip.
+	dir := t.TempDir()
+	s := New(Config{})
+	populate(s, 80, 8)
+	want := dump(s)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, LegacyDatabaseName), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	migrated := New(Config{})
+	stats, err := migrated.LoadDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LegacyFile != LegacyDatabaseName {
+		t.Fatalf("stats.LegacyFile = %q", stats.LegacyFile)
+	}
+	equalDB(t, want, dump(migrated), "after legacy load")
+
+	// First flush migrates: every shard is dirty after the load.
+	sn, err := NewSnapshotter(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sn.FlushDirty(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(migrated.shards) {
+		t.Errorf("migration flush wrote %d shards, want all %d", n, len(migrated.shards))
+	}
+	// Now the sharded snapshot wins over the stale legacy file.
+	fresh := New(Config{})
+	stats, err = fresh.LoadDir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LegacyFile != "" {
+		t.Errorf("post-migration load still used the legacy file")
+	}
+	equalDB(t, want, dump(fresh), "after migration round trip")
+}
+
+func TestSnapshotterSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, shardFileName(3, 9)+".tmp")
+	if err := os.WriteFile(stale, []byte("half a flush"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSnapshotter(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp file survived Snapshotter open: %v", err)
+	}
+}
+
+func TestSnapshotterResumesGenerations(t *testing.T) {
+	// A reopened directory continues the generation sequence instead of
+	// restarting at 1 (which would make "newest" ambiguous).
+	dir := t.TempDir()
+	s := New(Config{Shards: 4})
+	populate(s, 20, 9)
+	sn, err := NewSnapshotter(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.FlushDirty(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Check(PHYObservation{DeviceID: "dev-00001", FBHz: dump(s)["dev-00001"].Mean, ArrivalTime: 2000})
+	sn2, err := NewSnapshotter(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn2.FlushDirty(s); err != nil {
+		t.Fatal(err)
+	}
+	names, err := vfs.OS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxGen := uint64(0)
+	for _, name := range names {
+		if _, gen, ok := parseShardFileName(name); ok && gen > maxGen {
+			maxGen = gen
+		}
+	}
+	if maxGen != 2 {
+		t.Errorf("max generation after reopen+flush = %d, want 2", maxGen)
+	}
+	var found bool
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			t.Errorf("temp file left behind: %s", name)
+		}
+		if name == manifestName {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("manifest missing after flush")
+	}
+}

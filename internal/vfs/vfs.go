@@ -1,0 +1,88 @@
+// Package vfs is the minimal filesystem seam the persistence layer writes
+// through. Production code uses OS (the real filesystem); tests substitute
+// an implementation that injects faults (package faultinject) so every
+// crash point of a snapshot flush can be exercised deterministically.
+//
+// The interface is deliberately tiny — exactly the operations an atomic
+// write-to-temp + fsync + rename snapshot protocol needs — so a fault
+// injector can enumerate its operations exhaustively.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable file handle. Sync must flush written data to stable
+// storage before returning; the snapshot protocol relies on the
+// write → Sync → Close → Rename ordering for crash safety.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the persistence layer.
+type FS interface {
+	// MkdirAll creates a directory (and parents) if missing.
+	MkdirAll(path string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename
+	// semantics: after a crash either the old or the new file content is
+	// visible at newpath, never a mix).
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadDir lists the names (not paths) of the entries of dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Join joins path elements with the platform separator — a convenience so
+// FS consumers do not also need path/filepath.
+func Join(elem ...string) string { return filepath.Join(elem...) }

@@ -137,7 +137,16 @@ func TestMultiGatewayReplayFlaggedExactlyOnce(t *testing.T) {
 	if st.Observations != 4 || st.DuplicatesSuppressed != 2 {
 		t.Errorf("stats = %+v", st)
 	}
+	// The replay must not update the learned bias state. LastSeen is the
+	// one exception: a record under active attack is deliberately kept
+	// alive (evicting it would let the replayer re-enroll as the device),
+	// so the observation stamp advances while Mean/Dev/Min/Max/Count
+	// stay frozen.
 	recAfter, _ := m.Server.Record(dev.ID)
+	if recAfter.LastSeen <= recBefore.LastSeen {
+		t.Error("replayed frame did not advance the record's LastSeen stamp")
+	}
+	recAfter.LastSeen = recBefore.LastSeen
 	if recBefore != recAfter {
 		t.Error("replayed frame updated the shared database")
 	}

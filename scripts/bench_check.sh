@@ -5,7 +5,7 @@
 # benchmark regressed by more than the threshold in ns/op. Guarded:
 # BenchmarkDechirpOnset, BenchmarkFFTPlan/planned-*,
 # BenchmarkGatewayBatchThroughput/workers-1, BenchmarkFBDechirpFFT,
-# BenchmarkNetworkServerCheck.
+# BenchmarkNetworkServerCheck, BenchmarkSnapshotRoundTrip.
 #
 # CI runs this against the committed history (commit-to-commit on the
 # snapshot-producing box), NOT against a fresh runner measurement — a
@@ -30,6 +30,7 @@ function guarded(name) {
 	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
 	       name == "BenchmarkFBDechirpFFT" ||
 	       name == "BenchmarkNetworkServerCheck" ||
+	       name == "BenchmarkSnapshotRoundTrip" ||
 	       name ~ /^BenchmarkFFTPlan\/planned-/
 }
 {
