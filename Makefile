@@ -25,21 +25,26 @@ race:
 	$(GO) test -race -run Batch .
 	$(GO) test -race ./internal/netserver
 
-# determinism re-runs the ordered-commit contract explicitly: verdicts and
-# serialized bias-database bytes must be identical for every worker count,
-# including same-device batches.
+# determinism re-runs the ordered-commit contracts explicitly: verdicts and
+# serialized bias-database bytes must be identical for every worker count
+# (batch pipeline) and for every delivery schedule of the same copies
+# (streaming dedup window).
 determinism:
 	$(GO) test -count=1 -run 'TestProcessBatchSameDeviceDeterministicCommit|TestProcessBatchDeterministicAcrossWorkerCounts|TestMultiGatewayDeterministic' .
+	$(GO) test -count=1 -run 'TestChaosDatabaseBytesScheduleIndependent|TestCheckBatchOrderIndependentDatabase' ./internal/netserver
 
-# faults replays the crash-consistency suite: the injector (internal/
-# faultinject) kills a bias-database flush at every filesystem operation —
-# crash-before and crash-after — plus the recoverable-error retry and
-# silent-bit-flip quarantine paths, then a short fuzz pass over the
-# snapshot decoder. The durability contract in internal/netserver/doc.go
-# is exactly what this target enforces.
+# faults replays the fault-injection suites: the filesystem injector
+# (internal/faultinject) kills a bias-database flush at every filesystem
+# operation — crash-before and crash-after — plus the recoverable-error
+# retry and silent-bit-flip quarantine paths; the delivery chaos harness
+# (TestChaos*) drives the streaming dedup window through duplicated,
+# reordered, delayed and dropped schedules and asserts one committed
+# verdict per frame with schedule-independent database bytes; then a short
+# fuzz pass over the snapshot decoder. The contracts in
+# internal/netserver/doc.go are exactly what this target enforces.
 faults:
 	$(GO) test -count=1 ./internal/faultinject
-	$(GO) test -count=1 -run 'TestCrash|TestFault' ./internal/netserver
+	$(GO) test -count=1 -run 'TestCrash|TestFault|TestChaos' ./internal/netserver
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadShard$$' -fuzztime 10s ./internal/netserver
 
 # bench refreshes BENCH_softlora.json (the cross-PR perf trajectory).

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"softlora/internal/core"
@@ -532,6 +533,51 @@ func BenchmarkNetworkServerCheck(b *testing.B) {
 				FBHz:      -22e3 + float64(i%64),
 				JitterHz:  40,
 			})
+			i++
+		}
+	})
+}
+
+// BenchmarkNetworkServerCheckWindowed measures the streaming ingest path:
+// every frame arrives as two gateway copies in consecutive Check calls
+// against a window-enabled server, so each iteration pays the dedup
+// window's bookkeeping and every second iteration a fill-commit (fusion +
+// one database fold). The committed-verdict queue is drained periodically,
+// as a Check-only caller is documented to do.
+func BenchmarkNetworkServerCheckWindowed(b *testing.B) {
+	s := netserver.New(netserver.Config{
+		Window: netserver.WindowConfig{Hold: 1, MaxReceivers: 2},
+	})
+	const fleet = 4096
+	ids := make([]string, fleet)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev-%d", i)
+		s.Enroll(ids[i], -22e3, 10)
+	}
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		gid := seq.Add(1)
+		var i int64
+		for pb.Next() {
+			frame := i / 2
+			o := netserver.PHYObservation{
+				GatewayID:   "gw-0",
+				DeviceID:    ids[int(frame)&(fleet-1)],
+				FrameID:     fmt.Sprintf("f%d-%d", gid, frame),
+				UplinkIndex: frame,
+				FBHz:        -22e3 + float64(i%64),
+				JitterHz:    40,
+				ArrivalTime: float64(i) * 1e-4,
+			}
+			if i&1 == 1 {
+				o.GatewayID = "gw-1"
+			}
+			s.Check(o)
+			if i&1023 == 0 {
+				s.PollWindow()
+			}
 			i++
 		}
 	})

@@ -185,6 +185,23 @@ func run(only string, quick bool, workers int) error {
 			return err
 		}
 		experiments.PrintFleet(w, r)
+		// Second pass in streaming multi-receiver mode: every frame is
+		// delivered as 3 gateway copies split across CheckBatch calls
+		// with injected duplicates, reorder and delay, and the driver
+		// asserts the dedup window committed exactly one verdict per
+		// frame.
+		scfg := cfg
+		scfg.Receivers = 3
+		if !quick {
+			// The streaming load carries 3 copies per frame; keep the
+			// full-scale pass within the same observation budget.
+			scfg.Verdicts = 1_000_000
+		}
+		sr, err := experiments.Fleet(scfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFleet(w, sr)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ func main() {
 	batch := flag.Bool("batch", false, "process each round through the concurrent batch pipeline")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	gateways := flag.Int("gateways", 1, "number of gateways; >1 runs the building deployment with a shared network server (frame dedup + FB fusion)")
+	windowHold := flag.Float64("window-hold", 0, "streaming dedup window hold in seconds (multi-gateway only): copies are delivered one Check call at a time and the window reassembles them; 0 judges each frame immediately")
 	fb := flag.String("fb", "", "FB estimator: linear-regression, least-squares, dechirp-fft, updown (empty = gateway default)")
 	fbExhaustive := flag.Bool("fb-exhaustive", false, "run the dechirp-fft estimator's monolithic padded-FFT reference instead of the decimated+zoom fast path")
 	snapshotDir := flag.String("snapshot-dir", "", "durable bias-database directory: recover it at startup, flush dirty shards in the background, flush once more at exit")
@@ -41,7 +42,7 @@ func main() {
 	flag.Parse()
 	err := profiling.Run(*cpuprofile, *memprofile, func() error {
 		if *gateways > 1 {
-			return runMulti(*devices, *uplinks, *seed, *gateways, *fb, *fbExhaustive, *snapshotDir, *flushInterval)
+			return runMulti(*devices, *uplinks, *seed, *gateways, *fb, *fbExhaustive, *snapshotDir, *flushInterval, *windowHold)
 		}
 		return run(*devices, *uplinks, *seed, *batch, *workers, *fb, *fbExhaustive, *snapshotDir, *flushInterval)
 	})
@@ -182,7 +183,7 @@ func run(nDevices, nUplinks int, seed int64, batch bool, workers int, fb string,
 // paper's building transmit to a fleet of top-floor gateways feeding one
 // network server, which dedups each frame and fuses the receivers' FB
 // estimates into one verdict.
-func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbExhaustive bool, snapshotDir string, flushInterval time.Duration) error {
+func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbExhaustive bool, snapshotDir string, flushInterval time.Duration, windowHold float64) error {
 	rng := rand.New(rand.NewSource(seed))
 	b := radio.DefaultBuilding()
 	if fb == "" {
@@ -191,8 +192,18 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 		// estimator, which holds its accuracy there.
 		fb = string(softlora.FBDechirpFFT)
 	}
+	var server *netserver.NetworkServer
+	if windowHold > 0 {
+		// Streaming mode: the shared server holds each frame open so
+		// copies delivered in separate Check calls fuse before judgment.
+		server = netserver.New(netserver.Config{Window: netserver.WindowConfig{
+			Hold:         windowHold,
+			MaxReceivers: nGateways,
+		}})
+	}
 	sim, err := softlora.NewMultiGatewaySimulation(b, nGateways, softlora.Config{
-		Rand: rng,
+		Rand:   rng,
+		Server: server,
 		// The despreading onset detector keeps timestamp error (which
 		// couples into the FB estimate as δ' = δ + k·Δτ) at microseconds
 		// down to ~−10 dB, where the building's far links live.
@@ -240,11 +251,41 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 	}
 	fmt.Println()
 
+	printCommit := func(fv netserver.FrameVerdict) {
+		tag := "commit"
+		if fv.Revised {
+			tag = "revise"
+		}
+		fmt.Printf("%s t=%7.1f %s verdict=%-9s fused bias=%8.2f ppm via %s (%d rx, %d outliers)\n",
+			tag, fv.ArrivalTime, fv.DeviceID, fv.Verdict,
+			params.PPM(fv.FBHz), fv.GatewayID, fv.Receivers, fv.OutliersRejected)
+	}
+
 	now := 10.0
 	for round := 0; round < nUplinks; round++ {
 		for i, d := range devs {
 			d.Record(now-7.5, []byte{byte(round)})
 			d.Record(now-2.5, []byte{byte(round + 1)})
+			if windowHold > 0 {
+				// Streaming delivery: one Check call per gateway copy.
+				// The window fuses them and the verdict surfaces from a
+				// later poll once the hold expires (or the frame fills).
+				report, _, err := sim.Observe(d, positions[i], now)
+				if err != nil {
+					return fmt.Errorf("%s uplink: %w", d.ID, err)
+				}
+				for _, o := range report.Observations {
+					evs, err := sim.Server.CheckBatch([]netserver.PHYObservation{o})
+					if err != nil {
+						return fmt.Errorf("%s uplink: %w", d.ID, err)
+					}
+					for _, fv := range evs {
+						printCommit(fv)
+					}
+				}
+				now += 13
+				continue
+			}
 			report, _, err := sim.Uplink(d, positions[i], now)
 			if err != nil {
 				return fmt.Errorf("%s uplink: %w", d.ID, err)
@@ -255,8 +296,19 @@ func runMulti(nDevices, nUplinks int, seed int64, nGateways int, fb string, fbEx
 			now += 13
 		}
 	}
+	if windowHold > 0 {
+		// End of traffic: advance the observation clock past the hold so
+		// every still-pending frame commits and its verdict prints.
+		for _, fv := range sim.Server.AdvanceWindow(now + windowHold) {
+			printCommit(fv)
+		}
+	}
 	st := sim.Server.Stats()
 	fmt.Printf("\nnetwork server: %d frames judged, %d observations, %d duplicates suppressed\n",
 		st.FramesChecked, st.Observations, st.DuplicatesSuppressed)
+	if windowHold > 0 || st.WindowMerged+st.LateObservations+st.WindowShed+st.GatewaysQuarantined > 0 {
+		fmt.Printf("window: %d merged across calls, %d late reconciled, %d revised, %d shed, %d gateways quarantined\n",
+			st.WindowMerged, st.LateObservations, st.VerdictsRevised, st.WindowShed, st.GatewaysQuarantined)
+	}
 	return closeDurable(flusher)
 }

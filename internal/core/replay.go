@@ -43,6 +43,10 @@ const (
 	VerdictReplay
 	// VerdictEnrolling: the device is still being learned; no decision.
 	VerdictEnrolling
+	// VerdictPending: the frame is held in a streaming dedup window
+	// waiting for more receiver copies; the committed verdict follows as
+	// a window event.
+	VerdictPending
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +58,8 @@ func (v Verdict) String() string {
 		return "replay"
 	case VerdictEnrolling:
 		return "enrolling"
+	case VerdictPending:
+		return "pending"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}

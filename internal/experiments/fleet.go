@@ -42,6 +42,16 @@ type FleetConfig struct {
 	// ReplayRate is the fraction of verdicts issued with an off-band
 	// attacker bias, exercising the replay branch under load.
 	ReplayRate float64
+	// Receivers > 1 switches the load to streaming multi-receiver
+	// traffic: each frame is delivered as Receivers gateway copies,
+	// perturbed by a seeded traffic injector (duplicates, bounded
+	// reorder, delay) and split across CheckBatch calls, so the dedup
+	// window — not intra-call grouping — must reassemble it. The driver
+	// then asserts exactly one committed verdict per frame.
+	Receivers int
+	// WindowHold is the streaming mode's dedup window hold in seconds on
+	// the observation clock (0.05 when 0).
+	WindowHold float64
 	// Seed drives the deterministic load pattern.
 	Seed int64
 }
@@ -61,6 +71,11 @@ type FleetResult struct {
 	Replays        int64
 	Enrolling      int64
 	Stats          netserver.Stats
+
+	// Streaming mode (Receivers > 1): frames generated, verdicts the
+	// window committed (asserted equal), and post-commit revisions.
+	Frames  int64
+	Revised int64
 
 	// Flusher + injector counters over the check phase.
 	Flush          netserver.FlushStats
@@ -111,6 +126,10 @@ func Fleet(cfg FleetConfig) (FleetResult, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = Seed
 	}
+	streaming := cfg.Receivers > 1
+	if streaming && cfg.WindowHold <= 0 {
+		cfg.WindowHold = 0.05
+	}
 	res := FleetResult{Config: cfg}
 
 	dir := cfg.Dir
@@ -123,7 +142,17 @@ func Fleet(cfg FleetConfig) (FleetResult, error) {
 		dir = tmp
 	}
 
-	s := netserver.New(netserver.Config{})
+	scfg := netserver.Config{}
+	if streaming {
+		scfg.Window = netserver.WindowConfig{
+			Hold:         cfg.WindowHold,
+			MaxReceivers: cfg.Receivers,
+			// Injected delays are small; a deep late horizon keeps every
+			// late copy reconciling instead of re-verdicting.
+			LateHorizon: 1e9,
+		}
+	}
+	s := netserver.New(scfg)
 
 	// Enroll phase: the fleet, split across workers.
 	start := time.Now()
@@ -166,13 +195,32 @@ func Fleet(cfg FleetConfig) (FleetResult, error) {
 		return res, err
 	}
 
-	var next, issued, replays, enrolling atomic.Int64
+	var next, issued, frames, revised, replays, enrolling atomic.Int64
+	tally := func(verdicts []netserver.FrameVerdict) {
+		for _, v := range verdicts {
+			if v.Revised {
+				revised.Add(1)
+				continue
+			}
+			issued.Add(1)
+			switch v.Verdict {
+			case core.VerdictReplay:
+				replays.Add(1)
+			case core.VerdictEnrolling:
+				enrolling.Add(1)
+			}
+		}
+	}
 	start = time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(worker)))
+			if streaming {
+				fleetStreamWorker(s, cfg, worker, rng, &next, &frames, tally)
+				return
+			}
 			obs := make([]netserver.PHYObservation, cfg.Batch)
 			for {
 				base := next.Add(int64(cfg.Batch)) - int64(cfg.Batch)
@@ -200,19 +248,23 @@ func Fleet(cfg FleetConfig) (FleetResult, error) {
 				if err != nil {
 					return
 				}
-				issued.Add(int64(len(verdicts)))
-				for _, v := range verdicts {
-					switch v.Verdict {
-					case core.VerdictReplay:
-						replays.Add(1)
-					case core.VerdictEnrolling:
-						enrolling.Add(1)
-					}
-				}
+				tally(verdicts)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if streaming {
+		// End of stream: commit what the window still holds and collect
+		// the queued verdicts, then prove the invariant the window
+		// exists for — exactly one committed verdict per frame, no
+		// matter how the injector split, duplicated and delayed copies.
+		tally(s.DrainWindow())
+		res.Frames = frames.Load()
+		res.Revised = revised.Load()
+		if got := issued.Load(); got != res.Frames {
+			return res, fmt.Errorf("fleet: %d committed verdicts for %d frames", got, res.Frames)
+		}
+	}
 	res.CheckDuration = time.Since(start)
 	res.Verdicts = issued.Load()
 	res.VerdictsPerSec = float64(res.Verdicts) / res.CheckDuration.Seconds()
@@ -279,6 +331,77 @@ func Fleet(cfg FleetConfig) (FleetResult, error) {
 	return res, nil
 }
 
+// fleetStreamWorker is the streaming-mode load body: it claims spans of
+// frame indices, renders each frame as cfg.Receivers gateway copies,
+// perturbs the span's delivery through a seeded traffic injector
+// (duplicates, bounded reorder, sub-hold delays — never drops, every
+// frame must be judged), and hands the schedule to the server split
+// across several CheckBatch calls. Each worker draws devices from its own
+// residue class, so one device's frames stay causally ordered within one
+// goroutine — the window's documented reorder contract.
+func fleetStreamWorker(s *netserver.NetworkServer, cfg FleetConfig, worker int,
+	rng *rand.Rand, next, frames *atomic.Int64, tally func([]netserver.FrameVerdict)) {
+	inj := faultinject.NewTraffic(faultinject.TrafficPlan{
+		Seed:          cfg.Seed + 500 + int64(worker),
+		DupProb:       0.2,
+		DupBurst:      2,
+		ReorderWindow: 2 * cfg.Receivers,
+		DelayProb:     0.1,
+		MaxDelay:      cfg.WindowHold / 2,
+	},
+		func(o netserver.PHYObservation) string { return o.GatewayID },
+		func(o netserver.PHYObservation, d float64) netserver.PHYObservation {
+			o.ArrivalTime += d
+			return o
+		})
+	span := cfg.Devices / cfg.Workers
+	if span <= 0 {
+		span = 1
+	}
+	logical := make([]netserver.PHYObservation, 0, cfg.Batch*cfg.Receivers)
+	for {
+		base := next.Add(int64(cfg.Batch)) - int64(cfg.Batch)
+		if base >= int64(cfg.Verdicts) {
+			return
+		}
+		logical = logical[:0]
+		for j := 0; j < cfg.Batch; j++ {
+			k := base + int64(j)
+			dev := (rng.Intn(span)*cfg.Workers + worker) % cfg.Devices
+			bias := fleetBias(dev)
+			attack := rng.Float64() < cfg.ReplayRate
+			for g := 0; g < cfg.Receivers; g++ {
+				fb := bias + rng.NormFloat64()*40
+				if attack {
+					// A replayed frame shifts common-mode across every
+					// receiver: the attacker's oscillator, not the link.
+					fb = bias + 3e3 + rng.NormFloat64()*40
+				}
+				logical = append(logical, netserver.PHYObservation{
+					GatewayID:   fmt.Sprintf("gw-%02d", g),
+					DeviceID:    fleetID(dev),
+					FrameID:     fmt.Sprintf("fr-%d", k),
+					UplinkIndex: k,
+					FBHz:        fb,
+					JitterHz:    40,
+					ArrivalTime: 1000 + float64(k)*1e-4,
+				})
+			}
+			frames.Add(1)
+		}
+		schedule := inj.Schedule(logical)
+		// Split the span across calls: the window, not intra-call
+		// grouping, must reassemble the copies.
+		for _, b := range faultinject.SplitBatches(schedule, len(schedule)/3+1) {
+			verdicts, err := s.CheckBatch(b)
+			if err != nil {
+				return
+			}
+			tally(verdicts)
+		}
+	}
+}
+
 // fleetID and fleetBias derive a device's identity and enrolled oscillator
 // bias from its index, so load generators never need a shared table.
 func fleetID(i int) string { return fmt.Sprintf("fleet-%07d", i) }
@@ -314,6 +437,13 @@ func PrintFleet(w io.Writer, r FleetResult) {
 		r.Verdicts, c.Batch, r.CheckDuration.Seconds(), r.VerdictsPerSec)
 	fmt.Fprintf(w, "       %d replays flagged, %d enrolling, %d observations consumed\n",
 		r.Replays, r.Enrolling, r.Stats.Observations)
+	if c.Receivers > 1 {
+		fmt.Fprintf(w, "window: %d frames x %d receivers, hold %.0f ms: one committed verdict each (proven), %d revised\n",
+			r.Frames, c.Receivers, c.WindowHold*1e3, r.Revised)
+		fmt.Fprintf(w, "        %d merged across calls, %d late copies reconciled, %d shed, %d dup-suppressed, %d gateways quarantined\n",
+			r.Stats.WindowMerged, r.Stats.LateObservations, r.Stats.WindowShed,
+			r.Stats.DuplicatesSuppressed, r.Stats.GatewaysQuarantined)
+	}
 	fmt.Fprintf(w, "flush: %d cycles, %d shard snapshots, interval %s\n",
 		r.Flush.Cycles, r.Flush.ShardsFlushed, c.FlushInterval)
 	fmt.Fprintf(w, "faults: %d of %d fs ops injected (rate %.0f%%): %d flush errors, %d retries, %d gave up\n",

@@ -49,3 +49,49 @@ func TestFleetSmall(t *testing.T) {
 		t.Errorf("report missing throughput line:\n%s", sb.String())
 	}
 }
+
+// TestFleetStreamingSmall runs the driver in streaming multi-receiver
+// mode: every frame arrives as 3 gateway copies, duplicated / reordered /
+// delayed by the traffic injector and split across CheckBatch calls, so
+// only the dedup window can reassemble it. The driver errors if committed
+// verdicts != frames, so a nil error carries the one-verdict-per-frame
+// claim at fleet scale.
+func TestFleetStreamingSmall(t *testing.T) {
+	r, err := Fleet(FleetConfig{
+		Devices:       2000,
+		Verdicts:      15000,
+		Batch:         32,
+		Workers:       4,
+		Receivers:     3,
+		Dir:           t.TempDir(),
+		FlushInterval: 5 * time.Millisecond,
+		FaultRate:     0.05,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames < 15000 {
+		t.Errorf("generated %d frames, want >= 15000", r.Frames)
+	}
+	if r.Verdicts != r.Frames {
+		t.Errorf("committed %d verdicts for %d frames", r.Verdicts, r.Frames)
+	}
+	if r.Stats.WindowMerged == 0 {
+		t.Error("streaming load never merged a copy across calls")
+	}
+	if r.Stats.DuplicatesSuppressed == 0 {
+		t.Error("injected duplicates were not suppressed")
+	}
+	if r.Replays == 0 {
+		t.Error("replay branch never exercised under streaming load")
+	}
+	if r.RecoveredDevices != 2000 {
+		t.Errorf("recovered %d devices, want 2000", r.RecoveredDevices)
+	}
+	var sb strings.Builder
+	PrintFleet(&sb, r)
+	if !strings.Contains(sb.String(), "one committed verdict each") {
+		t.Errorf("report missing window line:\n%s", sb.String())
+	}
+}

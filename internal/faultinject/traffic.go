@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TrafficPlan configures the delivery chaos injector: a deterministic
+// (seeded) transformation of a logical observation stream into one
+// adversarial delivery schedule. The injector is generic over the item
+// type so it lives beside the filesystem injector without importing the
+// serving layer; the serving tests instantiate it with their observation
+// type and two accessors.
+type TrafficPlan struct {
+	// Seed makes the schedule reproducible. Two injectors with the same
+	// plan produce the same schedule for the same input.
+	Seed int64
+	// DupProb is the per-item probability of a duplicate burst: the item
+	// is delivered again 1..DupBurst extra times (exact copies, as from a
+	// looping packet forwarder). DupBurst <= 0 means 1.
+	DupProb  float64
+	DupBurst int
+	// DropProb is the per-item probability the delivery is lost entirely.
+	DropProb float64
+	// DelayProb is the per-item probability of a late delivery: the
+	// item's timestamp is shifted by up to MaxDelay seconds and its
+	// delivery slot moves correspondingly later.
+	DelayProb float64
+	MaxDelay  float64
+	// ReorderWindow bounds delivery reordering: each item's delivery slot
+	// is displaced by up to this many positions. 0 preserves order.
+	ReorderWindow int
+	// GatewaySkew offsets every timestamp from a gateway by a constant
+	// (seconds) — a receiver with a miscalibrated PHY clock.
+	GatewaySkew map[string]float64
+}
+
+// TrafficStats counts what one Schedule call injected.
+type TrafficStats struct {
+	// In and Out are the logical input and delivered output counts.
+	In, Out int
+	// Duplicated counts extra copies emitted, Dropped lost deliveries,
+	// Delayed late deliveries, Skewed items whose gateway had a
+	// configured clock offset.
+	Duplicated int
+	Dropped    int
+	Delayed    int
+	Skewed     int
+}
+
+// Traffic is a delivery chaos injector over items of type T.
+type Traffic[T any] struct {
+	plan    TrafficPlan
+	rng     *rand.Rand
+	gateway func(T) string     // the item's receiver identity
+	shift   func(T, float64) T // the item with its timestamp shifted
+	stats   TrafficStats
+}
+
+// NewTraffic builds an injector. gateway returns an item's receiver ID
+// (for GatewaySkew); shift returns a copy of the item with its timestamp
+// moved by the given delta seconds. Either may be nil when the plan
+// doesn't need it (no skew / no delay).
+func NewTraffic[T any](plan TrafficPlan, gateway func(T) string, shift func(T, float64) T) *Traffic[T] {
+	if plan.DupBurst <= 0 {
+		plan.DupBurst = 1
+	}
+	return &Traffic[T]{
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		gateway: gateway,
+		shift:   shift,
+	}
+}
+
+// delivery is one scheduled item with its delivery slot.
+type delivery[T any] struct {
+	item T
+	slot float64
+	seq  int // input order, the tie-break
+}
+
+// Schedule transforms a logical stream into one delivery schedule:
+// per-gateway skew, drops, duplicate bursts, bounded reorder and delay —
+// all driven by the plan's seeded RNG, so the same plan and input always
+// yield the same schedule. The injector's RNG advances across calls;
+// reuse a fresh injector to replay the identical schedule.
+func (t *Traffic[T]) Schedule(items []T) []T {
+	t.stats.In += len(items)
+	dels := make([]delivery[T], 0, len(items))
+	for i, it := range items {
+		if skew, ok := t.skewFor(it); ok {
+			it = t.shift(it, skew)
+			t.stats.Skewed++
+		}
+		if t.plan.DropProb > 0 && t.rng.Float64() < t.plan.DropProb {
+			t.stats.Dropped++
+			continue
+		}
+		copies := 1
+		if t.plan.DupProb > 0 && t.rng.Float64() < t.plan.DupProb {
+			extra := 1 + t.rng.Intn(t.plan.DupBurst)
+			copies += extra
+			t.stats.Duplicated += extra
+		}
+		for c := 0; c < copies; c++ {
+			d := delivery[T]{item: it, slot: float64(i), seq: len(dels)}
+			if c > 0 {
+				// Duplicate copies land later, within the reorder bound.
+				d.slot += t.rng.Float64() * float64(t.plan.ReorderWindow)
+			}
+			if t.plan.DelayProb > 0 && t.rng.Float64() < t.plan.DelayProb {
+				lag := t.rng.Float64() * t.plan.MaxDelay
+				if t.shift != nil {
+					d.item = t.shift(d.item, lag)
+				}
+				d.slot += float64(t.plan.ReorderWindow)
+				t.stats.Delayed++
+			}
+			if t.plan.ReorderWindow > 0 {
+				d.slot += t.rng.Float64() * float64(t.plan.ReorderWindow)
+			}
+			dels = append(dels, d)
+		}
+	}
+	sort.SliceStable(dels, func(i, j int) bool {
+		if dels[i].slot != dels[j].slot {
+			return dels[i].slot < dels[j].slot
+		}
+		return dels[i].seq < dels[j].seq
+	})
+	out := make([]T, len(dels))
+	for i, d := range dels {
+		out[i] = d.item
+	}
+	t.stats.Out += len(out)
+	return out
+}
+
+// skewFor returns the gateway-skew delta for an item when one applies.
+func (t *Traffic[T]) skewFor(it T) (float64, bool) {
+	if len(t.plan.GatewaySkew) == 0 || t.gateway == nil || t.shift == nil {
+		return 0, false
+	}
+	skew, ok := t.plan.GatewaySkew[t.gateway(it)]
+	if !ok || skew == 0 {
+		return 0, false
+	}
+	return skew, true
+}
+
+// Stats returns cumulative injection counters across Schedule calls.
+func (t *Traffic[T]) Stats() TrafficStats { return t.stats }
+
+// SplitBatches cuts a delivery schedule into consecutive batches of at
+// most size items — the shape a gateway backhaul hands the network server.
+func SplitBatches[T any](items []T, size int) [][]T {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]T
+	for len(items) > size {
+		out = append(out, items[:size])
+		items = items[size:]
+	}
+	if len(items) > 0 {
+		out = append(out, items)
+	}
+	return out
+}

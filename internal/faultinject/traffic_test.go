@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+// obs is a minimal stand-in for a PHY observation: receiver + timestamp +
+// payload identity.
+type obs struct {
+	GW string
+	At float64
+	ID int
+}
+
+func trafficOf(plan TrafficPlan) *Traffic[obs] {
+	return NewTraffic(plan,
+		func(o obs) string { return o.GW },
+		func(o obs, d float64) obs { o.At += d; return o },
+	)
+}
+
+func stream(n int) []obs {
+	out := make([]obs, n)
+	for i := range out {
+		out[i] = obs{GW: "gw", At: float64(i), ID: i}
+	}
+	return out
+}
+
+func TestTrafficIdentityPlan(t *testing.T) {
+	in := stream(50)
+	got := trafficOf(TrafficPlan{Seed: 1}).Schedule(in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatal("zero plan must deliver the stream unchanged")
+	}
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	plan := TrafficPlan{
+		Seed: 42, DupProb: 0.3, DupBurst: 3, DropProb: 0.1,
+		DelayProb: 0.2, MaxDelay: 5, ReorderWindow: 8,
+		GatewaySkew: map[string]float64{"gw": 0.25},
+	}
+	a := trafficOf(plan).Schedule(stream(200))
+	b := trafficOf(plan).Schedule(stream(200))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan and input must produce the same schedule")
+	}
+	c := trafficOf(TrafficPlan{Seed: 43, DupProb: 0.3, DupBurst: 3, DropProb: 0.1,
+		DelayProb: 0.2, MaxDelay: 5, ReorderWindow: 8}).Schedule(stream(200))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should produce different schedules")
+	}
+}
+
+func TestTrafficDuplicateBurst(t *testing.T) {
+	tr := trafficOf(TrafficPlan{Seed: 7, DupProb: 1, DupBurst: 4, ReorderWindow: 2})
+	got := tr.Schedule(stream(100))
+	st := tr.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("DupProb=1 must duplicate")
+	}
+	if len(got) != 100+st.Duplicated {
+		t.Fatalf("out=%d want %d", len(got), 100+st.Duplicated)
+	}
+	// Every logical item still delivered at least once.
+	seen := map[int]int{}
+	for _, o := range got {
+		seen[o.ID]++
+	}
+	for i := 0; i < 100; i++ {
+		if seen[i] < 2 {
+			t.Fatalf("item %d delivered %d times, want >= 2", i, seen[i])
+		}
+	}
+}
+
+func TestTrafficDropAll(t *testing.T) {
+	tr := trafficOf(TrafficPlan{Seed: 3, DropProb: 1})
+	if got := tr.Schedule(stream(25)); len(got) != 0 {
+		t.Fatalf("DropProb=1 delivered %d items", len(got))
+	}
+	if st := tr.Stats(); st.Dropped != 25 {
+		t.Fatalf("Dropped=%d want 25", st.Dropped)
+	}
+}
+
+func TestTrafficBoundedReorder(t *testing.T) {
+	const window = 5
+	tr := trafficOf(TrafficPlan{Seed: 11, ReorderWindow: window})
+	got := tr.Schedule(stream(300))
+	if len(got) != 300 {
+		t.Fatalf("reorder must not add or drop: got %d", len(got))
+	}
+	for pos, o := range got {
+		if d := pos - o.ID; d < -window || d > window {
+			t.Fatalf("item %d displaced %d slots, bound %d", o.ID, d, window)
+		}
+	}
+}
+
+func TestTrafficGatewaySkew(t *testing.T) {
+	in := []obs{{GW: "a", At: 10, ID: 0}, {GW: "b", At: 10, ID: 1}}
+	tr := trafficOf(TrafficPlan{Seed: 1, GatewaySkew: map[string]float64{"b": -0.5}})
+	got := tr.Schedule(in)
+	if got[0].At != 10 || got[1].At != 9.5 {
+		t.Fatalf("skew misapplied: %+v", got)
+	}
+	if tr.Stats().Skewed != 1 {
+		t.Fatalf("Skewed=%d want 1", tr.Stats().Skewed)
+	}
+}
+
+func TestSplitBatches(t *testing.T) {
+	in := stream(10)
+	b := SplitBatches(in, 4)
+	if len(b) != 3 || len(b[0]) != 4 || len(b[1]) != 4 || len(b[2]) != 2 {
+		t.Fatalf("bad split: %d batches", len(b))
+	}
+	if got := SplitBatches([]obs{}, 4); got != nil {
+		t.Fatal("empty input should split to nil")
+	}
+	if got := SplitBatches(in, 0); len(got) != 10 {
+		t.Fatalf("size<=0 should clamp to 1, got %d batches", len(got))
+	}
+}

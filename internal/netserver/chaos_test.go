@@ -1,0 +1,328 @@
+package netserver
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"softlora/internal/core"
+	"softlora/internal/faultinject"
+)
+
+// chaosTraffic builds the logical multi-receiver stream: devices × frames,
+// each frame heard by nGW receivers, round-robin across devices so
+// same-device frames are far apart in delivery slots (the bounded-reorder
+// causality contract of the window). Biases match enrollment, so every
+// honest verdict is genuine.
+func chaosTraffic(devices, frames, nGW int) []PHYObservation {
+	var out []PHYObservation
+	for f := 0; f < frames; f++ {
+		for d := 0; d < devices; d++ {
+			at := float64(f*devices+d) * 0.01
+			for g := 0; g < nGW; g++ {
+				out = append(out, PHYObservation{
+					GatewayID:   fmt.Sprintf("gw%02d", g),
+					DeviceID:    fmt.Sprintf("dev%03d", d),
+					FrameID:     fmt.Sprintf("fr%04d", f),
+					UplinkIndex: int64(f),
+					FBHz:        chaosBias(d) + float64(g-1)*8,
+					JitterHz:    40,
+					ArrivalTime: at,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func chaosBias(d int) float64 { return -30000 + float64(d)*977 }
+
+func enrollChaos(s *NetworkServer, devices int) {
+	for d := 0; d < devices; d++ {
+		s.Enroll(fmt.Sprintf("dev%03d", d), chaosBias(d), 10)
+	}
+}
+
+// chaosInjector instantiates the generic traffic injector for PHY
+// observations.
+func chaosInjector(plan faultinject.TrafficPlan) *faultinject.Traffic[PHYObservation] {
+	return faultinject.NewTraffic(plan,
+		func(o PHYObservation) string { return o.GatewayID },
+		func(o PHYObservation, d float64) PHYObservation { o.ArrivalTime += d; return o },
+	)
+}
+
+// feedSchedule delivers a schedule in batches and returns every event the
+// window emitted, including the end-of-run drain.
+func feedSchedule(t *testing.T, s *NetworkServer, schedule []PHYObservation, batch int) []FrameVerdict {
+	t.Helper()
+	var evs []FrameVerdict
+	for _, b := range faultinject.SplitBatches(schedule, batch) {
+		got, err := s.CheckBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, got...)
+	}
+	evs = append(evs, s.DrainWindow()...)
+	return evs
+}
+
+// assertOneVerdictPerFrame checks the harness's central invariant: every
+// delivered logical frame has exactly one committed (non-revised) verdict,
+// and every revision references a frame that committed.
+func assertOneVerdictPerFrame(t *testing.T, evs []FrameVerdict, wantFrames int) {
+	t.Helper()
+	committed := map[string]int{}
+	for _, fv := range evs {
+		key := fv.DeviceID + "/" + fv.FrameID
+		if fv.Revised {
+			if committed[key] == 0 {
+				t.Fatalf("revision for never-committed frame %s", key)
+			}
+			continue
+		}
+		committed[key]++
+	}
+	if len(committed) != wantFrames {
+		t.Fatalf("distinct frames judged = %d, want %d", len(committed), wantFrames)
+	}
+	for key, n := range committed {
+		if n != 1 {
+			t.Fatalf("frame %s committed %d verdicts, want exactly 1", key, n)
+		}
+	}
+}
+
+func TestChaosOneVerdictPerFrame(t *testing.T) {
+	const devices, frames, nGW = 6, 20, 3
+	logical := chaosTraffic(devices, frames, nGW)
+	s := New(Config{Window: WindowConfig{Hold: 0.5, MaxReceivers: nGW}})
+	enrollChaos(s, devices)
+	schedule := chaosInjector(faultinject.TrafficPlan{
+		Seed: 99, DupProb: 0.4, DupBurst: 3, ReorderWindow: 2 * nGW,
+	}).Schedule(logical)
+	evs := feedSchedule(t, s, schedule, 17)
+	assertOneVerdictPerFrame(t, evs, devices*frames)
+	for _, fv := range evs {
+		if !fv.Revised && fv.Verdict != core.VerdictGenuine {
+			t.Fatalf("honest frame %s/%s judged %v", fv.DeviceID, fv.FrameID, fv.Verdict)
+		}
+	}
+	if st := s.Stats(); st.WindowMerged == 0 {
+		t.Fatal("schedule never exercised cross-call merging")
+	}
+}
+
+func TestChaosDatabaseBytesScheduleIndependent(t *testing.T) {
+	// The committed database must be a pure function of the copies
+	// delivered, not of the delivery schedule: duplicates, bounded
+	// reorder, and batch-boundary placement must all cancel out to
+	// bit-identical Save bytes and the same verdict multiset.
+	const devices, frames, nGW = 5, 12, 3
+	logical := chaosTraffic(devices, frames, nGW)
+	type outcome struct {
+		db       []byte
+		verdicts []string
+	}
+	run := func(plan faultinject.TrafficPlan, batch int) outcome {
+		s := New(Config{Window: WindowConfig{Hold: 1e9, MaxReceivers: nGW}})
+		enrollChaos(s, devices)
+		evs := feedSchedule(t, s, chaosInjector(plan).Schedule(logical), batch)
+		assertOneVerdictPerFrame(t, evs, devices*frames)
+		var vs []string
+		for _, fv := range evs {
+			if !fv.Revised {
+				vs = append(vs, fmt.Sprintf("%s/%s=%v", fv.DeviceID, fv.FrameID, fv.Verdict))
+			}
+		}
+		sort.Strings(vs)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{db: buf.Bytes(), verdicts: vs}
+	}
+	want := run(faultinject.TrafficPlan{Seed: 1}, 64) // clean in-order delivery
+	cases := []struct {
+		name  string
+		plan  faultinject.TrafficPlan
+		batch int
+	}{
+		{"dups", faultinject.TrafficPlan{Seed: 2, DupProb: 0.6, DupBurst: 4}, 64},
+		{"reorder", faultinject.TrafficPlan{Seed: 3, ReorderWindow: 2 * nGW}, 64},
+		{"dups+reorder", faultinject.TrafficPlan{Seed: 4, DupProb: 0.5, DupBurst: 3, ReorderWindow: 2 * nGW}, 64},
+		{"tiny-batches", faultinject.TrafficPlan{Seed: 5, DupProb: 0.5, DupBurst: 3, ReorderWindow: 2 * nGW}, 1},
+		{"odd-batches", faultinject.TrafficPlan{Seed: 6, DupProb: 0.5, DupBurst: 3, ReorderWindow: 2 * nGW}, 7},
+	}
+	for _, tc := range cases {
+		got := run(tc.plan, tc.batch)
+		if !bytes.Equal(got.db, want.db) {
+			t.Errorf("%s: database bytes differ from clean schedule", tc.name)
+		}
+		if len(got.verdicts) != len(want.verdicts) {
+			t.Fatalf("%s: %d verdicts vs %d", tc.name, len(got.verdicts), len(want.verdicts))
+		}
+		for i := range got.verdicts {
+			if got.verdicts[i] != want.verdicts[i] {
+				t.Fatalf("%s: verdict %d: %s vs %s", tc.name, i, got.verdicts[i], want.verdicts[i])
+			}
+		}
+	}
+}
+
+func TestChaosDelayedCopiesReconcile(t *testing.T) {
+	// Delays far beyond the hold: copies arrive after their frame
+	// committed. The invariant survives — one committed verdict per
+	// frame, late copies reconcile instead of re-verdicting.
+	const devices, frames, nGW = 4, 25, 3
+	logical := chaosTraffic(devices, frames, nGW)
+	s := New(Config{Window: WindowConfig{
+		Hold: 0.05, MaxReceivers: nGW, LateHorizon: 1e9,
+	}})
+	enrollChaos(s, devices)
+	schedule := chaosInjector(faultinject.TrafficPlan{
+		Seed: 12, DelayProb: 0.3, MaxDelay: 2.0, ReorderWindow: 3 * nGW,
+	}).Schedule(logical)
+	evs := feedSchedule(t, s, schedule, 31)
+	assertOneVerdictPerFrame(t, evs, devices*frames)
+	if st := s.Stats(); st.LateObservations == 0 {
+		t.Fatal("schedule never exercised late reconciliation")
+	}
+}
+
+func TestChaosDropsStillOneVerdictEach(t *testing.T) {
+	const devices, frames, nGW = 4, 15, 3
+	logical := chaosTraffic(devices, frames, nGW)
+	s := New(Config{Window: WindowConfig{Hold: 0.5, MaxReceivers: nGW}})
+	enrollChaos(s, devices)
+	inj := chaosInjector(faultinject.TrafficPlan{Seed: 21, DropProb: 0.4, ReorderWindow: nGW})
+	schedule := inj.Schedule(logical)
+	// Which logical frames survived with at least one copy?
+	alive := map[string]bool{}
+	for _, o := range schedule {
+		alive[o.DeviceID+"/"+o.FrameID] = true
+	}
+	evs := feedSchedule(t, s, schedule, 23)
+	assertOneVerdictPerFrame(t, evs, len(alive))
+	if st := inj.Stats(); st.Dropped == 0 {
+		t.Fatal("plan injected no drops")
+	}
+}
+
+func TestChaosDuplicateStormBoundedMemory(t *testing.T) {
+	// A 100× duplicate storm (looping packet forwarder / replay flood)
+	// against a MaxPending=64 window: memory stays bounded via shedding,
+	// and every frame still gets exactly one committed verdict.
+	const devices, frames, nGW = 4, 50, 1
+	logical := chaosTraffic(devices, frames, nGW)
+	s := New(Config{Window: WindowConfig{
+		Hold: 1e9, MaxReceivers: 3, MaxPending: 64, MaxCommitted: 1 << 20,
+	}})
+	enrollChaos(s, devices)
+	schedule := chaosInjector(faultinject.TrafficPlan{
+		Seed: 77, DupProb: 1, DupBurst: 199, ReorderWindow: 8,
+	}).Schedule(logical)
+	if len(schedule) < 80*len(logical) {
+		t.Fatalf("storm too weak: %d deliveries for %d logical", len(schedule), len(logical))
+	}
+	var evs []FrameVerdict
+	for _, b := range faultinject.SplitBatches(schedule, 256) {
+		got, err := s.CheckBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, got...)
+		if n := s.PendingFrames(); n > 64 {
+			t.Fatalf("pending frames = %d, exceeds MaxPending 64 mid-storm", n)
+		}
+	}
+	evs = append(evs, s.DrainWindow()...)
+	assertOneVerdictPerFrame(t, evs, devices*frames)
+	st := s.Stats()
+	if st.WindowShed == 0 {
+		t.Fatal("storm never hit the shed path")
+	}
+	if st.WindowMerged+st.LateObservations == 0 {
+		t.Fatal("storm duplicates were not suppressed")
+	}
+}
+
+func TestChaosConcurrentWindowFlusher(t *testing.T) {
+	// Race coverage: concurrent CheckBatch ingest, window polling, stats
+	// reads and a fast background Flusher (TickWindow + Sweep + flush)
+	// over one shared windowed server. Run under -race via `make race`.
+	const devices, frames, nGW, workers = 8, 30, 2, 4
+	s := New(Config{
+		Window: WindowConfig{Hold: 0.02, MaxReceivers: nGW, LateHorizon: 1e9},
+		Health: HealthConfig{Enabled: true},
+	})
+	enrollChaos(s, devices)
+	f, err := StartFlusher(s, t.TempDir(), FlusherOptions{Interval: 1e6}) // 1ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := chaosTraffic(devices, frames, nGW)
+	schedules := make([][]PHYObservation, workers)
+	for w := 0; w < workers; w++ {
+		// Each worker delivers a disjoint slice of devices so per-device
+		// copies keep their causal order within one goroutine.
+		for _, o := range logical {
+			var d int
+			fmt.Sscanf(o.DeviceID, "dev%03d", &d)
+			if d%workers == w {
+				schedules[w] = append(schedules[w], o)
+			}
+		}
+		schedules[w] = chaosInjector(faultinject.TrafficPlan{
+			Seed: int64(w), DupProb: 0.3, DupBurst: 2, ReorderWindow: nGW,
+		}).Schedule(schedules[w])
+	}
+	var mu sync.Mutex
+	var evs []FrameVerdict
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sched []PHYObservation) {
+			defer wg.Done()
+			for _, b := range faultinject.SplitBatches(sched, 9) {
+				got, err := s.CheckBatch(b)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				evs = append(evs, got...)
+				mu.Unlock()
+			}
+		}(schedules[w])
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader: polls, stats, pending gauge
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			got := s.PollWindow()
+			mu.Lock()
+			evs = append(evs, got...)
+			mu.Unlock()
+			s.Stats()
+			s.PendingFrames()
+			s.QuarantinedGateways()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	evs = append(evs, s.DrainWindow()...)
+	mu.Unlock()
+	assertOneVerdictPerFrame(t, evs, devices*frames)
+}

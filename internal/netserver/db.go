@@ -78,6 +78,17 @@ type FrameVerdict struct {
 	// consistency gate excluded from the weighted mean (a receiver that
 	// lost the tone returns a gross outlier, not a jitter-sized error).
 	OutliersRejected int
+	// QuarantinedExcluded is how many observations came from gateways the
+	// health tracker currently quarantines; they were excluded from the
+	// fusion (but still tracked for probation recovery).
+	QuarantinedExcluded int
+	// Revised marks a post-commit reconciliation event: a copy of the
+	// frame arrived after its verdict committed, the fused estimate was
+	// recomputed, and the verdict flipped. The original fold stands — a
+	// revision is a notification, never a second database update.
+	Revised bool
+	// PrevVerdict is the originally committed verdict when Revised.
+	PrevVerdict core.Verdict
 }
 
 // Stats are cumulative network-server counters.
@@ -93,6 +104,26 @@ type Stats struct {
 	// Evicted counts device records removed by the TTL sweep
 	// (EvictExpired), cumulatively.
 	Evicted int64
+	// WindowMerged counts observations that fused into a pending window
+	// entry opened by an earlier Check/CheckBatch call — the cross-call
+	// duplicates the streaming window exists to suppress.
+	WindowMerged int64
+	// LateObservations counts copies that arrived after their frame's
+	// verdict committed and were reconciled against the committed state.
+	LateObservations int64
+	// VerdictsRevised counts late reconciliations that flipped the
+	// committed verdict (emitted as Revised FrameVerdicts).
+	VerdictsRevised int64
+	// WindowShed counts pending frames force-committed early because the
+	// window hit its MaxPending memory cap (oldest first) — a duplicate
+	// storm degrades dedup, never memory.
+	WindowShed int64
+	// WindowEventsDropped counts committed verdicts discarded because the
+	// window's event queue overflowed without being polled.
+	WindowEventsDropped int64
+	// GatewaysQuarantined counts health-tracker quarantine transitions,
+	// cumulatively (a gateway that recovers and relapses counts twice).
+	GatewaysQuarantined int64
 }
 
 // Config configures a NetworkServer. Zero values select the
@@ -118,6 +149,14 @@ type Config struct {
 	// aging. Only sweeps triggered by a Flusher or by explicit
 	// EvictExpired calls apply it; the verdict hot path never scans.
 	RecordTTL float64
+	// Window configures the streaming cross-call frame dedup window.
+	// Window.Hold <= 0 (the zero value) disables it: Check/CheckBatch
+	// judge frames immediately, deduplicating only within one call.
+	Window WindowConfig
+	// Health configures the gateway health tracker. Health.Enabled false
+	// (the zero value) disables it: every receiver's observation joins
+	// the fusion regardless of its history.
+	Health HealthConfig
 }
 
 // shard is one independently read-write-locked database partition.
@@ -157,6 +196,14 @@ type NetworkServer struct {
 
 	shards []shard
 
+	// win is the streaming dedup window (nil when disabled), guarded by
+	// winMu; health is the gateway health tracker (nil when disabled).
+	// Lock order: winMu may be held while taking shard locks (window
+	// commits fold into the database); shard locks never take winMu.
+	winMu  sync.Mutex
+	win    *window
+	health *healthTracker
+
 	// latest is the max observation ArrivalTime seen, as float64 bits —
 	// the "now" of the TTL sweep, so aging follows the deployment's own
 	// timeline instead of wall clock.
@@ -166,6 +213,11 @@ type NetworkServer struct {
 	observations  atomic.Int64
 	duplicates    atomic.Int64
 	evicted       atomic.Int64
+	winMerged     atomic.Int64
+	lateObs       atomic.Int64
+	revised       atomic.Int64
+	shed          atomic.Int64
+	eventsDropped atomic.Int64
 }
 
 // New builds a NetworkServer with the given configuration.
@@ -201,6 +253,12 @@ func New(cfg Config) *NetworkServer {
 	}
 	for i := range s.shards {
 		s.shards[i].devices = make(map[string]*core.BiasRecord)
+	}
+	if cfg.Window.Hold > 0 {
+		s.win = newWindow(cfg.Window)
+	}
+	if cfg.Health.Enabled {
+		s.health = newHealthTracker(cfg.Health)
 	}
 	return s
 }
@@ -270,7 +328,16 @@ func (s *NetworkServer) LatestObservation() float64 {
 // Check judges a single-receiver frame: the observation is its own frame
 // (no fusion) and the database is read and updated once, under the
 // device's shard lock. This is the single-gateway hot path.
+//
+// With the streaming window enabled and a non-empty FrameID, Check
+// ingests the observation instead: if the frame commits during this call
+// (it filled to MaxReceivers) its verdict is returned, otherwise
+// core.VerdictPending — the committed verdict surfaces later from
+// CheckBatch, PollWindow, AdvanceWindow or DrainWindow.
 func (s *NetworkServer) Check(obs PHYObservation) core.Verdict {
+	if s.win != nil && obs.FrameID != "" {
+		return s.ingestOne(obs)
+	}
 	s.observations.Add(1)
 	return s.checkDevice(obs.DeviceID, obs.FBHz, obs.ArrivalTime)
 }
@@ -279,6 +346,7 @@ func (s *NetworkServer) Check(obs PHYObservation) core.Verdict {
 var (
 	ErrNoObservations = errors.New("netserver: frame has no observations")
 	ErrMixedFrame     = errors.New("netserver: observations from different devices in one frame")
+	ErrNoDevice       = errors.New("netserver: observation without a device ID")
 )
 
 // ConsistencySigma is the outlier gate of Fuse: an observation whose FB
@@ -308,10 +376,22 @@ func effJitter(o PHYObservation) float64 {
 // receiver produced a finite estimate the fused FB is NaN, which the
 // verdict stage fails closed on (core.CheckRecord flags non-finite
 // estimates as replays without touching the database). Fuse itself does
-// not touch the database.
+// not touch the database. Observations without a device ID are rejected
+// with ErrNoDevice: a nameless frame would fold every such device into
+// one shared record.
 func Fuse(obs []PHYObservation) (FrameVerdict, error) {
+	return fuseDetail(obs, nil)
+}
+
+// fuseDetail is Fuse with an optional per-observation outcome slice: when
+// rejected is non-nil (len(obs)), rejected[i] reports whether the fusion's
+// consistency gate excluded obs[i] — the health tracker's raw material.
+func fuseDetail(obs []PHYObservation, rejected []bool) (FrameVerdict, error) {
 	if len(obs) == 0 {
 		return FrameVerdict{}, ErrNoObservations
+	}
+	if obs[0].DeviceID == "" {
+		return FrameVerdict{}, ErrNoDevice
 	}
 	fv := FrameVerdict{
 		DeviceID:  obs[0].DeviceID,
@@ -336,15 +416,21 @@ func Fuse(obs []PHYObservation) (FrameVerdict, error) {
 		fv.OutliersRejected = len(obs)
 		fv.ArrivalTime = obs[0].ArrivalTime
 		fv.GatewayID = obs[0].GatewayID
+		for i := range rejected {
+			rejected[i] = true
+		}
 		return fv, nil
 	}
 	bestJ := effJitter(obs[best])
 	var sumW, sumWFB float64
-	for _, o := range obs {
+	for i, o := range obs {
 		j := effJitter(o)
 		gate := ConsistencySigma * math.Hypot(j, bestJ)
 		if !(math.Abs(o.FBHz-obs[best].FBHz) <= gate) {
 			fv.OutliersRejected++
+			if rejected != nil {
+				rejected[i] = true
+			}
 			continue
 		}
 		w := 1 / (j * j)
@@ -358,17 +444,66 @@ func Fuse(obs []PHYObservation) (FrameVerdict, error) {
 	return fv, nil
 }
 
+// commitObs is the single commit path every frame takes — CheckFrame,
+// window commits and window sheds all end here: health-filter the copies,
+// fuse what remains, fold the fused estimate into the database once, and
+// feed the per-receiver outcomes back to the health tracker. Copies from
+// quarantined gateways are excluded from the fusion unless every copy is
+// quarantined (fail open: the frame must still be judged).
+func (s *NetworkServer) commitObs(obs []PHYObservation) (FrameVerdict, error) {
+	active, excluded := obs, []PHYObservation(nil)
+	var rejected []bool
+	if s.health != nil {
+		active, excluded = s.health.filter(obs)
+		rejected = make([]bool, len(active))
+	}
+	fv, err := fuseDetail(active, rejected)
+	if err != nil {
+		return fv, err
+	}
+	fv.Receivers = len(obs)
+	fv.QuarantinedExcluded = len(excluded)
+	fv.Verdict = s.checkDevice(fv.DeviceID, fv.FBHz, fv.ArrivalTime)
+	if s.health != nil {
+		s.health.observe(&fv, active, rejected, excluded, refArrival(obs))
+	}
+	return fv, nil
+}
+
+// peekVerdict evaluates the §7.2 policy against a copy of the device's
+// current record without folding anything — the read-only re-check late
+// window reconciliation uses. The copy is judged against the database as
+// it stands now, after the frame's original fold.
+func (s *NetworkServer) peekVerdict(deviceID string, fbHz float64) core.Verdict {
+	sh := s.shardFor(deviceID)
+	sh.mu.RLock()
+	rec, ok := sh.devices[deviceID]
+	var cp core.BiasRecord
+	if ok {
+		cp = *rec
+	}
+	sh.mu.RUnlock()
+	var rp *core.BiasRecord
+	if ok {
+		rp = &cp
+	}
+	v, _ := core.CheckRecord(rp, fbHz, s.tol, s.devMul, s.alpha, s.enroll)
+	return v
+}
+
 // CheckFrame judges one frame heard by one or more receivers: the
 // observations (all from the same claimed device) are fused and the §7.2
 // verdict runs once, so N receivers cause one database update, not N.
+// CheckFrame is the "every copy already in hand" path: it judges
+// immediately even when the streaming window is enabled (use Check or
+// CheckBatch to let copies accumulate across calls).
 func (s *NetworkServer) CheckFrame(obs []PHYObservation) (FrameVerdict, error) {
-	fv, err := Fuse(obs)
+	fv, err := s.commitObs(obs)
 	if err != nil {
 		return fv, err
 	}
 	s.observations.Add(int64(len(obs)))
 	s.duplicates.Add(int64(len(obs) - 1))
-	fv.Verdict = s.checkDevice(fv.DeviceID, fv.FBHz, fv.ArrivalTime)
 	return fv, nil
 }
 
@@ -379,7 +514,20 @@ func (s *NetworkServer) CheckFrame(obs []PHYObservation) (FrameVerdict, error) {
 // returned in commit order. Database state after a CheckBatch is therefore
 // a pure function of the batch's contents, regardless of how the
 // observations were gathered or ordered by the callers.
+//
+// A mid-batch error returns the verdicts of the frames that already
+// committed ALONGSIDE the error — their database folds have happened, and
+// the caller must be able to see them.
+//
+// With the streaming window enabled, CheckBatch instead ingests the
+// observations into the cross-call window and returns every FrameVerdict
+// that committed during the call — including frames opened by earlier
+// calls whose hold expired, and Revised events from late reconciliation.
+// The returned verdicts need not correspond to this call's frames.
 func (s *NetworkServer) CheckBatch(obs []PHYObservation) ([]FrameVerdict, error) {
+	if s.win != nil {
+		return s.ingestBatch(obs)
+	}
 	type group struct {
 		key   string
 		index int64 // min UplinkIndex of the group
@@ -414,7 +562,8 @@ func (s *NetworkServer) CheckBatch(obs []PHYObservation) ([]FrameVerdict, error)
 	for _, g := range groups {
 		fv, err := s.CheckFrame(g.obs)
 		if err != nil {
-			return nil, err
+			return verdicts, fmt.Errorf("netserver: frame %d of batch (device %q, frame %q): %w",
+				len(verdicts), g.obs[0].DeviceID, g.obs[0].FrameID, err)
 		}
 		verdicts = append(verdicts, fv)
 	}
@@ -460,12 +609,21 @@ func (s *NetworkServer) Devices() int {
 
 // Stats returns the cumulative counters.
 func (s *NetworkServer) Stats() Stats {
-	return Stats{
+	st := Stats{
 		FramesChecked:        s.framesChecked.Load(),
 		Observations:         s.observations.Load(),
 		DuplicatesSuppressed: s.duplicates.Load(),
 		Evicted:              s.evicted.Load(),
+		WindowMerged:         s.winMerged.Load(),
+		LateObservations:     s.lateObs.Load(),
+		VerdictsRevised:      s.revised.Load(),
+		WindowShed:           s.shed.Load(),
+		WindowEventsDropped:  s.eventsDropped.Load(),
 	}
+	if s.health != nil {
+		st.GatewaysQuarantined = s.health.quarantines.Load()
+	}
+	return st
 }
 
 // EvictExpired removes device records whose LastSeen is older than ttl

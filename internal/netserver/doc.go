@@ -21,8 +21,69 @@
 //     tight as the best single receiver's.
 //
 // The package is split by concern: db.go (the sharded in-memory store and
-// verdict path), persist.go (snapshot container format, Snapshotter,
-// crash-safe loader), flush.go (the background Flusher).
+// verdict path), window.go (the streaming cross-call dedup window),
+// health.go (the gateway health tracker), persist.go (snapshot container
+// format, Snapshotter, crash-safe loader), flush.go (the background
+// Flusher).
+//
+// # Streaming window contract
+//
+// Real deployments do not hand the server a frame's copies in one call:
+// gateway backhauls deliver them seconds apart, reordered, duplicated and
+// sometimes late. With Config.Window.Hold > 0, Check and CheckBatch stop
+// judging immediately and ingest into a cross-call dedup window instead:
+//
+//   - What merges: observations sharing (DeviceID, FrameID) fuse into one
+//     pending frame regardless of which call delivered them, at most one
+//     copy per GatewayID (redeliveries keep the deterministically better
+//     copy). Empty FrameIDs never merge — such an observation is its own
+//     frame and is judged immediately.
+//
+//   - When a verdict commits: when the frame has copies from MaxReceivers
+//     distinct gateways, or when its hold expires — Hold seconds after
+//     the frame opened, measured on the server's own observation clock
+//     (LatestObservation), so an idle stream is aged by AdvanceWindow or
+//     the background Flusher's tick. Commits fold the database exactly
+//     once per frame, in per-device (UplinkIndex, key) order, and the
+//     copies are fused in canonical gateway order — so verdicts and
+//     database bytes are a pure function of the copies delivered, not of
+//     the delivery schedule (enforced by the TestChaos* harness). The
+//     caller collects committed verdicts from CheckBatch's return (which
+//     drains the event queue), or from PollWindow / AdvanceWindow /
+//     DrainWindow when driving Check — a Check-only caller must poll, or
+//     the bounded event queue eventually drops its oldest verdicts.
+//
+//   - Late copies: a copy arriving after its frame committed (within
+//     LateHorizon) reconciles — it merges into the remembered copy set,
+//     the estimate is re-fused and re-judged READ-ONLY against the
+//     current database, and only a flipped verdict surfaces, as a
+//     FrameVerdict with Revised set and PrevVerdict carrying the original
+//     decision. The original fold stands; a frame never folds twice.
+//     Copies older than LateHorizon re-open the frame (the documented
+//     memory/exactness trade).
+//
+//   - Bounded memory: at most MaxPending frames pend; beyond that the
+//     oldest is force-committed with the copies it has
+//     (Stats.WindowShed), so a duplicate storm degrades dedup quality,
+//     never memory. CheckFrame remains the "every copy already in hand"
+//     path and bypasses the window.
+//
+//   - What a crash loses: window state is in-memory only and is NOT
+//     replayed from disk — pending frames die with the process and their
+//     copies are simply never judged (upstream retransmission is the
+//     LoRaWAN answer). The database itself loses at most the last
+//     un-flushed interval, exactly as below; a recovered server starts
+//     with an empty window.
+//
+// The gateway health tracker (Config.Health) rides the same commit path:
+// every committed frame feeds each contributing receiver's
+// outlier-rejection outcome and clock skew (vs the frame's median arrival)
+// into a rolling per-gateway score, and a persistently sick gateway is
+// quarantined out of fusion — its copies still merge and are still
+// scored, shadow-judged against the fused estimate it no longer
+// influences, so a recovered gateway earns its way back after a clean
+// probation streak. If every copy of a frame is from quarantined
+// gateways, the filter fails open and the frame is judged anyway.
 //
 // # Ordering contract
 //

@@ -132,6 +132,11 @@ func (f *Flusher) cycle() {
 	defer f.mu.Unlock()
 	f.cycles.Add(1)
 	f.s.Sweep()
+	// Tick the streaming window so held frames whose hold has expired
+	// commit even when ingest stalls: their folds land in this cycle's
+	// flush and their verdicts queue for the next poll. A no-op when the
+	// window is disabled.
+	f.s.TickWindow()
 	delay := f.backoff
 	for attempt := 0; ; attempt++ {
 		n, err := f.sn.FlushDirty(f.s)

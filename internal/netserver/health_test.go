@@ -1,0 +1,165 @@
+package netserver
+
+import (
+	"testing"
+
+	"softlora/internal/core"
+)
+
+// healthServer builds a server with the health tracker on a short fuse so
+// tests converge quickly, and "n" enrolled at -22000 Hz.
+func healthServer(t *testing.T) *NetworkServer {
+	t.Helper()
+	s := New(Config{Health: HealthConfig{
+		Enabled: true, Window: 8, MinSamples: 4, Probation: 4,
+	}})
+	s.Enroll("n", -22000, 10)
+	return s
+}
+
+// frame3 is one frame heard by two honest gateways and one with the given
+// FB and arrival offsets.
+func frame3(i int, badFB, badSkew float64) []PHYObservation {
+	at := float64(i)
+	return []PHYObservation{
+		{GatewayID: "ga", DeviceID: "n", FrameID: frameID(i), UplinkIndex: int64(i),
+			FBHz: -22010, JitterHz: 40, ArrivalTime: at},
+		{GatewayID: "gb", DeviceID: "n", FrameID: frameID(i), UplinkIndex: int64(i),
+			FBHz: -21990, JitterHz: 40, ArrivalTime: at},
+		{GatewayID: "gx", DeviceID: "n", FrameID: frameID(i), UplinkIndex: int64(i),
+			FBHz: -22000 + badFB, JitterHz: 40, ArrivalTime: at + badSkew},
+	}
+}
+
+func TestHealthQuarantinesPersistentOutlier(t *testing.T) {
+	s := healthServer(t)
+	// gx returns gross outliers (a deep-fade link that lost the tone)
+	// frame after frame: the fusion gate rejects each copy, and after
+	// MinSamples the tracker quarantines the gateway.
+	var last FrameVerdict
+	for i := 0; i < 8; i++ {
+		fv, err := s.CheckFrame(frame3(i, 90000, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = fv
+	}
+	if got := s.QuarantinedGateways(); len(got) != 1 || got[0] != "gx" {
+		t.Fatalf("quarantined = %v, want [gx]", got)
+	}
+	if last.QuarantinedExcluded != 1 {
+		t.Fatalf("last verdict QuarantinedExcluded = %d, want 1", last.QuarantinedExcluded)
+	}
+	if st := s.Stats(); st.GatewaysQuarantined != 1 {
+		t.Fatalf("GatewaysQuarantined = %d, want 1", st.GatewaysQuarantined)
+	}
+}
+
+func TestHealthQuarantinesSkewedClock(t *testing.T) {
+	s := healthServer(t)
+	// gx agrees on FB but its PHY clock is 200 ms off the elected
+	// receivers — useless for timestamping, quarantined on skew alone.
+	for i := 0; i < 8; i++ {
+		if _, err := s.CheckFrame(frame3(i, 0, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.QuarantinedGateways(); len(got) != 1 || got[0] != "gx" {
+		t.Fatalf("quarantined = %v, want [gx]", got)
+	}
+}
+
+func TestHealthProbationReinstates(t *testing.T) {
+	s := healthServer(t)
+	i := 0
+	for ; i < 8; i++ {
+		s.CheckFrame(frame3(i, 90000, 0))
+	}
+	if len(s.QuarantinedGateways()) != 1 {
+		t.Fatal("setup: gx should be quarantined")
+	}
+	// gx behaves again: its shadow samples (judged against the fusion it
+	// no longer joins) run a clean streak through probation.
+	for n := 0; n < 8; n++ {
+		s.CheckFrame(frame3(i, 0, 0))
+		i++
+	}
+	if got := s.QuarantinedGateways(); len(got) != 0 {
+		t.Fatalf("quarantined after probation = %v, want none", got)
+	}
+	// Reinstated for real: its copies join the fusion again.
+	fv, err := s.CheckFrame(frame3(i, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.QuarantinedExcluded != 0 || fv.Receivers != 3 {
+		t.Fatalf("post-recovery verdict: %+v", fv)
+	}
+}
+
+func TestHealthRelapseCountsAgain(t *testing.T) {
+	s := healthServer(t)
+	i := 0
+	sick := func() {
+		for n := 0; n < 8; n++ {
+			s.CheckFrame(frame3(i, 90000, 0))
+			i++
+		}
+	}
+	clean := func() {
+		for n := 0; n < 8; n++ {
+			s.CheckFrame(frame3(i, 0, 0))
+			i++
+		}
+	}
+	sick()
+	clean()
+	sick()
+	if st := s.Stats(); st.GatewaysQuarantined != 2 {
+		t.Fatalf("GatewaysQuarantined = %d, want 2 (relapse counts)", st.GatewaysQuarantined)
+	}
+}
+
+func TestHealthFailsOpenWhenAllQuarantined(t *testing.T) {
+	s := New(Config{Health: HealthConfig{
+		Enabled: true, Window: 8, MinSamples: 4, Probation: 100,
+	}})
+	s.Enroll("n", -22000, 10)
+	s.Enroll("m", -5000, 10)
+	// Quarantine gx via skew against two healthy receivers.
+	for i := 0; i < 8; i++ {
+		if _, err := s.CheckFrame(frame3(i, 0, 0.2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.QuarantinedGateways()) != 1 {
+		t.Fatal("setup: gx should be quarantined")
+	}
+	// A frame heard ONLY by the quarantined gateway must still be judged.
+	fv, err := s.CheckFrame([]PHYObservation{{
+		GatewayID: "gx", DeviceID: "m", FrameID: "solo", FBHz: -5010,
+		JitterHz: 40, ArrivalTime: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.Verdict != core.VerdictGenuine || fv.QuarantinedExcluded != 0 {
+		t.Fatalf("fail-open verdict: %+v", fv)
+	}
+}
+
+func TestHealthDisabledIsTransparent(t *testing.T) {
+	s := New(Config{})
+	s.Enroll("n", -22000, 10)
+	for i := 0; i < 20; i++ {
+		if _, err := s.CheckFrame(frame3(i, 90000, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.QuarantinedGateways(); got != nil {
+		t.Fatalf("disabled tracker quarantined %v", got)
+	}
+	if st := s.Stats(); st.GatewaysQuarantined != 0 {
+		t.Fatalf("GatewaysQuarantined = %d, want 0", st.GatewaysQuarantined)
+	}
+}

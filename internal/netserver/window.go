@@ -1,0 +1,535 @@
+package netserver
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"softlora/internal/core"
+)
+
+// Streaming-window defaults.
+const (
+	// DefaultWindowMaxReceivers commits a pending frame as soon as this
+	// many distinct gateways contributed a copy, without waiting out the
+	// hold.
+	DefaultWindowMaxReceivers = 3
+	// DefaultWindowMaxPending caps the pending-frame map; beyond it the
+	// oldest pending frame is force-committed (shed) to admit a new one.
+	DefaultWindowMaxPending = 1 << 16
+	// defaultEventQueueFloor is the minimum event-queue capacity.
+	defaultEventQueueFloor = 1024
+)
+
+// WindowConfig configures the streaming cross-call frame dedup window.
+// Hold <= 0 disables the window entirely.
+type WindowConfig struct {
+	// Hold is how long (seconds on the observation clock — the server's
+	// LatestObservation) a frame's first copy stays pending for further
+	// receiver copies before its verdict commits.
+	Hold float64
+	// MaxReceivers commits the frame early once this many distinct
+	// gateways contributed a copy (DefaultWindowMaxReceivers when 0).
+	MaxReceivers int
+	// MaxPending bounds the pending-frame map (DefaultWindowMaxPending
+	// when 0). Inserting beyond it sheds the oldest pending frame —
+	// committing it with whatever copies it has — so a duplicate storm
+	// degrades dedup quality, never memory.
+	MaxPending int
+	// LateHorizon is how long (seconds, observation clock) a committed
+	// frame's identity and copies are remembered so copies arriving after
+	// commit reconcile instead of re-verdicting (2×Hold when 0).
+	LateHorizon float64
+	// MaxCommitted bounds the committed-frame memory (4×MaxPending when
+	// 0); beyond it the oldest committed identity is forgotten.
+	MaxCommitted int
+}
+
+// pendingFrame is one open window entry: the copies of a frame gathered so
+// far, at most one per gateway.
+type pendingFrame struct {
+	key      string
+	deviceID string
+	index    int64   // min UplinkIndex seen
+	opened   float64 // watermark when the first copy arrived
+	obs      []PHYObservation
+	full     bool // reached MaxReceivers distinct gateways
+	ready    bool // queued for commit (expired or full)
+	done     bool // committed or shed
+	elem     *list.Element
+}
+
+// committedFrame remembers a committed frame for late-copy reconciliation.
+type committedFrame struct {
+	key         string
+	committedAt float64
+	fused       FrameVerdict
+	obs         []PHYObservation
+	elem        *list.Element
+}
+
+// window is the cross-call dedup state, guarded by NetworkServer.winMu.
+// Shard locks are only ever taken while winMu is held (commit →
+// checkDevice), never the other way around, so the two lock levels cannot
+// deadlock.
+type window struct {
+	cfg WindowConfig
+
+	pending   map[string]*pendingFrame
+	openOrder *list.List // *pendingFrame, in open (≈ watermark) order
+	byDevice  map[string][]*pendingFrame
+	ready     []*pendingFrame
+
+	committed   map[string]*committedFrame
+	commitOrder *list.List // *committedFrame, in commit order
+
+	events    []FrameVerdict
+	maxEvents int
+}
+
+// newWindow normalizes cfg and builds the window state.
+func newWindow(cfg WindowConfig) *window {
+	if cfg.MaxReceivers <= 0 {
+		cfg.MaxReceivers = DefaultWindowMaxReceivers
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultWindowMaxPending
+	}
+	if cfg.LateHorizon <= 0 {
+		cfg.LateHorizon = 2 * cfg.Hold
+	}
+	if cfg.MaxCommitted <= 0 {
+		cfg.MaxCommitted = 4 * cfg.MaxPending
+	}
+	maxEvents := 4 * cfg.MaxPending
+	if maxEvents < defaultEventQueueFloor {
+		maxEvents = defaultEventQueueFloor
+	}
+	return &window{
+		cfg:         cfg,
+		pending:     make(map[string]*pendingFrame),
+		openOrder:   list.New(),
+		byDevice:    make(map[string][]*pendingFrame),
+		committed:   make(map[string]*committedFrame),
+		commitOrder: list.New(),
+		maxEvents:   maxEvents,
+	}
+}
+
+// frameKey is the dedup identity: the device ID is embedded so a FrameID
+// collision across devices yields separate frames, never a mixed one.
+func frameKey(deviceID, frameID string) string { return deviceID + "\x00" + frameID }
+
+// WindowEnabled reports whether the streaming dedup window is active.
+func (s *NetworkServer) WindowEnabled() bool { return s.win != nil }
+
+// PendingFrames returns how many frames are currently held open in the
+// window (0 when the window is disabled).
+func (s *NetworkServer) PendingFrames() int {
+	if s.win == nil {
+		return 0
+	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	return len(s.win.pending)
+}
+
+// ingestOne is the windowed Check path: ingest the observation, then
+// return this frame's verdict if it committed during the call (leaving
+// every other queued event for the next poll), VerdictPending otherwise.
+func (s *NetworkServer) ingestOne(obs PHYObservation) core.Verdict {
+	key := frameKey(obs.DeviceID, obs.FrameID)
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	if err := s.ingestLocked(obs); err != nil {
+		// Fail closed: an unidentifiable observation is never accepted.
+		return core.VerdictReplay
+	}
+	s.processWindowLocked()
+	w := s.win
+	for i := len(w.events) - 1; i >= 0; i-- {
+		ev := w.events[i]
+		if !ev.Revised && frameKey(ev.DeviceID, ev.FrameID) == key {
+			w.events = append(w.events[:i], w.events[i+1:]...)
+			return ev.Verdict
+		}
+	}
+	return core.VerdictPending
+}
+
+// ingestBatch is the windowed CheckBatch path: ingest every observation,
+// run the commit pass, and drain the event queue. On a bad observation the
+// events committed so far are returned alongside the error.
+func (s *NetworkServer) ingestBatch(obs []PHYObservation) ([]FrameVerdict, error) {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	var firstErr error
+	for i, o := range obs {
+		if err := s.ingestLocked(o); err != nil {
+			firstErr = fmt.Errorf("netserver: observation %d of batch (device %q, frame %q): %w",
+				i, o.DeviceID, o.FrameID, err)
+			break
+		}
+	}
+	s.processWindowLocked()
+	return s.takeEventsLocked(), firstErr
+}
+
+// PollWindow runs a commit pass at the current watermark and drains the
+// committed-verdict queue — the way a Check-only caller collects verdicts
+// the window held back. Nil when the window is disabled or idle.
+func (s *NetworkServer) PollWindow() []FrameVerdict {
+	if s.win == nil {
+		return nil
+	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	s.processWindowLocked()
+	return s.takeEventsLocked()
+}
+
+// AdvanceWindow advances the observation clock to now (monotonic max, like
+// any observation arrival) and commits every pending frame whose hold has
+// expired, returning the drained events. This is the idle-stream tick: a
+// deployment whose traffic pauses still gets its held verdicts.
+func (s *NetworkServer) AdvanceWindow(now float64) []FrameVerdict {
+	if s.win == nil {
+		return nil
+	}
+	s.observeTime(now)
+	return s.PollWindow()
+}
+
+// TickWindow is AdvanceWindow without moving the clock and without
+// draining: expired frames commit and their verdicts queue for the next
+// CheckBatch/PollWindow. The background Flusher calls this each cycle so
+// pending-window memory is bounded in time even when ingest stalls.
+func (s *NetworkServer) TickWindow() {
+	if s.win == nil {
+		return
+	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	s.processWindowLocked()
+}
+
+// DrainWindow force-commits every pending frame — in (UplinkIndex, key)
+// order, the same canonical order timed commits use — and returns all
+// queued events. The shutdown / end-of-run flush.
+func (s *NetworkServer) DrainWindow() []FrameVerdict {
+	if s.win == nil {
+		return nil
+	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	w := s.win
+	all := make([]*pendingFrame, 0, len(w.pending))
+	for _, e := range w.pending {
+		all = append(all, e)
+	}
+	sortPending(all)
+	for _, e := range all {
+		s.commitEntryLocked(e)
+	}
+	w.ready = w.ready[:0]
+	return s.takeEventsLocked()
+}
+
+// ingestLocked routes one observation: merge into its pending frame,
+// reconcile against its committed frame, or open a new entry (shedding the
+// oldest if the pending cap is hit). Caller holds winMu.
+func (s *NetworkServer) ingestLocked(o PHYObservation) error {
+	if o.DeviceID == "" {
+		return ErrNoDevice
+	}
+	s.observations.Add(1)
+	s.observeTime(o.ArrivalTime)
+	w := s.win
+	if o.FrameID == "" {
+		// No identity to dedup on: judged immediately, its own frame.
+		fv, err := s.commitObs([]PHYObservation{o})
+		if err != nil {
+			return err
+		}
+		s.pushEventLocked(fv)
+		return nil
+	}
+	key := frameKey(o.DeviceID, o.FrameID)
+	if e, ok := w.pending[key]; ok {
+		s.winMerged.Add(1)
+		s.duplicates.Add(1)
+		mergeCopy(&e.obs, o)
+		if o.UplinkIndex < e.index {
+			e.index = o.UplinkIndex
+		}
+		if !e.full && len(e.obs) >= w.cfg.MaxReceivers {
+			e.full = true
+			if !e.ready {
+				e.ready = true
+				w.ready = append(w.ready, e)
+			}
+		}
+		return nil
+	}
+	if cf, ok := w.committed[key]; ok {
+		s.reconcileLocked(cf, o)
+		return nil
+	}
+	// New frame: shed the oldest pending entry if the cap is hit.
+	for len(w.pending) >= w.cfg.MaxPending {
+		front := w.openOrder.Front()
+		if front == nil {
+			break
+		}
+		s.shed.Add(1)
+		s.commitEntryLocked(front.Value.(*pendingFrame))
+	}
+	e := &pendingFrame{
+		key:      key,
+		deviceID: o.DeviceID,
+		index:    o.UplinkIndex,
+		opened:   s.LatestObservation(),
+		obs:      []PHYObservation{o},
+	}
+	if len(e.obs) >= w.cfg.MaxReceivers {
+		e.full, e.ready = true, true
+		w.ready = append(w.ready, e)
+	}
+	w.pending[key] = e
+	e.elem = w.openOrder.PushBack(e)
+	w.byDevice[o.DeviceID] = append(w.byDevice[o.DeviceID], e)
+	return nil
+}
+
+// mergeCopy folds a copy into a pending or committed frame's per-gateway
+// copy set: at most one observation per gateway survives, and which one is
+// a pure function of the copies' contents (never their delivery order), so
+// the fused estimate is delivery-schedule independent.
+func mergeCopy(obs *[]PHYObservation, o PHYObservation) {
+	for i, have := range *obs {
+		if have.GatewayID != o.GatewayID {
+			continue
+		}
+		if betterCopy(o, have) {
+			(*obs)[i] = o
+		}
+		return
+	}
+	*obs = append(*obs, o)
+}
+
+// betterCopy deterministically orders two copies from the same gateway:
+// lower jitter wins, then lower FB, then earlier arrival. Exact duplicate
+// deliveries (a looping packet forwarder) tie and keep the incumbent.
+func betterCopy(a, b PHYObservation) bool {
+	ja, jb := effJitter(a), effJitter(b)
+	if ja != jb {
+		return ja < jb
+	}
+	if a.FBHz != b.FBHz {
+		return a.FBHz < b.FBHz
+	}
+	return a.ArrivalTime < b.ArrivalTime
+}
+
+// sortPending orders entries canonically: ascending UplinkIndex, ties by
+// key. Commits always happen in this order among eligible entries, which
+// is what makes database bytes schedule-independent.
+func sortPending(entries []*pendingFrame) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].index != entries[j].index {
+			return entries[i].index < entries[j].index
+		}
+		return entries[i].key < entries[j].key
+	})
+}
+
+// processWindowLocked expires pending frames against the watermark and
+// commits every eligible ready frame. A ready frame is held back while a
+// pending frame of the same device with a smaller (UplinkIndex, key)
+// exists — per-device commits happen in uplink order, so the database
+// folds of a device are a pure function of the copies delivered, not of
+// the delivery schedule. Caller holds winMu.
+func (s *NetworkServer) processWindowLocked() {
+	w := s.win
+	wm := s.LatestObservation()
+	// Expiry scan: openOrder is in watermark order, stop at the first
+	// still-held entry.
+	for el := w.openOrder.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*pendingFrame)
+		if e.opened+w.cfg.Hold > wm {
+			break
+		}
+		if !e.ready {
+			e.ready = true
+			w.ready = append(w.ready, e)
+		}
+	}
+	if len(w.ready) == 0 {
+		s.evictCommittedLocked(wm)
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		sortPending(w.ready)
+		for _, e := range w.ready {
+			if e.done || s.earlierPendingLocked(e) {
+				continue
+			}
+			s.commitEntryLocked(e)
+			progress = true
+		}
+		// Compact committed entries out of the ready queue.
+		kept := w.ready[:0]
+		for _, e := range w.ready {
+			if !e.done {
+				kept = append(kept, e)
+			}
+		}
+		w.ready = kept
+	}
+	s.evictCommittedLocked(wm)
+}
+
+// earlierPendingLocked reports whether a pending frame of the same device
+// precedes e in canonical order — the per-device commit gate.
+func (s *NetworkServer) earlierPendingLocked(e *pendingFrame) bool {
+	for _, f := range s.win.byDevice[e.deviceID] {
+		if f == e || f.done {
+			continue
+		}
+		if f.index < e.index || (f.index == e.index && f.key < e.key) {
+			return true
+		}
+	}
+	return false
+}
+
+// commitEntryLocked removes e from the pending structures, commits its
+// fused verdict (one database fold), queues the event, and remembers the
+// frame for late reconciliation. Caller holds winMu.
+func (s *NetworkServer) commitEntryLocked(e *pendingFrame) {
+	w := s.win
+	e.done = true
+	delete(w.pending, e.key)
+	if e.elem != nil {
+		w.openOrder.Remove(e.elem)
+		e.elem = nil
+	}
+	devs := w.byDevice[e.deviceID]
+	for i, f := range devs {
+		if f == e {
+			devs[i] = devs[len(devs)-1]
+			devs = devs[:len(devs)-1]
+			break
+		}
+	}
+	if len(devs) == 0 {
+		delete(w.byDevice, e.deviceID)
+	} else {
+		w.byDevice[e.deviceID] = devs
+	}
+	// Canonical fusion order: the copy set is one-per-gateway, so gateway
+	// ID is a total order and the weighted sums accumulate identically
+	// for every delivery schedule.
+	sort.Slice(e.obs, func(i, j int) bool { return e.obs[i].GatewayID < e.obs[j].GatewayID })
+	fv, err := s.commitObs(e.obs)
+	if err != nil {
+		// Unreachable: the key embeds the device ID and ingest validated
+		// it. Drop rather than poison the queue.
+		s.eventsDropped.Add(1)
+		return
+	}
+	s.pushEventLocked(fv)
+	wm := s.LatestObservation()
+	cf := &committedFrame{key: e.key, committedAt: wm, fused: fv, obs: e.obs}
+	w.committed[e.key] = cf
+	cf.elem = w.commitOrder.PushBack(cf)
+	for w.commitOrder.Len() > w.cfg.MaxCommitted {
+		s.forgetCommittedLocked(w.commitOrder.Front().Value.(*committedFrame))
+	}
+}
+
+// reconcileLocked handles a copy that arrived after its frame committed:
+// merge it into the remembered copy set, re-fuse, and re-evaluate the
+// verdict read-only against the current database. A flip emits a Revised
+// FrameVerdict; the original fold is never undone and the late copy is
+// never folded — one frame, one database update, always.
+func (s *NetworkServer) reconcileLocked(cf *committedFrame, o PHYObservation) {
+	s.lateObs.Add(1)
+	s.duplicates.Add(1)
+	mergeCopy(&cf.obs, o)
+	sort.Slice(cf.obs, func(i, j int) bool { return cf.obs[i].GatewayID < cf.obs[j].GatewayID })
+	active, excluded := cf.obs, []PHYObservation(nil)
+	if s.health != nil {
+		active, excluded = s.health.filter(cf.obs)
+	}
+	fv, err := fuseDetail(active, nil)
+	if err != nil {
+		return
+	}
+	fv.Receivers = len(cf.obs)
+	fv.QuarantinedExcluded = len(excluded)
+	fv.FrameID = cf.fused.FrameID
+	fv.Verdict = s.peekVerdict(fv.DeviceID, fv.FBHz)
+	if fv.Verdict != cf.fused.Verdict {
+		s.revised.Add(1)
+		fv.Revised = true
+		fv.PrevVerdict = cf.fused.Verdict
+		s.pushEventLocked(fv)
+	}
+	// Later copies compare against the latest reconciled state, so a
+	// sustained trickle of late copies emits one event per flip, not one
+	// per copy.
+	cf.fused = fv
+}
+
+// evictCommittedLocked forgets committed frames older than the late
+// horizon. Caller holds winMu.
+func (s *NetworkServer) evictCommittedLocked(wm float64) {
+	w := s.win
+	for el := w.commitOrder.Front(); el != nil; {
+		cf := el.Value.(*committedFrame)
+		if cf.committedAt+w.cfg.LateHorizon > wm {
+			break
+		}
+		el = el.Next()
+		s.forgetCommittedLocked(cf)
+	}
+}
+
+// forgetCommittedLocked drops one committed identity. A copy arriving
+// after this re-opens the frame and re-verdicts — the documented memory/
+// exactness trade of the late horizon.
+func (s *NetworkServer) forgetCommittedLocked(cf *committedFrame) {
+	w := s.win
+	delete(w.committed, cf.key)
+	if cf.elem != nil {
+		w.commitOrder.Remove(cf.elem)
+		cf.elem = nil
+	}
+}
+
+// pushEventLocked queues a committed verdict, dropping the oldest beyond
+// the queue cap (a Check-only caller that never polls must not grow the
+// queue without bound). Caller holds winMu.
+func (s *NetworkServer) pushEventLocked(fv FrameVerdict) {
+	w := s.win
+	if len(w.events) >= w.maxEvents {
+		n := copy(w.events, w.events[1:])
+		w.events = w.events[:n]
+		s.eventsDropped.Add(1)
+	}
+	w.events = append(w.events, fv)
+}
+
+// takeEventsLocked drains the event queue. Caller holds winMu.
+func (s *NetworkServer) takeEventsLocked() []FrameVerdict {
+	w := s.win
+	if len(w.events) == 0 {
+		return nil
+	}
+	evs := w.events
+	w.events = nil
+	return evs
+}

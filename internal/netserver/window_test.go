@@ -1,0 +1,234 @@
+package netserver
+
+import (
+	"strings"
+	"testing"
+
+	"softlora/internal/core"
+)
+
+// windowed builds a server with the streaming window enabled and one
+// enrolled device "n" at -22000 Hz (acceptance band ±360 Hz).
+func windowed(t *testing.T, cfg WindowConfig) *NetworkServer {
+	t.Helper()
+	s := New(Config{Window: cfg})
+	s.Enroll("n", -22000, 10)
+	return s
+}
+
+func TestWindowMergesAcrossCalls(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 5})
+	if v := s.Check(PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: "f1",
+		FBHz: -22100, JitterHz: 40, ArrivalTime: 0}); v != core.VerdictPending {
+		t.Fatalf("first copy verdict = %v, want pending", v)
+	}
+	// Second copy in a *separate* call merges instead of re-verdicting.
+	if v := s.Check(PHYObservation{GatewayID: "g2", DeviceID: "n", FrameID: "f1",
+		FBHz: -22060, JitterHz: 40, ArrivalTime: 1}); v != core.VerdictPending {
+		t.Fatalf("second copy verdict = %v, want pending", v)
+	}
+	if n := s.PendingFrames(); n != 1 {
+		t.Fatalf("pending frames = %d, want 1", n)
+	}
+	evs := s.AdvanceWindow(10)
+	if len(evs) != 1 {
+		t.Fatalf("events after hold expiry = %d, want 1", len(evs))
+	}
+	fv := evs[0]
+	if fv.Receivers != 2 || fv.Verdict != core.VerdictGenuine || fv.FrameID != "f1" {
+		t.Fatalf("bad committed verdict: %+v", fv)
+	}
+	st := s.Stats()
+	if st.FramesChecked != 1 || st.WindowMerged != 1 || st.Observations != 2 {
+		t.Fatalf("stats = %+v, want 1 frame / 1 merged / 2 obs", st)
+	}
+	if rec, _ := s.Record("n"); rec.Count != 11 {
+		t.Fatalf("record folded %d times, want 11 (exactly one fold)", rec.Count)
+	}
+}
+
+func TestWindowCommitsWhenFull(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1000, MaxReceivers: 2})
+	s.Check(PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: "f1",
+		FBHz: -22100, JitterHz: 40, ArrivalTime: 0})
+	// The filling copy commits the frame inside this very call.
+	if v := s.Check(PHYObservation{GatewayID: "g2", DeviceID: "n", FrameID: "f1",
+		FBHz: -22060, JitterHz: 40, ArrivalTime: 0.01}); v != core.VerdictGenuine {
+		t.Fatalf("filling copy verdict = %v, want genuine", v)
+	}
+	if n := s.PendingFrames(); n != 0 {
+		t.Fatalf("pending frames = %d, want 0 after full commit", n)
+	}
+}
+
+func TestWindowSameGatewayDuplicateDoesNotFill(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1000, MaxReceivers: 2})
+	o := PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: "f1",
+		FBHz: -22100, JitterHz: 40, ArrivalTime: 0}
+	s.Check(o)
+	// An exact duplicate from the same gateway is one receiver, not two.
+	if v := s.Check(o); v != core.VerdictPending {
+		t.Fatalf("duplicate copy verdict = %v, want pending", v)
+	}
+	evs := s.DrainWindow()
+	if len(evs) != 1 || evs[0].Receivers != 1 {
+		t.Fatalf("drained %d events, receivers %d; want 1 event from 1 receiver",
+			len(evs), evs[0].Receivers)
+	}
+}
+
+func TestWindowLateCopyRevisesVerdict(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1, LateHorizon: 1000})
+	s.Check(PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: "f1",
+		FBHz: -22300, JitterHz: 120, ArrivalTime: 0})
+	evs := s.AdvanceWindow(5)
+	if len(evs) != 1 || evs[0].Verdict != core.VerdictGenuine {
+		t.Fatalf("commit events = %+v, want one genuine", evs)
+	}
+	folds, _ := s.Record("n")
+	// A much tighter late copy far from the committed estimate: the
+	// re-fused value anchors on it, leaves the band, and the verdict
+	// flips — as a notification, not a second fold.
+	if v := s.Check(PHYObservation{GatewayID: "g2", DeviceID: "n", FrameID: "f1",
+		FBHz: -21000, JitterHz: 1, ArrivalTime: 5.5}); v != core.VerdictPending {
+		t.Fatalf("late copy verdict = %v, want pending (event is queued)", v)
+	}
+	evs = s.PollWindow()
+	if len(evs) != 1 {
+		t.Fatalf("revision events = %d, want 1", len(evs))
+	}
+	rv := evs[0]
+	if !rv.Revised || rv.PrevVerdict != core.VerdictGenuine || rv.Verdict != core.VerdictReplay {
+		t.Fatalf("bad revision: %+v", rv)
+	}
+	if rec, _ := s.Record("n"); rec.Count != folds.Count {
+		t.Fatalf("late copy folded the database: %d -> %d", folds.Count, rec.Count)
+	}
+	st := s.Stats()
+	if st.LateObservations != 1 || st.VerdictsRevised != 1 || st.FramesChecked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWindowLateDuplicateIsSilent(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1, LateHorizon: 1000})
+	o := PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: "f1",
+		FBHz: -22100, JitterHz: 40, ArrivalTime: 0}
+	s.Check(o)
+	s.AdvanceWindow(5)
+	// The same copy redelivered after commit: reconciled, no flip, no event.
+	o.ArrivalTime = 6
+	if v := s.Check(o); v != core.VerdictPending {
+		t.Fatalf("late duplicate verdict = %v, want pending", v)
+	}
+	if evs := s.PollWindow(); len(evs) != 0 {
+		t.Fatalf("late duplicate emitted %d events, want 0", len(evs))
+	}
+	st := s.Stats()
+	if st.LateObservations != 1 || st.VerdictsRevised != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWindowShedsOldestAtCap(t *testing.T) {
+	s := New(Config{Window: WindowConfig{Hold: 1e9, MaxPending: 8}})
+	var obs []PHYObservation
+	for i := 0; i < 100; i++ {
+		obs = append(obs, PHYObservation{
+			GatewayID: "g1", DeviceID: "n", FrameID: frameID(i),
+			UplinkIndex: int64(i), FBHz: -22000, JitterHz: 40,
+			ArrivalTime: float64(i),
+		})
+	}
+	evs, err := s.CheckBatch(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.PendingFrames(); n > 8 {
+		t.Fatalf("pending frames = %d, exceeds MaxPending 8", n)
+	}
+	if st := s.Stats(); st.WindowShed != 92 {
+		t.Fatalf("WindowShed = %d, want 92", st.WindowShed)
+	}
+	evs = append(evs, s.DrainWindow()...)
+	if len(evs) != 100 {
+		t.Fatalf("total committed verdicts = %d, want 100 (shed frames still judged)", len(evs))
+	}
+}
+
+func TestWindowEmptyFrameIDJudgedImmediately(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1000})
+	// No identity to dedup on: not held.
+	if v := s.Check(PHYObservation{GatewayID: "g1", DeviceID: "n",
+		FBHz: -22100, JitterHz: 40, ArrivalTime: 0}); v != core.VerdictGenuine {
+		t.Fatalf("frameless observation verdict = %v, want genuine", v)
+	}
+	if n := s.PendingFrames(); n != 0 {
+		t.Fatalf("pending frames = %d, want 0", n)
+	}
+}
+
+func TestWindowDrainCommitsInUplinkOrder(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1000})
+	for _, i := range []int{3, 0, 2, 1} {
+		s.Check(PHYObservation{GatewayID: "g1", DeviceID: "n", FrameID: frameID(i),
+			UplinkIndex: int64(i), FBHz: -22000, JitterHz: 40, ArrivalTime: float64(i)})
+	}
+	evs := s.DrainWindow()
+	if len(evs) != 4 {
+		t.Fatalf("drained %d, want 4", len(evs))
+	}
+	for i, fv := range evs {
+		if fv.FrameID != frameID(i) {
+			t.Fatalf("drain order: event %d is frame %s", i, fv.FrameID)
+		}
+	}
+}
+
+func TestWindowedBatchPartialOnError(t *testing.T) {
+	s := windowed(t, WindowConfig{Hold: 1000, MaxReceivers: 1})
+	obs := []PHYObservation{
+		{GatewayID: "g1", DeviceID: "n", FrameID: "f1", UplinkIndex: 0,
+			FBHz: -22000, JitterHz: 40, ArrivalTime: 0},
+		{GatewayID: "g1", FrameID: "f2", UplinkIndex: 1, FBHz: -22000,
+			ArrivalTime: 1}, // no device ID
+		{GatewayID: "g1", DeviceID: "n", FrameID: "f3", UplinkIndex: 2,
+			FBHz: -22000, JitterHz: 40, ArrivalTime: 2},
+	}
+	evs, err := s.CheckBatch(obs)
+	if err == nil || !strings.Contains(err.Error(), "observation 1 of batch") {
+		t.Fatalf("err = %v, want observation-1 error", err)
+	}
+	// The frame ingested before the bad observation still committed and
+	// its verdict is visible alongside the error.
+	if len(evs) != 1 || evs[0].FrameID != "f1" {
+		t.Fatalf("partial events = %+v, want committed f1", evs)
+	}
+}
+
+func TestCheckBatchPartialVerdictsOnError(t *testing.T) {
+	// Regression (non-windowed path): a mid-batch CheckFrame error used to
+	// return nil verdicts even though earlier frames had already folded
+	// into the database.
+	s := New(Config{})
+	s.Enroll("n", -22000, 10)
+	obs := []PHYObservation{
+		{GatewayID: "g1", DeviceID: "n", FrameID: "f1", UplinkIndex: 0,
+			FBHz: -22040, JitterHz: 40},
+		{GatewayID: "g1", FrameID: "", UplinkIndex: 1, FBHz: -22000}, // no device
+	}
+	verdicts, err := s.CheckBatch(obs)
+	if err == nil {
+		t.Fatal("want a frame error")
+	}
+	if len(verdicts) != 1 || verdicts[0].FrameID != "f1" {
+		t.Fatalf("partial verdicts = %+v, want the committed f1", verdicts)
+	}
+	if rec, _ := s.Record("n"); rec.Count != 11 {
+		t.Fatalf("f1's fold missing: count = %d", rec.Count)
+	}
+}
+
+func frameID(i int) string {
+	return "f" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

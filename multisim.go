@@ -102,14 +102,16 @@ type MultiUplinkReport struct {
 	SiteErrs []error
 }
 
-// Uplink transmits the device's buffered records at global time t0 from
-// devPos: the single emission is rendered once per site through that
-// site's link, every gateway that locks onto it contributes one
-// PHYObservation, and the shared server fuses them into one verdict.
-// Rendering and observation run serially (the shared noise stream and the
-// serial pipelines keep the simulation deterministic). At least one
-// gateway must receive the frame or an error is returned.
-func (m *MultiGatewaySimulation) Uplink(d *SimDevice, devPos radio.Position, t0 float64) (*MultiUplinkReport, []timestamp.FrameRecord, error) {
+// Observe transmits the device's buffered records at global time t0 from
+// devPos and collects the fleet's per-gateway PHY observations WITHOUT
+// judging the frame: the single emission is rendered once per site
+// through that site's link, and every gateway that locks onto it
+// contributes one side-effect-free PHYObservation. The caller feeds the
+// observations to the shared server itself — the streaming ingest path,
+// where copies may be split across Check/CheckBatch calls and the
+// server's dedup window reassembles them. At least one gateway must
+// receive the frame or an error is returned.
+func (m *MultiGatewaySimulation) Observe(d *SimDevice, devPos radio.Position, t0 float64) (*MultiUplinkReport, []timestamp.FrameRecord, error) {
 	if m.Rand == nil {
 		return nil, nil, ErrNilRand
 	}
@@ -154,20 +156,40 @@ func (m *MultiGatewaySimulation) Uplink(d *SimDevice, devPos radio.Position, t0 
 	if len(report.Observations) == 0 {
 		return nil, nil, fmt.Errorf("softlora: no gateway received frame %s: e.g. %w", frameID, firstErr(report.SiteErrs))
 	}
+	return report, records, nil
+}
+
+// Uplink is Observe plus the immediate judgment: the copies are fused and
+// the §7.2 verdict runs once, with the frame's data-record timestamps
+// reconstructed from the elected receiver on acceptance. Use Observe +
+// the server's windowed Check/CheckBatch when copies should accumulate
+// across calls instead.
+func (m *MultiGatewaySimulation) Uplink(d *SimDevice, devPos radio.Position, t0 float64) (*MultiUplinkReport, []timestamp.FrameRecord, error) {
+	report, records, err := m.Observe(d, devPos, t0)
+	if err != nil {
+		return nil, nil, err
+	}
 	fv, err := m.Server.CheckFrame(report.Observations)
 	if err != nil {
 		return nil, nil, err
 	}
-	report.Frame = fv
-	report.Verdict = verdictFromCore(fv.Verdict)
-	report.Accepted = report.Verdict != VerdictReplay
-	if report.Accepted {
-		report.Timestamps = make([]float64, len(records))
-		for i, r := range records {
-			report.Timestamps[i] = timestamp.Reconstruct(fv.ArrivalTime, r)
+	report.Resolve(fv, records)
+	return report, records, nil
+}
+
+// Resolve fills the report's decision fields from a committed verdict —
+// split out so streaming callers can resolve a report when the window
+// commits its frame, possibly calls later.
+func (r *MultiUplinkReport) Resolve(fv netserver.FrameVerdict, records []timestamp.FrameRecord) {
+	r.Frame = fv
+	r.Verdict = verdictFromCore(fv.Verdict)
+	r.Accepted = r.Verdict != VerdictReplay
+	if r.Accepted && len(records) > 0 {
+		r.Timestamps = make([]float64, len(records))
+		for i, rec := range records {
+			r.Timestamps[i] = timestamp.Reconstruct(fv.ArrivalTime, rec)
 		}
 	}
-	return report, records, nil
 }
 
 // MultiSimUplink queues one device transmission for UplinkBatch.

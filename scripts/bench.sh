@@ -12,7 +12,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkFBDechirpFFT(Exhaustive)?$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$|BenchmarkChirpSynthesize|BenchmarkSDRDownconvert|BenchmarkNetworkServerCheck$|BenchmarkSnapshotRoundTrip$' \
+	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkFBDechirpFFT(Exhaustive)?$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$|BenchmarkChirpSynthesize|BenchmarkSDRDownconvert|BenchmarkNetworkServerCheck(Windowed)?$|BenchmarkSnapshotRoundTrip$' \
 	-benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
 
 # The B/op and allocs/op columns only exist under -benchmem; locate them by

@@ -5,7 +5,8 @@
 # benchmark regressed by more than the threshold in ns/op. Guarded:
 # BenchmarkDechirpOnset, BenchmarkFFTPlan/planned-*,
 # BenchmarkGatewayBatchThroughput/workers-1, BenchmarkFBDechirpFFT,
-# BenchmarkNetworkServerCheck, BenchmarkSnapshotRoundTrip.
+# BenchmarkNetworkServerCheck, BenchmarkNetworkServerCheckWindowed,
+# BenchmarkSnapshotRoundTrip.
 #
 # CI runs this against the committed history (commit-to-commit on the
 # snapshot-producing box), NOT against a fresh runner measurement — a
@@ -30,6 +31,7 @@ function guarded(name) {
 	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
 	       name == "BenchmarkFBDechirpFFT" ||
 	       name == "BenchmarkNetworkServerCheck" ||
+	       name == "BenchmarkNetworkServerCheckWindowed" ||
 	       name == "BenchmarkSnapshotRoundTrip" ||
 	       name ~ /^BenchmarkFFTPlan\/planned-/
 }

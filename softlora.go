@@ -81,6 +81,10 @@ const (
 	VerdictReplay Verdict = "replay"
 	// VerdictEnrolling: the device's bias is still being learned.
 	VerdictEnrolling Verdict = "enrolling"
+	// VerdictPending: the frame is held in the network server's streaming
+	// dedup window awaiting more receiver copies; the committed verdict
+	// arrives as a later window event.
+	VerdictPending Verdict = "pending"
 )
 
 // OnsetMethod selects the PHY timestamping algorithm.
@@ -520,6 +524,8 @@ func verdictFromCore(v core.Verdict) Verdict {
 		return VerdictReplay
 	case core.VerdictEnrolling:
 		return VerdictEnrolling
+	case core.VerdictPending:
+		return VerdictPending
 	default:
 		return VerdictGenuine
 	}
