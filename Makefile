@@ -27,10 +27,11 @@ race:
 
 # determinism re-runs the ordered-commit contracts explicitly: verdicts and
 # serialized bias-database bytes must be identical for every worker count
-# (batch pipeline) and for every delivery schedule of the same copies
-# (streaming dedup window).
+# (batch pipeline), with the AIC detector's float32 decision lanes toggled
+# on or off (OnsetFloat64), and for every delivery schedule of the same
+# copies (streaming dedup window).
 determinism:
-	$(GO) test -count=1 -run 'TestProcessBatchSameDeviceDeterministicCommit|TestProcessBatchDeterministicAcrossWorkerCounts|TestMultiGatewayDeterministic' .
+	$(GO) test -count=1 -run 'TestProcessBatchSameDeviceDeterministicCommit|TestProcessBatchDeterministicAcrossWorkerCounts|TestProcessBatchDeterministicAcrossFloatLanes|TestMultiGatewayDeterministic' .
 	$(GO) test -count=1 -run 'TestChaosDatabaseBytesScheduleIndependent|TestCheckBatchOrderIndependentDatabase' ./internal/netserver
 
 # faults replays the fault-injection suites: the filesystem injector

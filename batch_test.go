@@ -14,9 +14,20 @@ import (
 // the jobs. Rendering uses its own rand stream so every fixture is
 // identical regardless of worker count.
 func batchFixture(t *testing.T, workers, nUplinks int) (*Gateway, []Uplink) {
+	return batchFixtureCfg(t, workers, nUplinks, nil)
+}
+
+// batchFixtureCfg is batchFixture with a Config hook applied before the
+// gateway is built, for tests toggling knobs (OnsetFloat64) that must not
+// change results.
+func batchFixtureCfg(t *testing.T, workers, nUplinks int, mutate func(*Config)) (*Gateway, []Uplink) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(77))
-	gw, err := NewGateway(Config{Rand: rng, FB: FBDechirpFFT, Workers: workers})
+	cfg := Config{Rand: rng, FB: FBDechirpFFT, Workers: workers}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := NewGateway(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +133,51 @@ func TestProcessBatchSameDeviceDeterministicCommit(t *testing.T) {
 		if !bytes.Equal(db, wantDB) {
 			t.Errorf("workers=%d: serialized bias database differs from workers=1:\n%s\nvs\n%s",
 				workers, db, wantDB)
+		}
+	}
+}
+
+// TestProcessBatchDeterministicAcrossFloatLanes pins the float32 decision
+// lanes' bit-identity contract: the AIC detector's coarse/mid stages run in
+// float32 by default and in float64 with Config.OnsetFloat64, but both
+// lanes feed the same dense float64 final refinement, so verdicts and the
+// serialized bias database must be byte-identical with the toggle on or
+// off — and across worker counts, since the lanes live in per-worker
+// pipelines.
+func TestProcessBatchDeterministicAcrossFloatLanes(t *testing.T) {
+	run := func(workers int, f64 bool) ([]Verdict, []byte) {
+		t.Helper()
+		gw, jobs := batchFixtureCfg(t, workers, 8, func(cfg *Config) { cfg.OnsetFloat64 = f64 })
+		verdicts := make([]Verdict, len(jobs))
+		for i, r := range gw.ProcessBatch(context.Background(), jobs) {
+			if r.Err != nil {
+				t.Fatalf("workers=%d float64=%v uplink %d: %v", workers, f64, i, r.Err)
+			}
+			verdicts[i] = r.Report.Verdict
+		}
+		var buf bytes.Buffer
+		if err := gw.SaveBiasDatabase(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return verdicts, buf.Bytes()
+	}
+	wantVerdicts, wantDB := run(1, false)
+	for _, workers := range []int{1, 4} {
+		for _, f64 := range []bool{false, true} {
+			if workers == 1 && !f64 {
+				continue
+			}
+			verdicts, db := run(workers, f64)
+			for i := range verdicts {
+				if verdicts[i] != wantVerdicts[i] {
+					t.Errorf("workers=%d float64=%v uplink %d: verdict %s, want %s",
+						workers, f64, i, verdicts[i], wantVerdicts[i])
+				}
+			}
+			if !bytes.Equal(db, wantDB) {
+				t.Errorf("workers=%d float64=%v: serialized bias database differs from the float32 workers=1 run",
+					workers, f64)
+			}
 		}
 	}
 }

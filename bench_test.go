@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -457,11 +458,11 @@ func BenchmarkSDRDownconvert(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			r := makeRecv(bits)
 			in := &radio.Capture{IQ: iq, Rate: rate}
+			var out sdr.Capture // reused header: the batch pipeline's shape
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out, err := r.Downconvert(in)
-				if err != nil {
+				if err := r.DownconvertInto(&out, in); err != nil {
 					b.Fatal(err)
 				}
 				out.Release()
@@ -508,6 +509,20 @@ func BenchmarkGatewayBatchThroughput(b *testing.B) {
 			benchGatewayBatch(b, c.name, c.onset, workers, batch)
 		}
 	}
+}
+
+// BenchmarkGatewayBatchScaling is the multi-core scaling probe: the worker
+// pool follows GOMAXPROCS (Workers = 0), so
+//
+//	go test -bench GatewayBatchScaling -cpu 1,2,4
+//
+// charts how the same 8-uplink batch scales with cores. The sub-benchmark
+// name carries the effective GOMAXPROCS so bench-history entries recorded
+// at different core counts never alias (Go only appends a -N suffix for
+// N > 1). TestGatewayBatchScalingFloor asserts the floor this benchmark
+// measures.
+func BenchmarkGatewayBatchScaling(b *testing.B) {
+	benchGatewayBatch(b, fmt.Sprintf("gomaxprocs-%d", runtime.GOMAXPROCS(0)), "", 0, 8)
 }
 
 // BenchmarkNetworkServerCheck measures the network server's sharded-lock

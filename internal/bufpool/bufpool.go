@@ -27,6 +27,13 @@ const (
 
 var classes [maxClassLog2 - minClassLog2 + 1]sync.Pool
 
+// boxes recycles the *[]complex128 headers the class pools store. Without
+// it every Put boxes a fresh 24-byte slice header — the last allocation on
+// the downconvert path. Pointers move through sync.Pool without allocating,
+// so cycling the box alongside the buffer makes steady state truly
+// zero-alloc.
+var boxes sync.Pool
+
 // classFor returns the pool index whose buffers hold ≥ n elements, or -1
 // when n is out of the pooled range.
 func classFor(n int) int {
@@ -48,7 +55,10 @@ func GetUninit(n int) []complex128 {
 		return make([]complex128, n)
 	}
 	if p, ok := classes[c].Get().(*[]complex128); ok {
-		return (*p)[:n]
+		buf := (*p)[:n]
+		*p = nil
+		boxes.Put(p)
+		return buf
 	}
 	return make([]complex128, n, 1<<(c+minClassLog2))
 }
@@ -72,6 +82,10 @@ func Put(buf []complex128) {
 	if idx < 0 || 1<<(idx+minClassLog2) != c {
 		return
 	}
-	buf = buf[:c]
-	classes[idx].Put(&buf)
+	bp, ok := boxes.Get().(*[]complex128)
+	if !ok {
+		bp = new([]complex128)
+	}
+	*bp = buf[:c]
+	classes[idx].Put(bp)
 }

@@ -98,15 +98,16 @@ type DechirpOnsetDetector struct {
 	// every sliding window of every capture, keeping the window scan
 	// allocation-free in steady state.
 	scratch    dechirpScratch
-	magSq      []float64 // per-bin squared magnitudes (fillMag)
-	magSqDec   []float64 // per-bin squared magnitudes, decimated scan
-	droopInv   []float64 // boxcar droop compensation per decimated bin
-	droopDec   int       // decimation the droop table was built for
-	droopLen   int       // decimated FFT size of the droop table
-	coarseMags []float64 // coarse-scan metric values
-	coarseAts  []int     // coarse-scan window starts
-	fitXs      []float64 // apex-fit abscissae
-	fitYs      []float64 // apex-fit metric values
+	magSq      []float64    // per-bin squared magnitudes (fillMag)
+	magSqDec   []float64    // per-bin squared magnitudes, decimated scan
+	droopInv   []float64    // boxcar droop compensation per decimated bin
+	droopDec   int          // decimation the droop table was built for
+	droopLen   int          // decimated FFT size of the droop table
+	coarseMags []float64    // coarse-scan metric values
+	coarseAts  []int        // coarse-scan window starts
+	coarseSlab []complex128 // packed decimated windows for TransformMany
+	fitXs      []float64    // apex-fit abscissae
+	fitYs      []float64    // apex-fit metric values
 
 	// Global-dechirp scratch for the sliding refinement: the capture
 	// multiplied by the conjugate infinite chirp anchored at sample 0. In
@@ -283,6 +284,13 @@ func (d *DechirpOnsetDetector) fillMagDec(iq []complex128, start, n int, sampleR
 		return 0
 	}
 	spec := d.scratch.DechirpDecimated(iq[start:start+n], dec)
+	return d.fillMagDecSpec(spec, sampleRate, dec)
+}
+
+// fillMagDecSpec is the spectrum half of fillMagDec, split out so the
+// batched coarse scan (one TransformMany over every window's decimated
+// dechirp) can score pre-transformed blocks with the identical metric.
+func (d *DechirpOnsetDetector) fillMagDecSpec(spec []complex128, sampleRate float64, dec int) float64 {
 	nb := len(spec)
 	wBins := int(math.Round(d.Params.Bandwidth / sampleRate * float64(dec) * float64(nb)))
 	if wBins <= 0 || wBins >= nb {
@@ -321,24 +329,50 @@ func (d *DechirpOnsetDetector) DetectOnset(iq []complex128, sampleRate float64) 
 	// dechirped trace; the exhaustive one just recomputes each window from
 	// scratch instead of sliding.
 	d.ensureGlobalDechirp(iq, sampleRate)
-	fill := func(at int) float64 {
-		if dec > 1 {
-			return d.fillMagDec(iq, at, n, sampleRate, dec)
-		}
-		return d.fillMag(iq, at, n, sampleRate)
-	}
 
 	// 1. Coarse scan (quarter-chirp stride): record every window's fill
-	// metric (alignment-insensitive).
+	// metric (alignment-insensitive). The decimated path batches every
+	// window's dechirped-and-decimated block into one slab and runs a
+	// single TransformMany through the shared plan — per-block results are
+	// bit-identical to the per-window DechirpDecimated transforms, the
+	// plan's permutation and twiddle tables just stay hot across windows.
 	mags := d.coarseMags[:0]
 	ats := d.coarseAts[:0]
 	bestMag := 0.0
 	for at := 0; at+n <= len(iq); at += n / 4 {
-		m := fill(at)
-		mags = append(mags, m)
 		ats = append(ats, at)
-		if m > bestMag {
-			bestMag = m
+	}
+	if dec > 1 {
+		m := n / dec
+		plan := dsp.PlanFor(m)
+		nfft := plan.Size()
+		need := len(ats) * nfft
+		if cap(d.coarseSlab) < need {
+			d.coarseSlab = make([]complex128, need)
+		}
+		slab := d.coarseSlab[:need]
+		for w, at := range ats {
+			blk := slab[w*nfft : (w+1)*nfft]
+			d.scratch.DechirpDecimateInto(blk[:m], iq[at:at+n], dec)
+			for i := m; i < nfft; i++ {
+				blk[i] = 0
+			}
+		}
+		plan.TransformMany(slab)
+		for w := range ats {
+			mg := d.fillMagDecSpec(slab[w*nfft:(w+1)*nfft], sampleRate, dec)
+			mags = append(mags, mg)
+			if mg > bestMag {
+				bestMag = mg
+			}
+		}
+	} else {
+		for _, at := range ats {
+			mg := d.fillMag(iq, at, n, sampleRate)
+			mags = append(mags, mg)
+			if mg > bestMag {
+				bestMag = mg
+			}
 		}
 	}
 	d.coarseMags, d.coarseAts = mags, ats

@@ -66,6 +66,88 @@ func componentInto(dst []float64, iq []complex128, c Component) []float64 {
 	return dst
 }
 
+// componentInto32 is componentInto on the float32 decision lane.
+func componentInto32(dst []float32, iq []complex128, c Component) []float32 {
+	if cap(dst) < len(iq) {
+		dst = make([]float32, len(iq))
+	}
+	dst = dst[:len(iq)]
+	if c == ComponentQ {
+		for i, v := range iq {
+			dst[i] = float32(imag(v))
+		}
+	} else {
+		for i, v := range iq {
+			dst[i] = float32(real(v))
+		}
+	}
+	return dst
+}
+
+// componentRangeInto extracts iq[lo:hi]'s selected component at full float64
+// precision — the float32 lane uses it to hand the final AIC refinement the
+// exact raw-trace window without materializing the whole float64 component.
+func componentRangeInto(dst []float64, iq []complex128, c Component, lo, hi int) []float64 {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if c == ComponentQ {
+		for j := range dst {
+			dst[j] = imag(iq[lo+j])
+		}
+	} else {
+		for j := range dst {
+			dst[j] = real(iq[lo+j])
+		}
+	}
+	return dst
+}
+
+// boxcarDecimate writes the mean of each complete dec-sample block of x into
+// dst (len(x)/dec outputs; a trailing partial block is dropped). The boxcar
+// is the cheap first anti-alias stage of the coarse AIC pick: first null at
+// rate/dec, ~14 dB down across the first folding band, with the residual
+// cleaned up by a short low-pass at the decimated rate.
+func boxcarDecimate(dst, x []float64, dec int) []float64 {
+	n := len(x) / dec
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	inv := 1 / float64(dec)
+	for j := range dst {
+		var s float64
+		for _, v := range x[j*dec : j*dec+dec] {
+			s += v
+		}
+		dst[j] = s * inv
+	}
+	return dst
+}
+
+// boxcarDecimate32 is boxcarDecimate on the float32 lane.
+func boxcarDecimate32(dst, x []float32, dec int) []float32 {
+	n := len(x) / dec
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	inv := 1 / float32(dec)
+	for j := range dst {
+		var s float32
+		for _, v := range x[j*dec : j*dec+dec] {
+			s += v
+		}
+		dst[j] = s * inv
+	}
+	return dst
+}
+
 // prefilterScratch band-limits the capture to the LoRa channel before
 // detection, caching the FIR filter and its output buffer so per-uplink
 // detection reuses both. The SDR samples 2.4 MHz of spectrum but the chirp
@@ -78,6 +160,14 @@ type prefilterScratch struct {
 	firRate  float64
 	firCut   float64
 	filtered []complex128
+
+	// Short cleanup filter for the boxcar-decimated coarse stage: same
+	// cutoff, but designed at the decimated rate with an eighth of the taps
+	// (the boxcar has already knocked the folding bands down, and the
+	// full-rate re-pick absorbs what a 17-tap transition band lets through).
+	decFir     *dsp.FIRFilter
+	decFirRate float64
+	decFirCut  float64
 }
 
 // filter returns the cached FIR for the given rate/cutoff, rebuilding it
@@ -89,6 +179,21 @@ func (p *prefilterScratch) filter(sampleRate, cutoffHz float64) *dsp.FIRFilter {
 		p.firCut = cutoffHz
 	}
 	return p.fir
+}
+
+// decFilter returns the cached post-decimation cleanup FIR for the given
+// decimated rate/cutoff, or nil when the cutoff is at or beyond the new
+// Nyquist (nothing left to clean up — the boxcar is the whole anti-alias).
+func (p *prefilterScratch) decFilter(decRate, cutoffHz float64) *dsp.FIRFilter {
+	if cutoffHz >= decRate/2 {
+		return nil
+	}
+	if p.decFir == nil || p.decFirRate != decRate || p.decFirCut != cutoffHz {
+		p.decFir = dsp.LowPassFIR(cutoffHz, decRate, 17)
+		p.decFirRate = decRate
+		p.decFirCut = cutoffHz
+	}
+	return p.decFir
 }
 
 // apply band-limits iq through the cached filter and reusable output
@@ -230,14 +335,22 @@ func movingAverageInto(dst []float64, x []float64, w int) []float64 {
 	return out
 }
 
-// DefaultAICCoarseDecimation is the boxcar decimation of the band-limited
-// trace ahead of the coarse AIC pick. The 100 kHz prefilter band tolerates
+// DefaultAICCoarseDecimation is the boxcar decimation of the component
+// trace ahead of the coarse AIC pick. The 100 kHz signal band tolerates
 // 4× decimation of the 2.4 Msps trace (new Nyquist 300 kHz), and the AIC
-// split-point search — two math.Log per candidate — shrinks by the same
+// split-point search — two logs per candidate — shrinks by the same
 // factor; the full-rate refinement stage restores single-sample accuracy.
 // (8× stays alias-free too, but costs a few µs of mean error below 0 dB
 // SNR; 4× keeps the Fig. 15 survey inside the paper's sub-10 µs envelope.)
 const DefaultAICCoarseDecimation = 4
+
+// aicSearchStride is the candidate stride of the coarse and intermediate
+// AIC split searches (dsp.AICScratch.OnsetStrided). Both stages hand their
+// pick to a follow-up stage that re-searches a window far wider than the
+// stride, so the ≤(stride−1)-sample slack of the two-pass argmin is free,
+// and the log evaluations drop ~4×. The final raw-trace refinement is
+// always a dense search.
+const aicSearchStride = 4
 
 // AICDetector implements the paper's AIC detector: the autoregressive
 // Akaike Information Criterion picker used for seismic P-phase arrival
@@ -257,14 +370,26 @@ type AICDetector struct {
 	// meaningful with a prefilter: the raw-trace refinement stage absorbs
 	// the coarse granularity.
 	CoarseDecimation int
+	// Float64 forces the coarse and intermediate decision stages onto the
+	// float64 reference lane. The default (false) runs them in float32 —
+	// their only output is a window position handed to the next stage, and
+	// the final refinement always re-picks on the exact float64 raw trace,
+	// so the lanes converge to the same onset (the parity suites gate it).
+	Float64 bool
 
 	// Scratch buffers reused across captures; a detector instance is not
 	// safe for concurrent use.
-	pre  prefilterScratch
-	comp []float64 // raw-trace component
-	dec  []float64 // filtered + decimated component (coarse stage)
-	mid  []float64 // filtered full-rate component window (intermediate stage)
-	aic  dsp.AICScratch
+	pre    prefilterScratch
+	comp   []float64 // raw-trace component (float64 lane / no-prefilter path)
+	comp32 []float32 // raw-trace component (float32 lane)
+	box    []float64 // boxcar-decimated component (coarse stage input)
+	box32  []float32
+	dec    []float64 // decimated + cleaned-up component (coarse stage)
+	dec32  []float32
+	mid    []float64 // filtered full-rate component window (intermediate stage)
+	mid32  []float32
+	win    []float64 // raw float64 window for the final refinement (float32 lane)
+	aic    dsp.AICScratch
 }
 
 var _ OnsetDetector = (*AICDetector)(nil)
@@ -277,26 +402,38 @@ func (a *AICDetector) Name() string { return "aic" }
 // With a prefilter configured, detection is three-stage and works on the
 // selected real component throughout (the prefilter taps are real, so
 // filtering the component equals taking the component of the filtered
-// trace): a coarse AIC pick on the polyphase filtered-and-decimated trace,
+// trace): a coarse AIC pick on a boxcar-decimated and band-limited trace,
 // a full-rate re-pick on the band-limited component inside a window around
 // it (processing gain against out-of-band noise, at O(window·taps) instead
 // of a full-trace convolution), then the AIC refinement on the raw trace.
 // The refinement removes the edge smear the FIR transition band introduces
 // (~half the filter length), which would otherwise bias the pick early.
+//
+// Unless Float64 is set, the first two stages run on the float32 lane
+// (single-precision component, filters and AIC log); the final refinement
+// always runs in float64 on the raw trace, so the lanes agree on the onset.
 func (a *AICDetector) DetectOnset(iq []complex128, sampleRate float64) (Onset, error) {
 	margin := a.Margin
 	if margin <= 0 {
 		margin = 16
 	}
-	a.comp = componentInto(a.comp, iq, a.Component)
 	if a.LowPassCutoffHz <= 0 || a.LowPassCutoffHz >= sampleRate/2 {
+		a.comp = componentInto(a.comp, iq, a.Component)
 		k := a.aic.Onset(a.comp, margin)
 		if k < 0 {
 			return Onset{}, ErrOnsetNotFound
 		}
 		return Onset{Sample: k, Time: float64(k) / sampleRate}, nil
 	}
-	coarse := a.coarsePick(iq, sampleRate, margin)
+	var coarse int
+	f32 := !a.Float64
+	if f32 {
+		a.comp32 = componentInto32(a.comp32, iq, a.Component)
+		coarse = a.coarsePick32(iq, sampleRate, margin)
+	} else {
+		a.comp = componentInto(a.comp, iq, a.Component)
+		coarse = a.coarsePick(iq, sampleRate, margin)
+	}
 	if coarse < 0 {
 		return Onset{}, ErrOnsetNotFound
 	}
@@ -309,7 +446,13 @@ func (a *AICDetector) DetectOnset(iq []complex128, sampleRate float64) (Onset, e
 	if hi > len(iq) {
 		hi = len(iq)
 	}
-	k := a.aic.Onset(a.comp[lo:hi], 8)
+	var k int
+	if f32 {
+		a.win = componentRangeInto(a.win, iq, a.Component, lo, hi)
+		k = a.aic.Onset(a.win, 8)
+	} else {
+		k = a.aic.Onset(a.comp[lo:hi], 8)
+	}
 	if k < 0 {
 		return Onset{Sample: coarse, Time: float64(coarse) / sampleRate}, nil
 	}
@@ -318,17 +461,18 @@ func (a *AICDetector) DetectOnset(iq []complex128, sampleRate float64) (Onset, e
 }
 
 // coarsePick locates the onset on the band-limited component: a coarse AIC
-// split on the filtered trace decimated by CoarseDecimation (computed
-// polyphase — only every dec-th filter output is evaluated), then a
-// full-rate re-pick on filtered samples inside a window around the
-// decimated split. The window absorbs both the decimation granularity and
-// the low-SNR wander of the decimated AIC minimum, so the result converges
-// to the undecimated filtered-trace pick at O(n/dec + window) filter/log
-// evaluations instead of O(n). Falls back to the full-rate filtered pick —
-// through the O(n log n) overlap-save convolution, not the direct form —
-// when decimation is disabled or the trace is too short to decimate.
+// split on the boxcar-decimated trace (cleaned up by a short low-pass at
+// the decimated rate — the boxcar's stopband rejection plus a 33-tap FIR
+// at rate/dec costs a quarter of the MACs of evaluating the full 129-tap
+// prefilter polyphase), then a full-rate re-pick on filtered samples inside
+// a window around the decimated split. The window absorbs the decimation
+// granularity, the boxcar's residual alias noise and the low-SNR wander of
+// the decimated AIC minimum, so the result converges to the undecimated
+// filtered-trace pick at O(n/dec + window) filter/log evaluations instead
+// of O(n). Falls back to the full-rate filtered pick — through the
+// O(n log n) overlap-save convolution, not the direct form — when
+// decimation is disabled or the trace is too short to decimate.
 func (a *AICDetector) coarsePick(iq []complex128, sampleRate float64, margin int) int {
-	fir := a.pre.filter(sampleRate, a.LowPassCutoffHz)
 	dec := a.CoarseDecimation
 	if dec == 0 {
 		dec = DefaultAICCoarseDecimation
@@ -339,9 +483,14 @@ func (a *AICDetector) coarsePick(iq []complex128, sampleRate float64, margin int
 			decMargin = 2
 		}
 		if len(a.comp)/dec >= 2*decMargin+2 {
-			a.dec = fir.ApplyRealDecimatedInto(a.dec, a.comp, dec)
-			if k := a.aic.Onset(a.dec, decMargin); k >= 0 {
-				window := 128 * dec
+			a.box = boxcarDecimate(a.box, a.comp, dec)
+			coarseIn := a.box
+			if fir2 := a.pre.decFilter(sampleRate/float64(dec), a.LowPassCutoffHz); fir2 != nil {
+				a.dec = fir2.ApplyRealDecimatedInto(a.dec, a.box, 1)
+				coarseIn = a.dec
+			}
+			if k := a.aic.OnsetStrided(coarseIn, decMargin, aicSearchStride); k >= 0 {
+				window := 96 * dec
 				lo := k*dec + dec/2 - window
 				if lo < 0 {
 					lo = 0
@@ -350,8 +499,9 @@ func (a *AICDetector) coarsePick(iq []complex128, sampleRate float64, margin int
 				if hi > len(a.comp) {
 					hi = len(a.comp)
 				}
+				fir := a.pre.filter(sampleRate, a.LowPassCutoffHz)
 				a.mid = fir.ApplyRealRangeInto(a.mid, a.comp, lo, hi)
-				if fine := a.aic.Onset(a.mid, margin); fine >= 0 {
+				if fine := a.aic.OnsetStrided(a.mid, margin, aicSearchStride); fine >= 0 {
 					return lo + fine
 				}
 				return k*dec + dec/2
@@ -361,6 +511,51 @@ func (a *AICDetector) coarsePick(iq []complex128, sampleRate float64, margin int
 	filtered := a.pre.apply(iq, sampleRate, a.LowPassCutoffHz)
 	a.mid = componentInto(a.mid, filtered, a.Component)
 	return a.aic.Onset(a.mid, margin)
+}
+
+// coarsePick32 is coarsePick on the float32 lane: identical staging
+// (boxcar-decimate, short cleanup FIR, coarse AIC, full-rate windowed
+// re-pick) over the single-precision component, with the AIC split running
+// on the fast-log Onset32. The decimated-rate fallback drops to the float64
+// coarsePick — it needs the complex prefilter, which stays double.
+func (a *AICDetector) coarsePick32(iq []complex128, sampleRate float64, margin int) int {
+	dec := a.CoarseDecimation
+	if dec == 0 {
+		dec = DefaultAICCoarseDecimation
+	}
+	if dec > 1 {
+		decMargin := margin / dec
+		if decMargin < 2 {
+			decMargin = 2
+		}
+		if len(a.comp32)/dec >= 2*decMargin+2 {
+			a.box32 = boxcarDecimate32(a.box32, a.comp32, dec)
+			coarseIn := a.box32
+			if fir2 := a.pre.decFilter(sampleRate/float64(dec), a.LowPassCutoffHz); fir2 != nil {
+				a.dec32 = fir2.ApplyRealDecimatedInto32(a.dec32, a.box32, 1)
+				coarseIn = a.dec32
+			}
+			if k := a.aic.Onset32Strided(coarseIn, decMargin, aicSearchStride); k >= 0 {
+				window := 96 * dec
+				lo := k*dec + dec/2 - window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := k*dec + dec/2 + window
+				if hi > len(a.comp32) {
+					hi = len(a.comp32)
+				}
+				fir := a.pre.filter(sampleRate, a.LowPassCutoffHz)
+				a.mid32 = fir.ApplyRealRangeInto32(a.mid32, a.comp32, lo, hi)
+				if fine := a.aic.Onset32Strided(a.mid32, margin, aicSearchStride); fine >= 0 {
+					return lo + fine
+				}
+				return k*dec + dec/2
+			}
+		}
+	}
+	a.comp = componentInto(a.comp, iq, a.Component)
+	return a.coarsePick(iq, sampleRate, margin)
 }
 
 // Curve returns the AIC curve for Fig. 9(b)-style diagnostics.

@@ -292,3 +292,32 @@ func TestOnsetErrors(t *testing.T) {
 		t.Error("expected error on trace shorter than template")
 	}
 }
+
+// The float32 decision lanes must hand the final float64 refinement a
+// window containing the same minimum the reference lane finds: on chirp
+// fixtures across the SNR range the two lanes must agree on the exact onset
+// sample. (The lane only decides window placement; the 8-bit quantized
+// trace sits ~40 dB above float32 rounding, so disagreement would mean the
+// coarse picks diverged by more than the refinement window absorbs.)
+func TestAICDetectorFloat32LaneParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for _, snr := range []float64{40, 13, 0, -10} {
+		for trial := 0; trial < 6; trial++ {
+			iq, _ := chirpCapture(rng, 2e-3, snr, -22e3, rng.Float64()*2*math.Pi)
+			fast := &AICDetector{LowPassCutoffHz: DefaultPrefilterCutoffHz}
+			ref := &AICDetector{LowPassCutoffHz: DefaultPrefilterCutoffHz, Float64: true}
+			got32, err := fast.DetectOnset(iq, testRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got64, err := ref.DetectOnset(iq, testRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got32.Sample != got64.Sample {
+				t.Errorf("snr %+.0f trial %d: float32 lane onset %d != float64 lane %d",
+					snr, trial, got32.Sample, got64.Sample)
+			}
+		}
+	}
+}

@@ -141,3 +141,80 @@ func TestARAICOnsetShortFallsBack(t *testing.T) {
 		t.Errorf("short-trace onset = %d, want ~30", got)
 	}
 }
+
+// fastLn32 powers the float32 AIC lane; require ~float32 accuracy over the
+// full range of segment statistics the picker can produce.
+func TestFastLn32MatchesMathLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	check := func(v float32) {
+		got := float64(fastLn32(v))
+		want := math.Log(float64(v))
+		// A few ulps of float32 around the result magnitude.
+		tol := 4e-7 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Fatalf("fastLn32(%g) = %v, want %v (err %g)", v, got, want, got-want)
+		}
+	}
+	for _, v := range []float32{1e-30, 1e-20, 1e-6, 0.5, 0.9999999, 1, 1.0000001, 2, math.Pi, 1e6, 1e30} {
+		check(v)
+	}
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over the floor..1e30 range the AIC lane feeds in.
+		e := rng.Float64()*60 - 30
+		check(float32(math.Pow(10, e)))
+	}
+}
+
+// The float32 lane must agree with the float64 picker to within the coarse
+// stage's refinement slack: the next stage re-searches ±margin·dec samples,
+// so a handful of samples of disagreement is free.
+func TestOnset32ParityWithOnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var sc, sc32 AICScratch
+	for trial := 0; trial < 50; trial++ {
+		n := 2000 + rng.Intn(2000)
+		onset := 400 + rng.Intn(n-800)
+		x := burstTrace(rng, n, onset, 0.05+rng.Float64()*0.2, 1)
+		x32 := make([]float32, n)
+		for i, v := range x {
+			x32[i] = float32(v)
+		}
+		k64 := sc.Onset(x, 10)
+		k32 := sc32.Onset32(x32, 10)
+		if d := k32 - k64; d < -4 || d > 4 {
+			t.Fatalf("trial %d: Onset32 = %d, Onset = %d (onset %d)", trial, k32, k64, onset)
+		}
+	}
+}
+
+func TestOnset32ShortTrace(t *testing.T) {
+	var sc AICScratch
+	if got := sc.Onset32([]float32{1, 2, 3}, 5); got != -1 {
+		t.Errorf("short trace onset = %d, want -1", got)
+	}
+	if got := sc.Onset32(nil, 1); got != -1 {
+		t.Errorf("nil trace onset = %d, want -1", got)
+	}
+}
+
+func BenchmarkAICOnset(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	x := burstTrace(rng, 4096, 1700, 0.05, 1)
+	var sc AICScratch
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Onset(x, 8)
+		}
+	})
+	x32 := make([]float32, len(x))
+	for i, v := range x {
+		x32[i] = float32(v)
+	}
+	b.Run("float32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Onset32(x32, 8)
+		}
+	})
+}

@@ -42,6 +42,21 @@
 // sinc droop per bin with BoxcarDroopSq; DechirpDecimateInto exposes the
 // decimated time series when a caller needs it past the transform).
 //
+// Two batching tiers sit on top. Plan.TransformMany runs K packed
+// same-size transforms through one plan back to back — bit-identical to K
+// TransformInPlace calls, but the permutation and twiddle tables stay hot
+// in cache across blocks (the coarse-scan windows of a capture, a
+// spectrogram's frames). And the decision-stage float32 lanes trade
+// precision for bandwidth where the consumer's error budget allows it:
+// AICScratch.Onset32/Onset32Strided and the FIRFilter ...32 apply paths
+// run the onset detector's coarse/mid argmin stages on float32 data with a
+// float32 Cephes log (fastLn32, ~4e-7 relative), halving the memory
+// traffic of the widest scans. The contract is that float32 output feeds
+// DECISIONS (an argmin handed to a dense float64 refinement), never values
+// that flow into the bias database; OnsetStrided/Onset32Strided further
+// cut the argmin cost by evaluating every stride-th candidate and densely
+// refining around the winner.
+//
 // ZoomDFT adds the zoom tier between "one bin" and "all bins": a planned
 // chirp-Z transform that evaluates a dense uniform grid of `points`
 // frequencies anywhere in the band at O((m+points)·log(m+points)) — two
@@ -67,7 +82,12 @@
 // constant-frequency rotation needs only the first-order s[i+1] = s[i]·r
 // (Rotator, one multiply). Measured on the gateway benchmarks the
 // recurrences run 5–10× faster than direct trig (BenchmarkChirpSynthesize,
-// BenchmarkSDRDownconvert).
+// BenchmarkSDRDownconvert). GaussianSource is the noise-synthesis analogue:
+// a seedable 128-layer ziggurat over a splitmix64 counter whose steady-state
+// Norm draw is a buffered read (~4 ns, zero allocations, O(1) seeding),
+// ~10× cheaper than math/rand's NormFloat64 — the SDR front end burns two
+// draws per complex sample on dither and noise-figure injection, so this is
+// what keeps quantization off the batch profile's top.
 //
 // The drift contract: each recurrence step rounds, so magnitude and phase
 // wander as a slow random walk. Every OscRenormInterval (1024) steps the
@@ -80,4 +100,17 @@
 // detectors dechirp against Oscillator-rendered references
 // (lora.ChirpSpec.FillPhasors) with no accuracy budget set aside for the
 // recurrence.
+//
+// Oscillator32 and Rotator32 are the complex64 lane of the same
+// recurrences for float32 consumers, and make the opposite trade: their
+// per-step float32 rounding walks fast enough that they re-seed every
+// OscRenormInterval32 (128) steps — OscChirpRenormInterval32 (64) for the
+// chirp, whose r-drift compounds quadratically — pinning the error to
+// ~1e-6 rad (rotator) and ~1e-4 (chirp), both far under the 8-bit ADC
+// quantization step of ~4e-3 their consumers live against
+// (oscillator32_test.go states the budget). Their inner loops spell the
+// complex multiplies out on float32 components because gc lowers builtin
+// complex64 arithmetic through float64 conversions, which would cost more
+// than complex128. Unlike the float64 oscillators they are NOT exact-by-
+// contract: keep them off any path that feeds the bias database.
 package dsp

@@ -6,12 +6,18 @@ import (
 )
 
 // GaussianNoise returns n samples of circular complex white Gaussian noise
-// with total (I+Q) average power power.
+// with total (I+Q) average power power. The samples come from a fast
+// ziggurat stream seeded off rng, not from rng.NormFloat64 — distributional
+// statistics are identical (gated by the stattest bounds) but exact values
+// differ from pre-GaussianSource releases.
 func GaussianNoise(rng *rand.Rand, n int, power float64) []complex128 {
 	out := make([]complex128, n)
 	sigma := math.Sqrt(power / 2)
+	var g GaussianSource
+	g.Seed(rng.Int63())
 	for i := range out {
-		out[i] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		re, im := g.NormPair()
+		out[i] = complex(re*sigma, im*sigma)
 	}
 	return out
 }
@@ -73,10 +79,13 @@ func ColoredNoise(rng *rand.Rand, n int, power float64, cfg ColoredNoiseConfig) 
 		bursts++
 	}
 	burstSigma := math.Sqrt(cfg.ImpulsePowerRatio / 2)
+	var g GaussianSource
+	g.Seed(rng.Int63())
 	for b := 0; b < bursts; b++ {
-		at := rng.Intn(n)
+		at := rng.Intn(n) // placement stays on rng; only Gaussian draws moved
 		for i := 0; i < cfg.ImpulseLen && at+i < n; i++ {
-			colored[at+i] += complex(rng.NormFloat64()*burstSigma, rng.NormFloat64()*burstSigma)
+			re, im := g.NormPair()
+			colored[at+i] += complex(re*burstSigma, im*burstSigma)
 		}
 	}
 	// Normalize to the requested power.

@@ -1,0 +1,245 @@
+package dsp
+
+import "math"
+
+// OscRenormInterval32 is the re-seed interval of the complex64 rotator
+// lane. float32 recurrence steps lose ~2⁻²⁴ per multiply; for a
+// constant-frequency rotator the error is a random walk, so re-seeding
+// every 128 steps keeps the phase error near ~1e-6 rad — three orders of
+// magnitude under the 8-bit ADC quantization step (~4e-3 of full scale)
+// the lane's consumers live against — at an amortized cost of one float64
+// math.Sincos per 128 samples.
+const OscRenormInterval32 = 128
+
+// OscChirpRenormInterval32 is the tighter re-seed interval of the complex64
+// chirp oscillator. The chirp recurrence advances r by q each step, so
+// rounding error in r feeds s quadratically (~m²·2⁻²⁵ after m steps);
+// 64 steps bounds the drift near ~1e-4 — still 1/40 of an ADC step — while
+// keeping the three re-seed Sincos calls under 1 ns/sample amortized.
+const OscChirpRenormInterval32 = 64
+
+// The recurrences below spell out the complex multiplies on float32
+// components instead of using complex64 arithmetic: gc lowers builtin
+// complex64 multiplies through float64 with a CVTSS2SD/CVTSD2SS pair
+// around every operand, which makes them slower than complex128. Explicit
+// float32 component math stays in single precision end to end; the extra
+// per-step rounding is what the tightened re-seed intervals absorb.
+
+// Oscillator32 is the complex64 lane of Oscillator: the same second-order
+// recurrence over single-precision phasors, with the exact re-seed always
+// computed from the float64 phase polynomial (only the steady-state
+// multiplies are single precision). Use it where the consumer tolerates
+// ~1e-4 error — decision-stage mixing, template generation for float32
+// analyses — not where results feed the bias database.
+type Oscillator32 struct {
+	sr, si  float32 // current sample s
+	rr, ri  float32 // per-step rotation r
+	qr, qi  float32 // per-step rotation increment q (chirp)
+	i, left int
+	amp     float64
+	phase0  float64
+	f, k    float64
+	dt      float64
+}
+
+// NewOscillator32 seeds an oscillator producing amp·exp(j·(phase0 +
+// 2π·(freqHz·t + sweepHzPerS·t²/2))) at t = i·dt for i = 0, 1, 2, …
+func NewOscillator32(amp, phase0, freqHz, sweepHzPerS, dt float64) Oscillator32 {
+	o := Oscillator32{amp: amp, phase0: phase0, f: freqHz, k: sweepHzPerS, dt: dt}
+	sq, cq := math.Sincos(2 * math.Pi * sweepHzPerS * dt * dt)
+	o.qr, o.qi = float32(cq), float32(sq)
+	o.reseed(0)
+	return o
+}
+
+// reseed recomputes s and r exactly from the float64 phase polynomial at
+// step i, discarding the accumulated single-precision rounding walk.
+func (o *Oscillator32) reseed(i int) {
+	o.i = i
+	o.left = OscChirpRenormInterval32
+	t := float64(i) * o.dt
+	sp, cp := math.Sincos(o.phase0 + 2*math.Pi*(o.f*t+0.5*o.k*t*t))
+	o.sr, o.si = float32(o.amp*cp), float32(o.amp*sp)
+	sr, cr := math.Sincos(2 * math.Pi * (o.f*o.dt + o.k*o.dt*o.dt*(float64(i)+0.5)))
+	o.rr, o.ri = float32(cr), float32(sr)
+}
+
+func (o *Oscillator32) chunk(n int) int {
+	if o.left == 0 {
+		o.reseed(o.i)
+	}
+	if n > o.left {
+		n = o.left
+	}
+	return n
+}
+
+// step advances s by r and r by q, all in float32.
+func (o *Oscillator32) step() {
+	nsr := o.sr*o.rr - o.si*o.ri
+	nsi := o.sr*o.ri + o.si*o.rr
+	nrr := o.rr*o.qr - o.ri*o.qi
+	nri := o.rr*o.qi + o.ri*o.qr
+	o.sr, o.si = nsr, nsi
+	o.rr, o.ri = nrr, nri
+}
+
+// Next returns the current sample and advances one step.
+func (o *Oscillator32) Next() complex64 {
+	o.chunk(1)
+	v := complex(o.sr, o.si)
+	o.step()
+	o.i++
+	o.left--
+	return v
+}
+
+// Fill writes the next len(dst) samples into dst.
+func (o *Oscillator32) Fill(dst []complex64) {
+	for len(dst) > 0 {
+		n := o.chunk(len(dst))
+		sr, si, rr, ri := o.sr, o.si, o.rr, o.ri
+		qr, qi := o.qr, o.qi
+		for j := 0; j < n; j++ {
+			dst[j] = complex(sr, si)
+			nsr := sr*rr - si*ri
+			nsi := sr*ri + si*rr
+			nrr := rr*qr - ri*qi
+			nri := rr*qi + ri*qr
+			sr, si, rr, ri = nsr, nsi, nrr, nri
+		}
+		o.sr, o.si, o.rr, o.ri = sr, si, rr, ri
+		o.i += n
+		o.left -= n
+		dst = dst[n:]
+	}
+}
+
+// MulInto writes dst[i] = src[i] · s[i] for the next len(src) samples.
+// dst must be at least as long as src; dst and src may be the same slice
+// (in-place rotation).
+func (o *Oscillator32) MulInto(dst, src []complex64) {
+	for len(src) > 0 {
+		n := o.chunk(len(src))
+		sr, si, rr, ri := o.sr, o.si, o.rr, o.ri
+		qr, qi := o.qr, o.qi
+		for j := 0; j < n; j++ {
+			xr, xi := real(src[j]), imag(src[j])
+			dst[j] = complex(xr*sr-xi*si, xr*si+xi*sr)
+			nsr := sr*rr - si*ri
+			nsi := sr*ri + si*rr
+			nrr := rr*qr - ri*qi
+			nri := rr*qi + ri*qr
+			sr, si, rr, ri = nsr, nsi, nrr, nri
+		}
+		o.sr, o.si, o.rr, o.ri = sr, si, rr, ri
+		o.i += n
+		o.left -= n
+		dst, src = dst[n:], src[n:]
+	}
+}
+
+// Rotator32 is the complex64 lane of Rotator: constant-frequency rotation
+// by four float32 multiplies per sample, re-seeded from the float64 phase
+// every OscRenormInterval32 samples.
+type Rotator32 struct {
+	sr, si  float32
+	rr, ri  float32
+	i, left int
+	amp     float64
+	phase0  float64
+	f, dt   float64
+}
+
+// NewRotator32 seeds a rotator producing amp·exp(j·(phase0 + 2π·freqHz·dt·i)).
+func NewRotator32(amp, phase0, freqHz, dt float64) Rotator32 {
+	o := Rotator32{amp: amp, phase0: phase0, f: freqHz, dt: dt}
+	sr, cr := math.Sincos(2 * math.Pi * freqHz * dt)
+	o.rr, o.ri = float32(cr), float32(sr)
+	o.reseed(0)
+	return o
+}
+
+func (o *Rotator32) reseed(i int) {
+	o.i = i
+	o.left = OscRenormInterval32
+	sp, cp := math.Sincos(o.phase0 + 2*math.Pi*o.f*o.dt*float64(i))
+	o.sr, o.si = float32(o.amp*cp), float32(o.amp*sp)
+}
+
+func (o *Rotator32) chunk(n int) int {
+	if o.left == 0 {
+		o.reseed(o.i)
+	}
+	if n > o.left {
+		n = o.left
+	}
+	return n
+}
+
+// Next returns the current sample and advances one step.
+func (o *Rotator32) Next() complex64 {
+	o.chunk(1)
+	v := complex(o.sr, o.si)
+	nsr := o.sr*o.rr - o.si*o.ri
+	nsi := o.sr*o.ri + o.si*o.rr
+	o.sr, o.si = nsr, nsi
+	o.i++
+	o.left--
+	return v
+}
+
+// Fill writes the next len(dst) samples into dst.
+func (o *Rotator32) Fill(dst []complex64) {
+	for len(dst) > 0 {
+		n := o.chunk(len(dst))
+		sr, si, rr, ri := o.sr, o.si, o.rr, o.ri
+		for j := 0; j < n; j++ {
+			dst[j] = complex(sr, si)
+			nsr := sr*rr - si*ri
+			nsi := sr*ri + si*rr
+			sr, si = nsr, nsi
+		}
+		o.sr, o.si = sr, si
+		o.i += n
+		o.left -= n
+		dst = dst[n:]
+	}
+}
+
+// MulInto writes dst[i] = src[i] · s[i] for the next len(src) samples.
+// dst must be at least as long as src; dst and src may be the same slice
+// (in-place rotation). Two interleaved phasor lanes advanced by r² overlap
+// the recurrence's multiply latency, as in Rotator.MulInto.
+func (o *Rotator32) MulInto(dst, src []complex64) {
+	for len(src) > 0 {
+		n := o.chunk(len(src))
+		sr, si, rr, ri := o.sr, o.si, o.rr, o.ri
+		// Lane 1 starts one step ahead; both lanes advance by r².
+		s1r := sr*rr - si*ri
+		s1i := sr*ri + si*rr
+		r2r := rr*rr - ri*ri
+		r2i := 2 * rr * ri
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			x0r, x0i := real(src[j]), imag(src[j])
+			x1r, x1i := real(src[j+1]), imag(src[j+1])
+			dst[j] = complex(x0r*sr-x0i*si, x0r*si+x0i*sr)
+			dst[j+1] = complex(x1r*s1r-x1i*s1i, x1r*s1i+x1i*s1r)
+			nsr := sr*r2r - si*r2i
+			nsi := sr*r2i + si*r2r
+			ns1r := s1r*r2r - s1i*r2i
+			ns1i := s1r*r2i + s1i*r2r
+			sr, si, s1r, s1i = nsr, nsi, ns1r, ns1i
+		}
+		if j < n {
+			xr, xi := real(src[j]), imag(src[j])
+			dst[j] = complex(xr*sr-xi*si, xr*si+xi*sr)
+			sr, si = s1r, s1i
+		}
+		o.sr, o.si = sr, si
+		o.i += n
+		o.left -= n
+		dst, src = dst[n:], src[n:]
+	}
+}

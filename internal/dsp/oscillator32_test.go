@@ -1,0 +1,206 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// The complex64 lane's error budget is set by the 8-bit ADC front end,
+// which quantizes to steps of ~4e-3 of full scale: a mixer or template
+// whose phase/magnitude error stays well under that step is invisible
+// downstream. The rotator's random-walk drift is pinned at 2e-6 (1/2000 of
+// a step); the chirp oscillator compounds r-drift quadratically between
+// re-seeds, so it gets 1e-4 (1/40 of a step).
+const (
+	rot32Tol = 2e-6
+	osc32Tol = 1e-4
+)
+
+func TestOscillator32DriftAgainstSincos(t *testing.T) {
+	const rate = 2.4e6
+	const w = 125e3
+	for sf := 7; sf <= 12; sf++ {
+		n := float64(int(1) << sf)
+		k := w * w / n
+		total := int(n / w * rate)
+		for _, delta := range []float64{-36e3, 0, 17.3e3} {
+			f0 := -w/2 + delta
+			osc := NewOscillator32(1, 0.8, f0, k, 1/rate)
+			var maxPhase, maxMag float64
+			for i := 0; i < total; i++ {
+				got := complex128(osc.Next())
+				want := exactSample(1, 0.8, f0, k, 1/rate, i)
+				if pe := phaseErr(got, want); pe > maxPhase {
+					maxPhase = pe
+				}
+				if me := math.Abs(cmplx.Abs(got) - 1); me > maxMag {
+					maxMag = me
+				}
+			}
+			if maxPhase > osc32Tol {
+				t.Errorf("SF%d δ=%g: max phase error %.3g rad, want < %g", sf, delta, maxPhase, osc32Tol)
+			}
+			if maxMag > osc32Tol {
+				t.Errorf("SF%d δ=%g: max magnitude drift %.3g, want < %g", sf, delta, maxMag, osc32Tol)
+			}
+		}
+	}
+}
+
+func TestRotator32DriftAgainstSincos(t *testing.T) {
+	const dt = 1 / 2.4e6
+	for _, f := range []float64{-743, 0, 22.8e3, 1.1e6} {
+		rot := NewRotator32(1, 1.3, f, dt)
+		var maxPhase float64
+		for i := 0; i < 100_000; i++ {
+			got := complex128(rot.Next())
+			want := exactSample(1, 1.3, f, 0, dt, i)
+			if pe := phaseErr(got, want); pe > maxPhase {
+				maxPhase = pe
+			}
+		}
+		if maxPhase > rot32Tol {
+			t.Errorf("f=%g: max phase error %.3g rad, want < %g", f, maxPhase, rot32Tol)
+		}
+	}
+}
+
+func TestOscillator32BatchMethodsMatchNext(t *testing.T) {
+	const n = 3 * OscChirpRenormInterval32 / 2 // crosses one re-seed boundary
+	mk := func() Oscillator32 { return NewOscillator32(0.7, 0.2, -30e3, 1.19e8, 1/2.4e6) }
+
+	ref := mk()
+	want := make([]complex64, n)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+
+	fill := make([]complex64, n)
+	o := mk()
+	o.Fill(fill[:40])
+	o.Fill(fill[40:]) // split fills must continue seamlessly
+	for i := range fill {
+		if fill[i] != want[i] {
+			t.Fatalf("Fill[%d] = %v, want %v", i, fill[i], want[i])
+		}
+	}
+
+	src := make([]complex64, n)
+	for i := range src {
+		src[i] = complex(float32(i%5)-2, 1)
+	}
+	mul := make([]complex64, n)
+	o = mk()
+	o.MulInto(mul, src)
+	for i := range mul {
+		if mul[i] != src[i]*want[i] {
+			t.Fatalf("MulInto[%d] = %v, want %v", i, mul[i], src[i]*want[i])
+		}
+	}
+}
+
+func TestRotator32BatchMethodsMatchNext(t *testing.T) {
+	const n = 2*OscRenormInterval32 + 37
+	mk := func() Rotator32 { return NewRotator32(1.5, -0.4, 9.7e3, 1/2.4e6) }
+
+	ref := mk()
+	want := make([]complex64, n)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+
+	fill := make([]complex64, n)
+	o := mk()
+	o.Fill(fill)
+	for i := range fill {
+		if fill[i] != want[i] {
+			t.Fatalf("Fill[%d] = %v, want %v", i, fill[i], want[i])
+		}
+	}
+
+	src := make([]complex64, n)
+	for i := range src {
+		src[i] = complex(1, float32(i%3))
+	}
+	inplace := make([]complex64, n)
+	copy(inplace, src)
+	o = mk()
+	o.MulInto(inplace, inplace) // in-place rotation is allowed
+	for i := range inplace {
+		// The two-lane unroll rounds differently from the scalar recurrence
+		// by a few float32 ulp; the re-seed bounds both identically.
+		got := complex128(inplace[i])
+		exp := complex128(src[i] * want[i])
+		if d := cmplx.Abs(got - exp); d > 1e-5 {
+			t.Fatalf("in-place MulInto[%d] = %v, want %v (Δ %g)", i, inplace[i], src[i]*want[i], d)
+		}
+	}
+}
+
+func TestOscillator32ZeroAlloc(t *testing.T) {
+	dst := make([]complex64, 4096)
+	src := make([]complex64, 4096)
+	osc := NewOscillator32(1, 0, -20e3, 1.19e8, 1/2.4e6)
+	rot := NewRotator32(1, 0, -20e3, 1/2.4e6)
+	if allocs := testing.AllocsPerRun(10, func() {
+		osc.Fill(dst)
+		osc.MulInto(dst, src)
+		rot.Fill(dst)
+		rot.MulInto(dst, src)
+	}); allocs != 0 {
+		t.Errorf("complex64 oscillator batch methods allocated %v times per run", allocs)
+	}
+}
+
+func BenchmarkOscillatorFill(b *testing.B) {
+	const n = 4096
+	b.Run("complex128", func(b *testing.B) {
+		dst := make([]complex128, n)
+		osc := NewOscillator(1, 0, -30e3, 1.19e8, 1/2.4e6)
+		b.SetBytes(n * 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			osc.Fill(dst)
+		}
+	})
+	b.Run("complex64", func(b *testing.B) {
+		dst := make([]complex64, n)
+		osc := NewOscillator32(1, 0, -30e3, 1.19e8, 1/2.4e6)
+		b.SetBytes(n * 8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			osc.Fill(dst)
+		}
+	})
+}
+
+func BenchmarkRotatorMulInto(b *testing.B) {
+	const n = 4096
+	b.Run("complex128", func(b *testing.B) {
+		dst := make([]complex128, n)
+		src := make([]complex128, n)
+		for i := range src {
+			src[i] = complex(1, 1)
+		}
+		rot := NewRotator(1, 0, -20e3, 1/2.4e6)
+		b.SetBytes(n * 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rot.MulInto(dst, src)
+		}
+	})
+	b.Run("complex64", func(b *testing.B) {
+		dst := make([]complex64, n)
+		src := make([]complex64, n)
+		for i := range src {
+			src[i] = complex(1, 1)
+		}
+		rot := NewRotator32(1, 0, -20e3, 1/2.4e6)
+		b.SetBytes(n * 8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rot.MulInto(dst, src)
+		}
+	})
+}

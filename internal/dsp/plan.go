@@ -100,6 +100,24 @@ func (p *Plan) TransformInPlace(buf []complex128) {
 	p.run(buf, p.fwd, false)
 }
 
+// TransformMany computes the forward DFT of each of the len(slab)/n
+// consecutive n-point blocks of slab in place, where n is the plan size.
+// len(slab) must be a multiple of the plan size (zero blocks is allowed).
+// One call walks K packed transforms back to back through the same
+// permutation and twiddle tables, so batch callers — the coarse-scan
+// windows of a capture, a spectrogram's frames — keep those tables hot in
+// cache across blocks instead of re-touching them from cold between
+// separate calls. Each block's result is bit-identical to TransformInPlace
+// on that block.
+func (p *Plan) TransformMany(slab []complex128) {
+	if len(slab)%p.n != 0 {
+		panic(fmt.Sprintf("dsp: TransformMany slab length %d is not a multiple of plan size %d", len(slab), p.n))
+	}
+	for off := 0; off < len(slab); off += p.n {
+		p.run(slab[off:off+p.n], p.fwd, false)
+	}
+}
+
 // Inverse computes the normalized inverse DFT of src into dst without
 // allocating, under the same length rules as Transform.
 func (p *Plan) Inverse(dst, src []complex128) {
@@ -376,8 +394,13 @@ type SpectrogramPlan struct {
 	window  []float64
 	overlap int
 	plan    *Plan
-	buf     []complex128
+	buf     []complex128 // spectrogramBatch packed frames for TransformMany
 }
+
+// spectrogramBatch is how many windowed frames Compute packs into one
+// TransformMany slab: enough to amortize the plan tables' cache refill
+// across frames without the slab outgrowing L2 at the hot sizes.
+const spectrogramBatch = 8
 
 // NewSpectrogramPlan builds a spectrogram plan for the given window function
 // and inter-frame overlap (in samples).
@@ -387,7 +410,7 @@ func NewSpectrogramPlan(window []float64, overlap int) *SpectrogramPlan {
 		window:  append([]float64(nil), window...),
 		overlap: overlap,
 		plan:    plan,
-		buf:     make([]complex128, plan.Size()),
+		buf:     make([]complex128, spectrogramBatch*plan.Size()),
 	}
 }
 
@@ -426,22 +449,32 @@ func (s *SpectrogramPlan) Compute(x []complex128, dst [][]float64) [][]float64 {
 		dst = grown
 	}
 	dst = dst[:nFrames]
-	for f := 0; f < nFrames; f++ {
-		start := f * hop
-		for i := 0; i < windowLen; i++ {
-			s.buf[i] = x[start+i] * complex(s.window[i], 0)
+	for f0 := 0; f0 < nFrames; f0 += spectrogramBatch {
+		batch := nFrames - f0
+		if batch > spectrogramBatch {
+			batch = spectrogramBatch
 		}
-		for i := windowLen; i < nfft; i++ {
-			s.buf[i] = 0
+		for b := 0; b < batch; b++ {
+			frame := s.buf[b*nfft : (b+1)*nfft]
+			start := (f0 + b) * hop
+			for i := 0; i < windowLen; i++ {
+				frame[i] = x[start+i] * complex(s.window[i], 0)
+			}
+			for i := windowLen; i < nfft; i++ {
+				frame[i] = 0
+			}
 		}
-		s.plan.TransformInPlace(s.buf)
-		if cap(dst[f]) < nfft {
-			dst[f] = make([]float64, nfft)
-		}
-		dst[f] = dst[f][:nfft]
-		for i, v := range s.buf {
-			re, im := real(v), imag(v)
-			dst[f][i] = re*re + im*im
+		s.plan.TransformMany(s.buf[:batch*nfft])
+		for b := 0; b < batch; b++ {
+			f := f0 + b
+			if cap(dst[f]) < nfft {
+				dst[f] = make([]float64, nfft)
+			}
+			dst[f] = dst[f][:nfft]
+			for i, v := range s.buf[b*nfft : (b+1)*nfft] {
+				re, im := real(v), imag(v)
+				dst[f][i] = re*re + im*im
+			}
 		}
 	}
 	return dst

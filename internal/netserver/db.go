@@ -380,13 +380,20 @@ func effJitter(o PHYObservation) float64 {
 // with ErrNoDevice: a nameless frame would fold every such device into
 // one shared record.
 func Fuse(obs []PHYObservation) (FrameVerdict, error) {
-	return fuseDetail(obs, nil)
+	return fuseDetail(obs, nil, nil)
 }
 
-// fuseDetail is Fuse with an optional per-observation outcome slice: when
-// rejected is non-nil (len(obs)), rejected[i] reports whether the fusion's
-// consistency gate excluded obs[i] — the health tracker's raw material.
-func fuseDetail(obs []PHYObservation, rejected []bool) (FrameVerdict, error) {
+// fuseDetail is Fuse with two optional slices. When rejected is non-nil
+// (len(obs)), rejected[i] reports whether the fusion's consistency gate
+// excluded obs[i] — the health tracker's raw material. When elect is
+// non-nil (len(obs)), elect[i] multiplies obs[i]'s jitter in the anchor
+// election ONLY (the health tracker's per-gateway penalty, see
+// electWeightLocked): a sick receiver stops winning the lowest-jitter
+// election — and with it the frame's PHY timestamp — by reporting an
+// optimistic jitter, while the consistency gate and the inverse-variance
+// averaging still use every copy's raw jitter, so the fused numbers are
+// unchanged unless the anchor actually moves.
+func fuseDetail(obs []PHYObservation, rejected []bool, elect []float64) (FrameVerdict, error) {
 	if len(obs) == 0 {
 		return FrameVerdict{}, ErrNoObservations
 	}
@@ -398,6 +405,12 @@ func fuseDetail(obs []PHYObservation, rejected []bool) (FrameVerdict, error) {
 		FrameID:   obs[0].FrameID,
 		Receivers: len(obs),
 	}
+	ew := func(i int) float64 {
+		if i < len(elect) {
+			return elect[i]
+		}
+		return 1
+	}
 	best := -1
 	for i, o := range obs {
 		if o.DeviceID != fv.DeviceID {
@@ -406,7 +419,7 @@ func fuseDetail(obs []PHYObservation, rejected []bool) (FrameVerdict, error) {
 		if math.IsNaN(o.FBHz) || math.IsInf(o.FBHz, 0) {
 			continue
 		}
-		if best < 0 || effJitter(o) < effJitter(obs[best]) {
+		if best < 0 || effJitter(o)*ew(i) < effJitter(obs[best])*ew(best) {
 			best = i
 		}
 	}
@@ -453,11 +466,12 @@ func fuseDetail(obs []PHYObservation, rejected []bool) (FrameVerdict, error) {
 func (s *NetworkServer) commitObs(obs []PHYObservation) (FrameVerdict, error) {
 	active, excluded := obs, []PHYObservation(nil)
 	var rejected []bool
+	var elect []float64
 	if s.health != nil {
-		active, excluded = s.health.filter(obs)
+		active, excluded, elect = s.health.filter(obs)
 		rejected = make([]bool, len(active))
 	}
-	fv, err := fuseDetail(active, rejected)
+	fv, err := fuseDetail(active, rejected, elect)
 	if err != nil {
 		return fv, err
 	}

@@ -113,10 +113,19 @@ func refArrival(obs []PHYObservation) float64 {
 	return times[(len(times)-1)/2]
 }
 
-// filter splits a frame's copies into fusion-eligible and quarantined.
+// quarantineElectWeight is the election-weight multiplier for a
+// quarantined gateway's copies on the fail-open path: large enough that a
+// quarantined receiver can never out-elect any finite healthy jitter, while
+// keeping the weight finite so the comparison stays well ordered.
+const quarantineElectWeight = 1e6
+
+// filter splits a frame's copies into fusion-eligible and quarantined, and
+// returns each active copy's anchor-election weight (aligned with active).
 // Fail open: if every copy is from a quarantined gateway, all of them stay
-// active — the frame must still be judged by somebody.
-func (h *healthTracker) filter(obs []PHYObservation) (active, excluded []PHYObservation) {
+// active — the frame must still be judged by somebody — but their election
+// weights stay quarantine-dominated, so a mixed set can never elect a
+// quarantined receiver as the frame's anchor.
+func (h *healthTracker) filter(obs []PHYObservation) (active, excluded []PHYObservation, elect []float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, o := range obs {
@@ -124,12 +133,43 @@ func (h *healthTracker) filter(obs []PHYObservation) (active, excluded []PHYObse
 			excluded = append(excluded, o)
 		} else {
 			active = append(active, o)
+			elect = append(elect, h.electWeightLocked(o.GatewayID))
 		}
 	}
 	if len(active) == 0 {
-		return obs, nil
+		elect = elect[:0]
+		for _, o := range obs {
+			elect = append(elect, h.electWeightLocked(o.GatewayID))
+		}
+		return obs, nil, elect
 	}
-	return active, excluded
+	return active, excluded, elect
+}
+
+// electWeightLocked scores one gateway's fitness to anchor a fusion: the
+// anchor provides the frame's PHY timestamp, so a receiver whose recent
+// copies keep getting rejected should not win the lowest-jitter election
+// merely by reporting an optimistic jitter. Healthy or under-observed
+// gateways weigh 1; a gateway with enough samples is penalized linearly in
+// its outlier rate (up to 5× at rate 1), and quarantined gateways (seen
+// here only on the fail-open path) carry the quarantine multiplier on top.
+// Caller holds h.mu.
+func (h *healthTracker) electWeightLocked(gatewayID string) float64 {
+	g := h.gws[gatewayID]
+	if g == nil || g.n < h.cfg.MinSamples {
+		return 1
+	}
+	rejects := 0
+	for i := 0; i < g.n; i++ {
+		if g.rejected[i] {
+			rejects++
+		}
+	}
+	w := 1 + 4*float64(rejects)/float64(g.n)
+	if g.quarantined {
+		w *= quarantineElectWeight
+	}
+	return w
 }
 
 // observe feeds one committed frame's per-receiver outcomes back into the

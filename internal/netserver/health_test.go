@@ -163,3 +163,89 @@ func TestHealthDisabledIsTransparent(t *testing.T) {
 		t.Fatalf("GatewaysQuarantined = %d, want 0", st.GatewaysQuarantined)
 	}
 }
+
+// TestHealthFilterElectionWeights unit-tests the weights filter hands the
+// fusion's anchor election: 1 for clean or under-observed gateways,
+// 1 + 4·outlierRate for flaky ones, and quarantine-dominated on the
+// fail-open path.
+func TestHealthFilterElectionWeights(t *testing.T) {
+	h := newHealthTracker(HealthConfig{Enabled: true, Window: 8, MinSamples: 4})
+	h.mu.Lock()
+	for i := 0; i < 8; i++ {
+		h.sample("ga", false, 0)    // clean
+		h.sample("gx", i%2 == 1, 0) // flaky: rejection rate 0.5
+		h.sample("gq", true, 0)     // hopeless: quarantined after MinSamples
+	}
+	h.mu.Unlock()
+
+	active, excluded, elect := h.filter([]PHYObservation{
+		{GatewayID: "ga"}, {GatewayID: "gx"}, {GatewayID: "gq"}, {GatewayID: "new"},
+	})
+	if len(active) != 3 || len(excluded) != 1 || excluded[0].GatewayID != "gq" {
+		t.Fatalf("filter split: active %d, excluded %v", len(active), excluded)
+	}
+	if len(elect) != len(active) {
+		t.Fatalf("elect len %d, active len %d", len(elect), len(active))
+	}
+	if elect[0] != 1 || elect[2] != 1 {
+		t.Errorf("clean/under-observed weights = %v/%v, want 1/1", elect[0], elect[2])
+	}
+	if elect[1] != 3 { // 1 + 4·0.5
+		t.Errorf("flaky gateway weight = %v, want 3", elect[1])
+	}
+
+	// Fail open: all copies quarantined stay active, but their election
+	// weights keep the quarantine stain.
+	active, excluded, elect = h.filter([]PHYObservation{{GatewayID: "gq"}})
+	if len(active) != 1 || excluded != nil {
+		t.Fatalf("fail-open split: active %d, excluded %v", len(active), excluded)
+	}
+	if elect[0] < quarantineElectWeight {
+		t.Errorf("fail-open weight = %v, want >= %v", elect[0], quarantineElectWeight)
+	}
+}
+
+// TestHealthElectionPenalizesOutlierProneAnchor drives the weighting end to
+// end: a gateway with a 50% rejection rate — too flaky to trust, not flaky
+// enough to quarantine — reports the frame's lowest jitter, and must still
+// lose the anchor election (and with it the frame's PHY timestamp) to a
+// clean receiver.
+func TestHealthElectionPenalizesOutlierProneAnchor(t *testing.T) {
+	s := healthServer(t)
+	for i := 0; i < 8; i++ {
+		bad := 0.0
+		if i%2 == 1 {
+			bad = 90000
+		}
+		if _, err := s.CheckFrame(frame3(i, bad, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.QuarantinedGateways(); len(got) != 0 {
+		t.Fatalf("setup: gx should be flaky but not quarantined, got %v", got)
+	}
+	obs := []PHYObservation{
+		{GatewayID: "ga", DeviceID: "n", FrameID: "anchor", FBHz: -22010, JitterHz: 40, ArrivalTime: 50},
+		{GatewayID: "gb", DeviceID: "n", FrameID: "anchor", FBHz: -21990, JitterHz: 40, ArrivalTime: 50},
+		{GatewayID: "gx", DeviceID: "n", FrameID: "anchor", FBHz: -22000, JitterHz: 30, ArrivalTime: 50.04},
+	}
+	// Control: raw fusion (no health signal) hands gx the anchor on its
+	// optimistic jitter alone.
+	raw, err := Fuse(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.GatewayID != "gx" {
+		t.Fatalf("control: raw fusion anchor = %q, want gx", raw.GatewayID)
+	}
+	fv, err := s.CheckFrame(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.GatewayID == "gx" {
+		t.Fatalf("outlier-prone gateway won the weighted anchor election: %+v", fv)
+	}
+	if fv.ArrivalTime != 50 {
+		t.Fatalf("fused timestamp %v came from the flaky clock, want 50", fv.ArrivalTime)
+	}
+}

@@ -461,10 +461,11 @@ func (s *NetworkServer) reconcileLocked(cf *committedFrame, o PHYObservation) {
 	mergeCopy(&cf.obs, o)
 	sort.Slice(cf.obs, func(i, j int) bool { return cf.obs[i].GatewayID < cf.obs[j].GatewayID })
 	active, excluded := cf.obs, []PHYObservation(nil)
+	var elect []float64
 	if s.health != nil {
-		active, excluded = s.health.filter(cf.obs)
+		active, excluded, elect = s.health.filter(cf.obs)
 	}
-	fv, err := fuseDetail(active, nil)
+	fv, err := fuseDetail(active, nil, elect)
 	if err != nil {
 		return
 	}

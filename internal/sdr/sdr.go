@@ -37,8 +37,13 @@ type Receiver struct {
 	// NoiseFigurePowerdBm adds receiver-chain noise at the given power
 	// (dBm, sample-power convention); zero disables it.
 	NoiseFigurePowerdBm float64
-	// Rand supplies the per-capture random phase θRx and receiver noise.
+	// Rand supplies the per-capture random phase θRx and the seed for the
+	// per-capture Gaussian stream below.
 	Rand *rand.Rand
+	// noise generates the receiver's Gaussian draws (noise-figure samples,
+	// ADC dither) on a fast buffered ziggurat, reseeded from Rand once per
+	// capture so captures stay individually deterministic.
+	noise dsp.GaussianSource
 }
 
 // Capture is an SDR I/Q capture with timing metadata.
@@ -75,23 +80,41 @@ func (c *Capture) Release() {
 // rotation runs on a first-order dsp.Rotator (one complex multiply per
 // sample) instead of a per-sample math.Sincos.
 func (r *Receiver) Downconvert(in *radio.Capture) (*Capture, error) {
+	out := new(Capture)
+	if err := r.DownconvertInto(out, in); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DownconvertInto is Downconvert writing into a caller-owned Capture header,
+// so a pipeline reusing one scratch Capture per worker runs the whole
+// downconvert path without allocating. Any IQ buffer already in out is
+// overwritten without being released — Release it first if it was pooled.
+func (r *Receiver) DownconvertInto(out *Capture, in *radio.Capture) error {
 	if r.Rand == nil {
-		return nil, ErrNilRand
+		return ErrNilRand
 	}
 	theta := r.Rand.Float64() * 2 * math.Pi
-	out := bufpool.GetUninit(len(in.IQ))
+	// All Gaussian draws for this capture (noise figure, dither) come from
+	// the fast source under a single seed drawn from Rand, so the capture is
+	// reproducible from Rand's state at entry.
+	r.noise.Seed(r.Rand.Int63())
+	buf := bufpool.GetUninit(len(in.IQ))
 	rot := dsp.NewRotator(1, -theta, -r.FrequencyBias, 1/in.Rate)
-	rot.MulInto(out, in.IQ)
+	rot.MulInto(buf, in.IQ)
 	if r.NoiseFigurePowerdBm != 0 {
 		sigma := math.Sqrt(radio.DBmToPower(r.NoiseFigurePowerdBm) / 2)
-		for i := range out {
-			out[i] += complex(r.Rand.NormFloat64()*sigma, r.Rand.NormFloat64()*sigma)
+		for i := range buf {
+			re, im := r.noise.NormPair()
+			buf[i] += complex(re*sigma, im*sigma)
 		}
 	}
 	if r.ADCBits > 0 {
-		quantize(out, r.ADCBits, r.Rand)
+		quantize(buf, r.ADCBits, &r.noise)
 	}
-	return &Capture{IQ: out, Rate: in.Rate, Start: in.Start, PhaseRx: theta}, nil
+	out.IQ, out.Rate, out.Start, out.PhaseRx = buf, in.Rate, in.Start, theta
+	return nil
 }
 
 // quantize applies an n-bit midrise quantizer with AGC: the full scale is
@@ -102,7 +125,7 @@ func (r *Receiver) Downconvert(in *radio.Capture) (*Capture, error) {
 // quiet capture regions Gaussian instead of collapsing to exact zeros
 // (which would make changepoint statistics degenerate and bias the
 // PHY-timestamping detectors).
-func quantize(x []complex128, bits int, rng *rand.Rand) {
+func quantize(x []complex128, bits int, gauss *dsp.GaussianSource) {
 	var pw float64
 	for _, v := range x {
 		pw += real(v)*real(v) + imag(v)*imag(v)
@@ -120,8 +143,8 @@ func quantize(x []complex128, bits int, rng *rand.Rand) {
 		// Floor(x+0.5) rounds half-up instead of math.Round's half-away —
 		// indistinguishable under the continuous dither, and it compiles to
 		// a single rounding instruction where math.Round does not.
-		re := math.Floor(real(v)*scale + rng.NormFloat64() + 0.5)
-		im := math.Floor(imag(v)*scale + rng.NormFloat64() + 0.5)
+		re := math.Floor(real(v)*scale + gauss.Norm() + 0.5)
+		im := math.Floor(imag(v)*scale + gauss.Norm() + 0.5)
 		if re > hi {
 			re = hi
 		} else if re < -levels {

@@ -1,0 +1,92 @@
+// Package stattest provides the shared parity-of-statistics gate for
+// Gaussian noise streams. The fast ziggurat source (dsp.GaussianSource)
+// deliberately draws a different sequence than math/rand's NormFloat64, so
+// call sites that switched over cannot pin exact values; instead every
+// consumer asserts the same distributional bounds — mean, variance, excess
+// kurtosis, and spectral flatness — tight enough to catch a broken sampler
+// or accidental coloring, loose enough to pass any correct N(0,1) stream.
+package stattest
+
+import (
+	"math"
+	"testing"
+
+	"softlora/internal/dsp"
+)
+
+// Moments returns the sample mean, variance, and excess kurtosis of x.
+func Moments(x []float64) (mean, variance, kurtosis float64) {
+	n := float64(len(x))
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	var m2, m4 float64
+	for _, v := range x {
+		d := v - mean
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	return mean, m2, m4/(m2*m2) - 3
+}
+
+// SpectralFlatness averages periodograms over consecutive segments of the
+// given power-of-two length and returns the geometric-to-arithmetic mean
+// ratio of the averaged bins (DC excluded). A white stream scores near 1;
+// low-pass or correlated streams drop sharply.
+func SpectralFlatness(x []float64, segment int) float64 {
+	plan := dsp.PlanFor(segment)
+	buf := make([]complex128, segment)
+	psd := make([]float64, segment/2)
+	segs := 0
+	for off := 0; off+segment <= len(x); off += segment {
+		for i := 0; i < segment; i++ {
+			buf[i] = complex(x[off+i], 0)
+		}
+		plan.TransformInPlace(buf)
+		for k := 1; k <= segment/2; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			psd[k-1] += re*re + im*im
+		}
+		segs++
+	}
+	if segs == 0 {
+		return 0
+	}
+	var logSum, sum float64
+	for _, p := range psd {
+		p /= float64(segs)
+		logSum += math.Log(p)
+		sum += p
+	}
+	n := float64(len(psd))
+	return math.Exp(logSum/n) / (sum / n)
+}
+
+// CheckGaussian asserts that x looks like an i.i.d. N(0, sigma^2) stream:
+// moment bounds at ~6 standard errors for the sample size, plus a spectral
+// flatness floor. Use at least ~2^18 samples for the bounds to be meaningful.
+func CheckGaussian(t testing.TB, x []float64, sigma float64) {
+	t.Helper()
+	if len(x) < 1<<14 {
+		t.Fatalf("stattest: %d samples is too few for the Gaussian gate", len(x))
+	}
+	n := float64(len(x))
+	mean, variance, kurt := Moments(x)
+	if tol := 6 * sigma / math.Sqrt(n); math.Abs(mean) > tol {
+		t.Errorf("mean = %.6g, want |mean| <= %.3g", mean, tol)
+	}
+	v0 := sigma * sigma
+	if tol := 6 * v0 * math.Sqrt(2/n); math.Abs(variance-v0) > tol {
+		t.Errorf("variance = %.6g, want within %.3g of %.6g", variance, tol, v0)
+	}
+	if tol := 6 * math.Sqrt(24/n); math.Abs(kurt) > tol {
+		t.Errorf("excess kurtosis = %.6g, want |k| <= %.3g", kurt, tol)
+	}
+	if sf := SpectralFlatness(x, 1024); sf < 0.95 {
+		t.Errorf("spectral flatness = %.4f, want >= 0.95 (stream looks colored)", sf)
+	}
+}

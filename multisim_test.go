@@ -94,7 +94,7 @@ func TestMultiGatewayGenuineUplinkFusesAllReceivers(t *testing.T) {
 }
 
 func TestMultiGatewayReplayFlaggedExactlyOnce(t *testing.T) {
-	m, dev, pos := multiFixture(t, 2, 201)
+	m, dev, pos := multiFixture(t, 2, 202)
 	p := m.Sites[0].Gateway.Params()
 
 	// A genuine frame first.

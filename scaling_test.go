@@ -1,0 +1,58 @@
+package softlora
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestGatewayBatchScalingFloor asserts the multi-core throughput contract
+// behind ProcessBatch: on a machine with at least four cores, the 8-uplink
+// batch at Workers = 4 must run at least 2.5× faster than at Workers = 1.
+// The per-worker pipelines share nothing but the read-only plans and the
+// commit stage, so anything below that floor means a serialization bug
+// (shared scratch, lock contention, a worker pool that stopped fanning
+// out) — exactly the regressions a single-core test run cannot see.
+//
+// Wall-clock assertions are inherently machine-sensitive, so the test is
+// opt-in: it runs only with SOFTLORA_SCALING_TEST=1 (the CI scaling job
+// sets it on a multi-core runner) and skips on fewer than four CPUs.
+func TestGatewayBatchScalingFloor(t *testing.T) {
+	if os.Getenv("SOFTLORA_SCALING_TEST") == "" {
+		t.Skip("set SOFTLORA_SCALING_TEST=1 to run the multi-core scaling floor")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("need at least 4 CPUs for the 4-worker floor, have %d", n)
+	}
+	timeBatch := func(workers int) time.Duration {
+		gw, jobs := batchFixture(t, workers, 8)
+		ctx := context.Background()
+		check := func(rs []BatchResult) {
+			for i, r := range rs {
+				if r.Err != nil {
+					t.Fatalf("workers=%d uplink %d: %v", workers, i, r.Err)
+				}
+			}
+		}
+		check(gw.ProcessBatch(ctx, jobs)) // warm the per-worker scratch
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			check(gw.ProcessBatch(ctx, jobs))
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	t1 := timeBatch(1)
+	t4 := timeBatch(4)
+	speedup := float64(t1) / float64(t4)
+	t.Logf("workers-1 %v, workers-4 %v, speedup %.2fx", t1, t4, speedup)
+	if speedup < 2.5 {
+		t.Errorf("4-worker batch only %.2fx faster than 1-worker (%v vs %v), floor is 2.5x",
+			speedup, t4, t1)
+	}
+}

@@ -12,7 +12,7 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkFBDechirpFFT(Exhaustive)?$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$|BenchmarkChirpSynthesize|BenchmarkSDRDownconvert|BenchmarkNetworkServerCheck(Windowed)?$|BenchmarkSnapshotRoundTrip$' \
+	-bench 'BenchmarkFFTPlan|BenchmarkDechirpOnset$|BenchmarkGatewayBatchThroughput|BenchmarkGatewayBatchScaling|BenchmarkFBDechirpFFT(Exhaustive)?$|BenchmarkFBLinearRegression$|BenchmarkOnsetAIC$|BenchmarkChirpSynthesize|BenchmarkSDRDownconvert|BenchmarkNetworkServerCheck(Windowed)?$|BenchmarkSnapshotRoundTrip$' \
 	-benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$TMP"
 
 # The B/op and allocs/op columns only exist under -benchmem; locate them by
@@ -39,9 +39,14 @@ rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
 	rev="$rev-dirty"
 fi
+# Record the core-count context: ns/op from different GOMAXPROCS (or
+# different machines' core counts) are not comparable, so bench_check.sh
+# only diffs snapshots whose gomaxprocs match.
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 {
-	printf '{"rev": "%s", "date": "%s", "benchtime": "%s", "results": ' \
-		"$rev" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${BENCHTIME:-1s}"
+	printf '{"rev": "%s", "date": "%s", "benchtime": "%s", "gomaxprocs": %s, "cpus": %s, "results": ' \
+		"$rev" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${BENCHTIME:-1s}" \
+		"${GOMAXPROCS:-$cpus}" "$cpus"
 	tr '\n' ' ' < "$OUT" | sed 's/ \{2,\}/ /g; s/ $//'
 	printf '}\n'
 } >> "$HIST"

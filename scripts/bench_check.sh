@@ -29,6 +29,7 @@ tail -n 2 "$HIST" | awk -v thresh="$THRESH" '
 function guarded(name) {
 	return name == "BenchmarkDechirpOnset" ||
 	       name == "BenchmarkGatewayBatchThroughput/workers-1" ||
+	       name == "BenchmarkGatewayBatchScaling/gomaxprocs-1" ||
 	       name == "BenchmarkFBDechirpFFT" ||
 	       name == "BenchmarkNetworkServerCheck" ||
 	       name == "BenchmarkNetworkServerCheckWindowed" ||
@@ -38,6 +39,9 @@ function guarded(name) {
 {
 	row++
 	line = $0
+	if (match(line, /"gomaxprocs": [0-9]+/)) {
+		gmp[row] = substr(line, RSTART + 14, RLENGTH - 14) + 0
+	}
 	while (match(line, /"Benchmark[^"]*": \{"iters": [0-9]+, "ns_per_op": [0-9.eE+-]+/)) {
 		entry = substr(line, RSTART, RLENGTH)
 		line = substr(line, RSTART + RLENGTH)
@@ -51,6 +55,13 @@ function guarded(name) {
 }
 END {
 	if (row < 2) { print "bench_check: malformed history"; exit 1 }
+	# ns/op measured at different core counts are not comparable (the
+	# worker-pool benches scale with GOMAXPROCS); only diff matching
+	# snapshots. Entries predating the field count as matching.
+	if (gmp[1] != "" && gmp[2] != "" && gmp[1] != gmp[2]) {
+		printf "bench_check: snapshots from different core counts (gomaxprocs %d vs %d); skipping\n", gmp[1], gmp[2]
+		exit 0
+	}
 	bad = 0
 	checked = 0
 	for (name in names) {

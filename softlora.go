@@ -141,6 +141,13 @@ type Config struct {
 	// magnitude slower, intended for parity debugging only. Only
 	// meaningful with OnsetDechirp.
 	OnsetExhaustive bool
+	// OnsetFloat64 forces the AIC detector's coarse/mid decision stages
+	// onto the float64 reference lane instead of the default float32 fast
+	// lane. The final refinement is float64 either way, so verdicts and
+	// database bytes are identical across the toggle (the determinism suite
+	// pins it); the knob exists for parity debugging. Only meaningful with
+	// OnsetAIC.
+	OnsetFloat64 bool
 	// FB selects the bias estimator (FBLinearRegression by default;
 	// FBLeastSquares is the low-SNR option at higher CPU cost).
 	FB FBMethod
@@ -180,9 +187,32 @@ type pipeline struct {
 
 	// rng is the pipeline's reusable batch random source: ProcessBatch
 	// reseeds it per uplink instead of allocating a fresh generator (a
-	// ~5 KB rngSource each) for every job.
+	// ~5 KB rngSource each) for every job. It runs on fastSeedSource so the
+	// per-uplink reseed is one store, not a ~10 µs table rebuild.
 	rng *rand.Rand
+	// sdrCap is the worker's reusable down-converted capture header; its IQ
+	// buffer cycles through the capture pool each uplink.
+	sdrCap sdr.Capture
 }
+
+// fastSeedSource is a rand.Source64 on a splitmix64 counter stream.
+// rand.NewSource's generator rebuilds a ~5 KB lagged-Fibonacci table on
+// every Seed; ProcessBatch reseeds per uplink, which made seeding alone
+// ~4% of batch time. A counter + finalizer mix seeds in O(1) with more
+// than enough statistical quality for phase draws and noise seeding.
+type fastSeedSource struct{ state uint64 }
+
+func (s *fastSeedSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *fastSeedSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *fastSeedSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // setRand points the pipeline's stochastic stages (SDR phase draw,
 // least-squares optimizer) at the given source.
@@ -209,6 +239,7 @@ type Gateway struct {
 	onsetDecim int          // dechirp detector coarse decimation (Config knob)
 	onsetComb  int          // dechirp detector refinement comb half-width
 	onsetExh   bool         // dechirp detector brute-force reference mode
+	onsetF64   bool         // AIC detector float64 reference lane (Config knob)
 	recvProto  sdr.Receiver // per-worker receivers are stamped from this
 	workers    int
 	pipe       *pipeline // serial-path pipeline (ProcessUplink)
@@ -284,6 +315,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		onsetDecim: cfg.OnsetCoarseDecimation,
 		onsetComb:  cfg.OnsetRefineCombBins,
 		onsetExh:   cfg.OnsetExhaustive,
+		onsetF64:   cfg.OnsetFloat64,
 		workers:    workers,
 		gatewayID:  gatewayID,
 		rand:       cfg.Rand,
@@ -317,12 +349,12 @@ func NewGateway(cfg Config) (*Gateway, error) {
 // The pipeline's random source is unset; callers must setRand before use
 // (batch workers reseed and install the pipeline's own rng per uplink).
 func (g *Gateway) newPipeline() *pipeline {
-	p := &pipeline{rng: rand.New(rand.NewSource(0))}
+	p := &pipeline{rng: rand.New(&fastSeedSource{})}
 	recv := g.recvProto
 	p.receiver = &recv
 	switch g.onsetMeth {
 	case "", OnsetAIC:
-		p.onset = &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
+		p.onset = &core.AICDetector{LowPassCutoffHz: core.DefaultPrefilterCutoffHz, Float64: g.onsetF64}
 	case OnsetEnvelope:
 		p.onset = &core.EnvelopeDetector{SmoothLen: 8, LowPassCutoffHz: core.DefaultPrefilterCutoffHz}
 	case OnsetDechirp:
@@ -402,8 +434,8 @@ func (g *Gateway) ProcessUplink(cap *radio.Capture, claimedID string, records []
 // Batch callers hand slots of a per-batch report slab so the steady state
 // allocates nothing per uplink.
 func (g *Gateway) phyStage(p *pipeline, capt *radio.Capture, report *UplinkReport) error {
-	sdrCap, err := p.receiver.Downconvert(capt)
-	if err != nil {
+	sdrCap := &p.sdrCap
+	if err := p.receiver.DownconvertInto(sdrCap, capt); err != nil {
 		return fmt.Errorf("softlora: %w", err)
 	}
 	// The down-converted capture is consumed entirely within this call;
