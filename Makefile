@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race determinism faults bench
+.PHONY: ci fmt vet build test race determinism faults bench lint
 
-# ci is the gate every PR must pass: formatting, static checks, build, the
-# full test suite, the race detector over the concurrent paths (batch
-# pipeline + network server), the batch-determinism contract, and the
+# ci is the gate every PR must pass: formatting, static checks (go vet +
+# the repo's own contract analyzers), build, the full test suite, the race
+# detector over the concurrent paths (batch pipeline + network server +
+# shared dsp scratch), the batch-determinism contract, and the
 # crash-consistency fault-injection suite.
-ci: fmt vet build test race determinism faults
+ci: fmt vet lint build test race determinism faults
 
 fmt:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -14,6 +15,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the softlora contract analyzers (internal/lint): determinism,
+# hotpath, complex64 widening, bufpool ownership, lock/shard discipline.
+# See "Static contracts" in ROADMAP.md for the directives they understand.
+lint:
+	$(GO) run ./cmd/softlora-lint ./...
 
 build:
 	$(GO) build ./...
@@ -24,6 +31,7 @@ test:
 race:
 	$(GO) test -race -run Batch .
 	$(GO) test -race ./internal/netserver
+	$(GO) test -race -run 'Concurrent|Parallel|Race' ./internal/dsp
 
 # determinism re-runs the ordered-commit contracts explicitly: verdicts and
 # serialized bias-database bytes must be identical for every worker count

@@ -1,0 +1,113 @@
+// Command softlora-lint is the multichecker for the repo's static
+// contracts (see internal/lint): determinism, hotpath, complexlane,
+// poolcheck and lockshard run over every matched package and any finding
+// fails the run.
+//
+// Usage:
+//
+//	softlora-lint [-only name,name] [-list] [packages...]
+//
+// Packages default to ./... in the current directory. Diagnostics print
+// as path:line:col: message (analyzer), sorted by position, and the exit
+// status is 1 when any were reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"softlora/internal/lint"
+	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/load"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "softlora-lint: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	pkgs, err := load.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "softlora-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		msg       string
+		analyzer  string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				file := p.Filename
+				if rel, err := filepath.Rel(".", file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				findings = append(findings, finding{file, p.Line, p.Column, d.Message, name})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "softlora-lint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "softlora-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -50,4 +50,6 @@
 // and netserver.NetworkServer.CheckBatch sorts frames by UplinkIndex —
 // otherwise verdicts and the learned database depend on goroutine
 // scheduling.
+//
+//softlora:deterministic
 package core

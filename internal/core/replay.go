@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -148,6 +149,8 @@ func (rec *BiasRecord) Fold(fbHz, alpha float64, enrollFrames int) {
 // silently disable detection for the device. It is exported so every bias
 // database backend (the in-process ReplayDetector, the network server's
 // sharded store) applies the identical policy under its own locking.
+//
+//softlora:hotpath
 func CheckRecord(rec *BiasRecord, fbHz, toleranceHz, devMultiplier, alpha float64, enrollFrames int) (Verdict, *BiasRecord) {
 	if math.IsNaN(fbHz) || math.IsInf(fbHz, 0) {
 		return VerdictReplay, rec
@@ -200,7 +203,16 @@ func (rec *BiasRecord) Validate() error {
 // network server's loader gate on it so a hostile database (e.g. a NaN Dev
 // smuggled into a record) cannot disable detection for a device.
 func ValidateDatabase(devices map[string]*BiasRecord) error {
-	for id, rec := range devices {
+	// Validate in sorted-ID order so a database with several bad records
+	// reports the same one every run.
+	ids := make([]string, 0, len(devices))
+	//softlora:nondeterministic-ok keys are sorted before use
+	for id := range devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := devices[id]
 		if rec == nil {
 			return fmt.Errorf("%w: device %q: null record", ErrBadDatabase, id)
 		}

@@ -113,4 +113,6 @@
 // complex64 arithmetic through float64 conversions, which would cost more
 // than complex128. Unlike the float64 oscillators they are NOT exact-by-
 // contract: keep them off any path that feeds the bias database.
+//
+//softlora:float32-lanes
 package dsp

@@ -95,6 +95,8 @@ func (o *Oscillator32) Next() complex64 {
 }
 
 // Fill writes the next len(dst) samples into dst.
+//
+//softlora:hotpath
 func (o *Oscillator32) Fill(dst []complex64) {
 	for len(dst) > 0 {
 		n := o.chunk(len(dst))
@@ -118,6 +120,8 @@ func (o *Oscillator32) Fill(dst []complex64) {
 // MulInto writes dst[i] = src[i] · s[i] for the next len(src) samples.
 // dst must be at least as long as src; dst and src may be the same slice
 // (in-place rotation).
+//
+//softlora:hotpath
 func (o *Oscillator32) MulInto(dst, src []complex64) {
 	for len(src) > 0 {
 		n := o.chunk(len(src))

@@ -95,6 +95,8 @@ func (p *Plan) Transform(dst, src []complex128) {
 
 // TransformInPlace computes the forward DFT of buf in place. len(buf) must
 // equal the plan size.
+//
+//softlora:hotpath
 func (p *Plan) TransformInPlace(buf []complex128) {
 	p.checkLen(buf)
 	p.run(buf, p.fwd, false)
@@ -109,8 +111,11 @@ func (p *Plan) TransformInPlace(buf []complex128) {
 // cache across blocks instead of re-touching them from cold between
 // separate calls. Each block's result is bit-identical to TransformInPlace
 // on that block.
+//
+//softlora:hotpath
 func (p *Plan) TransformMany(slab []complex128) {
 	if len(slab)%p.n != 0 {
+		//softlora:hotpath-ok panic path, cold by definition
 		panic(fmt.Sprintf("dsp: TransformMany slab length %d is not a multiple of plan size %d", len(slab), p.n))
 	}
 	for off := 0; off < len(slab); off += p.n {
@@ -167,6 +172,8 @@ func (p *Plan) normalize(buf []complex128) {
 // stops rounding error from accumulating across a stage. Both permutations
 // (bit reversal and base-4 digit reversal) are involutions, so the in-place
 // swap loop needs no scratch.
+//
+//softlora:hotpath
 func (p *Plan) run(x []complex128, tw []complex128, inverse bool) {
 	n := p.n
 	if n <= 1 {

@@ -1,0 +1,50 @@
+// Package analysis is the minimal analyzer framework softlora-lint is
+// built on. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// analyzers read like standard vet passes and can migrate to the real
+// framework wholesale if the x/tools dependency ever lands. The repo
+// builds offline against the baked-in toolchain only, so the framework is
+// pure standard library: packages are loaded by internal/lint/load from
+// `go list -export` metadata and type-checked with go/types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a contract description, and a
+// Run function invoked once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the contract the analyzer enforces, shown by -list.
+	Doc string
+	// Run performs the check on one package, reporting findings through
+	// pass.Report. The result value is unused by the driver (kept for
+	// x/tools API symmetry).
+	Run func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,89 @@
+// Package complexlane implements the softlora-lint analyzer enforcing the
+// Oscillator32 contract of internal/dsp/doc.go: float32 lanes must spell
+// complex multiplies and adds on explicit float32 components, never
+// through builtin complex64 arithmetic — gc lowers builtin complex64
+// operations through float64 with a CVTSS2SD/CVTSD2SS pair around every
+// operand, which PR 8 measured at 3x slower than the component form.
+//
+// Scope: every package carrying a //softlora:float32-lanes package
+// directive (internal/dsp). Constructing values with complex(re, im),
+// reading real()/imag(), comparisons and conversions are all fine; only
+// the arithmetic operators widen.
+//
+// Flagged:
+//   - binary +, -, *, / where the result type is complex64
+//   - compound assignments +=, -=, *=, /= on a complex64 operand
+//
+// An intentional use (cold path, test helper) is silenced with
+// //softlora:complex64-ok <why> on the line or the line above.
+package complexlane
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/directive"
+)
+
+// Analyzer is the complex64-widening check.
+var Analyzer = &analysis.Analyzer{
+	Name: "complexlane",
+	Doc:  "flag builtin complex64 arithmetic in float32-lane packages (gc widens it through float64)",
+	Run:  run,
+}
+
+// EscapeHatch silences one diagnostic when placed on or above the line.
+const EscapeHatch = "complex64-ok"
+
+var arith = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+}
+
+var arithAssign = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD, token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL, token.QUO_ASSIGN: token.QUO,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ix := directive.NewIndex(pass.Fset, pass.Files)
+	if !ix.PackageHas("float32-lanes") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !arith[n.Op] {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[ast.Expr(n)]
+				if !ok || tv.Value != nil { // constant-folded: no runtime arithmetic
+					return true
+				}
+				if isComplex64(tv.Type) && !ix.OKAt(n.Pos(), EscapeHatch) {
+					pass.Reportf(n.OpPos, "builtin complex64 %q widens through float64: spell it on float32 components (see dsp/doc.go, Oscillator32 contract)", n.Op)
+				}
+			case *ast.AssignStmt:
+				op, ok := arithAssign[n.Tok]
+				if !ok || len(n.Lhs) != 1 {
+					return true
+				}
+				if isComplex64(pass.TypesInfo.TypeOf(n.Lhs[0])) && !ix.OKAt(n.Pos(), EscapeHatch) {
+					pass.Reportf(n.TokPos, "builtin complex64 %q widens through float64: spell it on float32 components (see dsp/doc.go, Oscillator32 contract)", op)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isComplex64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Complex64
+}

@@ -1,0 +1,12 @@
+package complexlane_test
+
+import (
+	"testing"
+
+	"softlora/internal/lint/analysistest"
+	"softlora/internal/lint/complexlane"
+)
+
+func TestComplexLane(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), complexlane.Analyzer, "a", "b")
+}

@@ -1,0 +1,34 @@
+package a
+
+func mul(a, b complex64) complex64 {
+	bad := a * b  // want `builtin complex64 "\*" widens through float64`
+	bad += a      // want `builtin complex64 "\+" widens through float64`
+	sum := a + b  // want `builtin complex64 "\+" widens through float64`
+	diff := a - b // want `builtin complex64 "-" widens through float64`
+	quot := a / b // want `builtin complex64 "/" widens through float64`
+	_ = sum
+	_ = diff
+	_ = quot
+	return bad
+}
+
+// good spells the multiply on float32 components — the Oscillator32 idiom.
+func good(a, b complex64) complex64 {
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	return complex(ar*br-ai*bi, ar*bi+ai*br)
+}
+
+// wide is complex128: full-precision arithmetic is not the lane contract's
+// business.
+func wide(a, b complex128) complex128 {
+	return a * b
+}
+
+// folded is constant arithmetic: evaluated at compile time, no widening.
+const folded = complex64(2+1i) * complex64(3+2i)
+
+func hatched(a, b complex64) complex64 {
+	//softlora:complex64-ok cold path, fixture exercises the hatch
+	return a * b
+}

@@ -1,0 +1,5 @@
+// Package a is a float32-lane fixture: the package directive below opts
+// every file in, exercising the complexlane analyzer across files.
+//
+//softlora:float32-lanes
+package a

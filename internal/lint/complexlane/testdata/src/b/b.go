@@ -1,0 +1,7 @@
+// Package b has no //softlora:float32-lanes directive: builtin complex64
+// arithmetic is out of the analyzer's scope here.
+package b
+
+func mul(a, b complex64) complex64 {
+	return a * b
+}

@@ -1,0 +1,126 @@
+// Package determinism implements the softlora-lint analyzer enforcing the
+// repo's reproducibility contract: verdict-commit and serialization code
+// must be a pure function of its inputs. Bit-identical verdicts and
+// database bytes across worker counts, float lanes and delivery schedules
+// (the `make determinism` gates) cannot survive wall-clock reads, global
+// random state, or map iteration order leaking into committed results.
+//
+// Scope: every function of a package that carries a
+// //softlora:deterministic package directive (internal/core and
+// internal/netserver), plus any individual function annotated
+// //softlora:deterministic elsewhere.
+//
+// Flagged inside scoped functions:
+//   - time.Now / time.Since / time.Until — wall-clock reads
+//   - math/rand and math/rand/v2 package-level draws (the process-global
+//     generator); explicitly seeded *rand.Rand values are fine
+//   - range over a map — iteration order is randomized per run
+//
+// A site that is deliberately order- or clock-insensitive (a map range
+// that fills another map or feeds a sorting step, a retry-backoff clock
+// that never touches verdicts) is silenced with
+// //softlora:nondeterministic-ok <why> on the line or the line above.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/directive"
+)
+
+// Analyzer is the determinism contract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, global-rand and map-iteration nondeterminism in deterministic (verdict/serialization) code",
+	Run:  run,
+}
+
+// EscapeHatch silences one diagnostic when placed on or above the line.
+const EscapeHatch = "nondeterministic-ok"
+
+// globalRand is the set of math/rand (and v2) package-level functions that
+// draw from the shared process-global generator.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	ix := directive.NewIndex(pass.Fset, pass.Files)
+	pkgScoped := ix.PackageHas("deterministic")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pkgScoped && !directive.FuncHas(fn, "deterministic") {
+				continue
+			}
+			checkFunc(pass, ix, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, ix *directive.Index, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeFunc(pass.TypesInfo, n)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallClock[obj.Name()] && !ix.OKAt(n.Pos(), EscapeHatch) {
+					pass.Reportf(n.Pos(), "call to time.%s in deterministic code: commits must be pure functions of their inputs", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRand[obj.Name()] && !ix.OKAt(n.Pos(), EscapeHatch) {
+					pass.Reportf(n.Pos(), "call to global %s.%s in deterministic code: use an explicitly seeded generator", obj.Pkg().Name(), obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap && !ix.OKAt(n.Pos(), EscapeHatch) {
+				pass.Reportf(n.Pos(), "range over map in deterministic code: iteration order is nondeterministic (sorted-ID encoding is the rule)")
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's target to a package-level *types.Func (nil
+// for builtins, method values through interfaces, and local closures).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil // a method (e.g. on a seeded *rand.Rand), not a package function
+	}
+	return fn
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"softlora/internal/lint/analysistest"
+	"softlora/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a", "b")
+}

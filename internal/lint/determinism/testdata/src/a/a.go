@@ -1,0 +1,37 @@
+// Package a exercises the determinism analyzer's package-directive scope.
+//
+//softlora:deterministic
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func commit(m map[string]int) int {
+	t := time.Now() // want `call to time\.Now in deterministic code`
+	_ = t
+	d := time.Since(time.Time{}) // want `call to time\.Since in deterministic code`
+	_ = d
+	x := rand.Int()     // want `call to global rand\.Int in deterministic code`
+	f := rand.Float64() // want `call to global rand\.Float64 in deterministic code`
+	_ = f
+	for k, v := range m { // want `range over map in deterministic code`
+		_ = k
+		x += v
+	}
+	return x
+}
+
+func seeded(m map[string]int) int {
+	// An explicitly seeded generator is deterministic.
+	r := rand.New(rand.NewSource(42))
+	x := r.Intn(10)
+	//softlora:nondeterministic-ok fills another map; order cannot leak
+	for k, v := range m {
+		_ = k
+		x += v
+	}
+	y := rand.Intn(3) //softlora:nondeterministic-ok fixture exercises same-line hatch
+	return x + y
+}

@@ -1,0 +1,9 @@
+// Package b exercises the determinism analyzer's per-function scope: no
+// package directive, so only annotated functions are checked.
+package b
+
+import "time"
+
+func unscoped() time.Time {
+	return time.Now() // not in scope: no directive anywhere
+}

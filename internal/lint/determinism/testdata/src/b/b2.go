@@ -1,0 +1,14 @@
+package b
+
+import "time"
+
+// scoped commits a verdict-like result and opts in individually.
+//
+//softlora:deterministic
+func scoped(m map[int]int) int64 {
+	n := time.Now().UnixNano() // want `call to time\.Now in deterministic code`
+	for k := range m {         // want `range over map in deterministic code`
+		n += int64(k)
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Package lint is softlora's static-contract suite: five analyzers that
+// machine-check, at the source level, the invariants the runtime test
+// gates (`make determinism`, the zero-alloc regression tests, the race
+// suite) would otherwise only catch after a violation ships. They run as
+// `make lint` (cmd/softlora-lint ./...) in CI; the repo must stay clean.
+//
+// # The analyzers
+//
+//   - determinism — verdict-commit and serialization code must be a pure
+//     function of its inputs: no time.Now/Since/Until, no process-global
+//     math/rand draws, no map-range whose order can leak into committed
+//     state. Scoped to packages carrying //softlora:deterministic
+//     (internal/core, internal/netserver) and to individually annotated
+//     functions. Escape hatch: //softlora:nondeterministic-ok <why>.
+//
+//   - hotpath — functions annotated //softlora:hotpath (the batch
+//     pipeline stages, dsp kernels, netserver's verdict path) may not
+//     call fmt.* or hash/fnv, allocate with make or un-presized append
+//     inside loops, or box concrete values into interfaces. Escape
+//     hatch: //softlora:hotpath-ok <why>.
+//
+//   - complexlane — packages carrying //softlora:float32-lanes
+//     (internal/dsp) may not use builtin complex64 arithmetic: gc widens
+//     it through float64 (3x slower, measured in PR 8); multiplies are
+//     spelled on explicit float32 components per the Oscillator32
+//     contract in dsp/doc.go. Escape hatch: //softlora:complex64-ok.
+//
+//   - poolcheck — a bufpool.Get/GetUninit buffer must be Put back, defer-
+//     Put, or handed off (stored, returned, passed on) on every path out
+//     of the function; a conditional leak is flagged at the leaking
+//     return. Escape hatch on the Get line: //softlora:bufpool-ok <why>.
+//
+//   - lockshard — struct fields annotated //softlora:guarded-by <mu> may
+//     only be touched after a Lock/RLock of the same base expression's
+//     mutex earlier in the function (//softlora:locked marks functions
+//     whose caller holds the lock); and mutex-bearing values must never
+//     be copied (parameters, results, assignments, range values). Escape
+//     hatch: //softlora:lock-ok <why>.
+//
+// # Adding an analyzer
+//
+// Create internal/lint/<name> exporting a *analysis.Analyzer, give it an
+// analysistest suite with known-bad fixtures under
+// internal/lint/<name>/testdata/src/..., and append it to Analyzers in
+// lint.go. Scope new contracts with //softlora: directives (package
+// directive in doc.go for package-wide contracts, function annotation for
+// opt-in checks) so other packages inherit the check by annotating, not
+// by editing the analyzer.
+//
+// # Why not golang.org/x/tools/go/analysis
+//
+// The repo builds offline against the baked-in toolchain, so the suite
+// runs on a small standard-library framework (internal/lint/analysis,
+// internal/lint/load, internal/lint/analysistest) that mirrors the
+// x/tools API shapes — Analyzer/Pass/Diagnostic, testdata/src fixture
+// layout, `// want` expectations. If the x/tools dependency ever lands,
+// the analyzers port by changing import paths.
+package lint

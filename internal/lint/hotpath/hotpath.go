@@ -1,0 +1,340 @@
+// Package hotpath implements the softlora-lint analyzer enforcing the
+// zero-alloc hot-path contract. The batch pipeline, the dsp kernels and
+// the netserver verdict path hold steady-state allocation floors that are
+// pinned by testing.AllocsPerRun regression tests; this analyzer rejects
+// the construct classes that have historically broken them, at the source
+// level, before a benchmark has to catch the regression.
+//
+// Scope: functions annotated //softlora:hotpath (the annotation is the
+// opt-in; un-annotated functions are never checked).
+//
+// Flagged inside hotpath functions:
+//   - any call into package fmt (formatting allocates; error paths should
+//     use predeclared errors or move formatting off the hot function)
+//   - any call into hash/fnv (New32a etc. heap-allocate per call — inline
+//     the hash, as netserver's fnv32a does)
+//   - make(...) inside a loop (hoist or reuse scratch)
+//   - append(...) inside a loop, unless the destination slice was
+//     presized in this function with a three-argument make (capacity) —
+//     un-presized growth reallocates geometrically
+//   - implicit interface conversions (boxing) in call arguments and
+//     assignments: a concrete value passed where an interface is expected
+//     escapes to the heap
+//
+// A deliberate exception (a cold error branch, a boxing the compiler
+// provably stack-allocates) is silenced with //softlora:hotpath-ok <why>
+// on the line or the line above.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/directive"
+)
+
+// Analyzer is the hot-path allocation-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag fmt/fnv calls, loop allocation, un-presized append and interface boxing in //softlora:hotpath functions",
+	Run:  run,
+}
+
+// EscapeHatch silences one diagnostic when placed on or above the line.
+const EscapeHatch = "hotpath-ok"
+
+func run(pass *analysis.Pass) (any, error) {
+	ix := directive.NewIndex(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !directive.FuncHas(fn, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, ix: ix, presized: presizedSlices(pass.TypesInfo, fn)}
+			if obj, okf := pass.TypesInfo.Defs[fn.Name].(*types.Func); okf {
+				c.sig, _ = obj.Type().(*types.Signature)
+			}
+			c.stmts(fn.Body.List, 0)
+		}
+	}
+	return nil, nil
+}
+
+// presizedSlices collects the objects assigned from a three-argument
+// make(T, len, cap) anywhere in fn — appends to those are capacity-bounded
+// by construction.
+func presizedSlices(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" || info.Uses[id] != types.Universe.Lookup("make") {
+				continue
+			}
+			if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(info, lhs); obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return set
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	ix       *directive.Index
+	presized map[types.Object]bool
+	sig      *types.Signature
+}
+
+// stmts walks a statement list tracking loop nesting depth.
+func (c *checker) stmts(list []ast.Stmt, loopDepth int) {
+	for _, s := range list {
+		c.stmt(s, loopDepth)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, loopDepth int) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, loopDepth)
+		}
+		c.exprs(loopDepth, s.Cond)
+		if s.Post != nil {
+			c.stmt(s.Post, loopDepth)
+		}
+		c.stmts(s.Body.List, loopDepth+1)
+	case *ast.RangeStmt:
+		c.exprs(loopDepth, s.X)
+		c.stmts(s.Body.List, loopDepth+1)
+	case *ast.BlockStmt:
+		c.stmts(s.List, loopDepth)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, loopDepth)
+		}
+		c.exprs(loopDepth, s.Cond)
+		c.stmts(s.Body.List, loopDepth)
+		if s.Else != nil {
+			c.stmt(s.Else, loopDepth)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, loopDepth)
+		}
+		c.exprs(loopDepth, s.Tag)
+		c.stmts(s.Body.List, loopDepth)
+	case *ast.TypeSwitchStmt:
+		c.stmts(s.Body.List, loopDepth)
+	case *ast.SelectStmt:
+		c.stmts(s.Body.List, loopDepth)
+	case *ast.CaseClause:
+		c.exprs(loopDepth, s.List...)
+		c.stmts(s.Body, loopDepth)
+	case *ast.CommClause:
+		c.stmts(s.Body, loopDepth)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, loopDepth)
+	case *ast.ExprStmt:
+		c.exprs(loopDepth, s.X)
+	case *ast.AssignStmt:
+		c.exprs(loopDepth, s.Rhs...)
+		c.exprs(loopDepth, s.Lhs...)
+		c.checkAssignBoxing(s)
+	case *ast.ReturnStmt:
+		c.exprs(loopDepth, s.Results...)
+		c.checkReturnBoxing(s)
+	case *ast.DeferStmt:
+		c.exprs(loopDepth, s.Call)
+	case *ast.GoStmt:
+		c.exprs(loopDepth, s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(loopDepth, vs.Values...)
+					c.checkSpecBoxing(vs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.exprs(loopDepth, s.X)
+	case *ast.SendStmt:
+		c.exprs(loopDepth, s.Chan, s.Value)
+	}
+}
+
+// exprs inspects expressions for flagged calls at the given loop depth.
+// FuncLit bodies are walked at depth 0 — a closure's body is not "inside"
+// the enclosing loop.
+func (c *checker) exprs(loopDepth int, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				c.stmts(n.Body.List, 0)
+				return false
+			case *ast.CallExpr:
+				c.checkCall(n, loopDepth)
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, loopDepth int) {
+	info := c.pass.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch {
+		case info.Uses[fun] == types.Universe.Lookup("make"):
+			if loopDepth > 0 && !c.ok(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "make inside a loop on a hotpath: hoist the allocation or reuse scratch")
+			}
+			return
+		case info.Uses[fun] == types.Universe.Lookup("append"):
+			if loopDepth > 0 && !c.appendPresized(call) && !c.ok(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "un-presized append inside a loop on a hotpath: presize with make(T, len, cap)")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj, okf := info.Uses[fun.Sel].(*types.Func); okf && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt":
+				if !c.ok(call.Pos()) {
+					c.pass.Reportf(call.Pos(), "call to fmt.%s on a hotpath: formatting allocates (use predeclared errors or move it off the hot function)", obj.Name())
+				}
+				return
+			case "hash/fnv":
+				if !c.ok(call.Pos()) {
+					c.pass.Reportf(call.Pos(), "call to fnv.%s on a hotpath: hash/fnv allocates per call — inline the hash", obj.Name())
+				}
+				return
+			}
+		}
+	}
+	c.checkCallBoxing(call)
+}
+
+// appendPresized reports whether the append destination is a variable this
+// function presized with a capacity make.
+func (c *checker) appendPresized(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := objOf(c.pass.TypesInfo, id)
+	return obj != nil && c.presized[obj]
+}
+
+// checkCallBoxing flags concrete arguments passed to interface-typed
+// parameters.
+func (c *checker) checkCallBoxing(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		c.checkBoxing(arg, pt)
+	}
+}
+
+func (c *checker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		c.checkBoxing(rhs, c.pass.TypesInfo.TypeOf(as.Lhs[i]))
+	}
+}
+
+// checkReturnBoxing flags concrete values returned as interface results.
+func (c *checker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	if c.sig == nil || len(ret.Results) != c.sig.Results().Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		c.checkBoxing(r, c.sig.Results().At(i).Type())
+	}
+}
+
+func (c *checker) checkSpecBoxing(vs *ast.ValueSpec) {
+	if vs.Type == nil || len(vs.Values) == 0 {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		c.checkBoxing(v, t)
+	}
+}
+
+// checkBoxing flags expr when it is a concrete (non-interface) value being
+// converted to the interface type want.
+func (c *checker) checkBoxing(expr ast.Expr, want types.Type) {
+	if want == nil || !types.IsInterface(want) {
+		return
+	}
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return
+	}
+	if b, isBasic := tv.Type.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+		return
+	}
+	if c.ok(expr.Pos()) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "interface conversion on a hotpath: %s boxed into %s escapes to the heap", tv.Type, want)
+}
+
+func (c *checker) ok(pos token.Pos) bool {
+	return c.ix.OKAt(pos, EscapeHatch)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"softlora/internal/lint/analysistest"
+	"softlora/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "a", "b")
+}

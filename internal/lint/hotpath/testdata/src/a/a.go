@@ -1,0 +1,48 @@
+package a
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// hot is the annotated kernel under test.
+//
+//softlora:hotpath
+func hot(xs []float64) float64 {
+	s := 0.0
+	out := make([]float64, 0, len(xs)) // presized: appends below are fine
+	var grow []float64
+	for _, x := range xs {
+		s += x
+		buf := make([]byte, 8) // want `make inside a loop on a hotpath`
+		_ = buf
+		out = append(out, x)
+		grow = append(grow, x) // want `un-presized append inside a loop on a hotpath`
+	}
+	if s < 0 {
+		fmt.Println("negative") // want `call to fmt\.Println on a hotpath`
+	}
+	h := fnv.New32a() // want `call to fnv\.New32a on a hotpath`
+	_ = h
+	_ = out
+	_ = grow
+	return s
+}
+
+// cold is identical but un-annotated: never checked.
+func cold(xs []float64) {
+	var grow []float64
+	for _, x := range xs {
+		grow = append(grow, x)
+	}
+	fmt.Println(grow)
+}
+
+//softlora:hotpath
+func hatch(xs []float64) []float64 {
+	var grow []float64
+	for _, x := range xs {
+		grow = append(grow, x) //softlora:hotpath-ok fixture exercises the hatch
+	}
+	return grow
+}

@@ -1,0 +1,10 @@
+// Package b exercises the hotpath analyzer's interface-boxing checks
+// across files: the sink signatures live here, the hot function in b2.go.
+package b
+
+func consume(v any)             {}
+func consumeVariadic(vs ...any) {}
+
+type stringer interface{ String() string }
+
+func sink(s stringer) {}

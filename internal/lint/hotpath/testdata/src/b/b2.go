@@ -1,0 +1,26 @@
+package b
+
+type point struct{ x, y int }
+
+func (point) String() string { return "" }
+
+//softlora:hotpath
+func hotBoxing(n int, p point) any {
+	consume(n)            // want `int boxed into any`
+	consumeVariadic(n, p) // want `int boxed into any` `b\.point boxed into any`
+	sink(p)               // want `b\.point boxed into b\.stringer`
+	var v any = n         // want `int boxed into any`
+	v = p                 // want `b\.point boxed into any`
+	_ = v
+	var w any
+	consume(w) // already an interface: no boxing
+	if n > 0 {
+		return p // want `b\.point boxed into any`
+	}
+	return nil // untyped nil: fine
+}
+
+//softlora:hotpath
+func hotHatched(n int) {
+	consume(n) //softlora:hotpath-ok cold branch, boxing measured free
+}

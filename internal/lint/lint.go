@@ -1,0 +1,21 @@
+package lint
+
+import (
+	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/complexlane"
+	"softlora/internal/lint/determinism"
+	"softlora/internal/lint/hotpath"
+	"softlora/internal/lint/lockshard"
+	"softlora/internal/lint/poolcheck"
+)
+
+// Analyzers returns the full softlora-lint suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		complexlane.Analyzer,
+		poolcheck.Analyzer,
+		lockshard.Analyzer,
+	}
+}

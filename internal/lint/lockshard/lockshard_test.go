@@ -1,0 +1,12 @@
+package lockshard_test
+
+import (
+	"testing"
+
+	"softlora/internal/lint/analysistest"
+	"softlora/internal/lint/lockshard"
+)
+
+func TestLockShard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockshard.Analyzer, "a", "b")
+}

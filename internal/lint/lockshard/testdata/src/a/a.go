@@ -1,0 +1,53 @@
+package a
+
+import "sync"
+
+// shard mirrors the netserver shard: devices is only touched under mu.
+type shard struct {
+	mu sync.RWMutex
+	//softlora:guarded-by mu
+	devices map[string]int
+}
+
+func good(sh *shard, id string) int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.devices[id]
+}
+
+func goodWrite(sh *shard, id string, v int) {
+	sh.mu.Lock()
+	sh.devices[id] = v
+	sh.mu.Unlock()
+}
+
+func bad(sh *shard, id string) int {
+	return sh.devices[id] // want `access to sh\.devices outside sh\.mu lock scope`
+}
+
+func badWrite(sh *shard, id string) {
+	sh.devices[id] = 1 // want `access to sh\.devices outside sh\.mu lock scope`
+	sh.mu.Lock()       // locking after the access does not help
+	sh.mu.Unlock()
+}
+
+// lockedHelper's caller holds the lock.
+//
+//softlora:locked
+func lockedHelper(sh *shard, id string) int {
+	return sh.devices[id]
+}
+
+// ctor touches a not-yet-shared shard.
+func ctor() *shard {
+	sh := &shard{}
+	sh.devices = make(map[string]int) //softlora:lock-ok fresh value, not yet shared
+	return sh
+}
+
+// wrongBase locks one shard but reads another.
+func wrongBase(x, y *shard, id string) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return y.devices[id] // want `access to y\.devices outside y\.mu lock scope`
+}

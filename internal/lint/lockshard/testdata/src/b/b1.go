@@ -1,0 +1,16 @@
+// Package b exercises the mutex-copy checks across files: the
+// mutex-bearing types live here, the copies in b2.go.
+package b
+
+import "sync"
+
+// S carries a mutex directly.
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested buries one two levels down.
+type Nested struct {
+	inner [2]S
+}

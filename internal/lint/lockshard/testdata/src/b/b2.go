@@ -1,0 +1,33 @@
+package b
+
+func byValueParam(s S) {} // want `parameter copies b\.S`
+
+func byValueResult() (s S) { return } // want `result copies b\.S`
+
+func copyDeref(p *S) {
+	v := *p // want `assignment copies b\.S`
+	_ = v
+}
+
+func copyNested(n Nested) {} // want `parameter copies b\.Nested`
+
+func rangeCopy(ss []S) {
+	for _, s := range ss { // want `range value copies b\.S`
+		_ = s
+	}
+}
+
+// Pointers, fresh literals and index-free reads are fine.
+func fine(ps []*S) *S {
+	fresh := S{n: 1}
+	_ = fresh
+	for _, p := range ps {
+		p.n++
+	}
+	return &S{}
+}
+
+func hatched(p *S) {
+	v := *p //softlora:lock-ok snapshot of a quiesced value
+	_ = v
+}

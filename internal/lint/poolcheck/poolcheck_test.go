@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"softlora/internal/lint/analysistest"
+	"softlora/internal/lint/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolcheck.Analyzer, "a")
+}

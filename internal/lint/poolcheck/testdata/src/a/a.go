@@ -1,0 +1,64 @@
+package a
+
+import "softlora/internal/bufpool"
+
+// leak never returns the buffer to the pool and never hands it off.
+func leak(n int) float64 {
+	buf := bufpool.Get(n) // want `bufpool\.Get result "buf" is never Put back or handed off`
+	return real(buf[0])
+}
+
+// conditionalLeak puts on the happy path but leaks on the early return.
+func conditionalLeak(n int, fail bool) float64 {
+	buf := bufpool.GetUninit(n)
+	if fail {
+		return 0 // want `return without bufpool\.Put\(buf\) on this path`
+	}
+	v := real(buf[0])
+	bufpool.Put(buf)
+	return v
+}
+
+// loopOnlyPut puts only inside a loop that may run zero times.
+func loopOnlyPut(n int, xs []int) {
+	buf := bufpool.Get(n)
+	for range xs {
+		bufpool.Put(buf)
+		return
+	}
+	return // want `return without bufpool\.Put\(buf\) on this path`
+}
+
+// deferred is safe on every path.
+func deferred(n int, fail bool) float64 {
+	buf := bufpool.Get(n)
+	defer bufpool.Put(buf)
+	if fail {
+		return 0
+	}
+	return real(buf[1])
+}
+
+// bothBranches puts on each branch before returning.
+func bothBranches(n int, fail bool) {
+	buf := bufpool.Get(n)
+	if fail {
+		bufpool.Put(buf)
+		return
+	}
+	buf[0] = 1
+	bufpool.Put(buf)
+}
+
+// reslicedSelfUpdate keeps ownership through a reslice and puts.
+func reslicedSelfUpdate(n int) {
+	buf := bufpool.Get(n)
+	buf = buf[:n/2]
+	bufpool.Put(buf)
+}
+
+func hatched(n int) float64 {
+	//softlora:bufpool-ok fixture exercises the hatch
+	buf := bufpool.Get(n)
+	return real(buf[0])
+}

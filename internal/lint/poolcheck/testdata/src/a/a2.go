@@ -1,0 +1,48 @@
+package a
+
+import "softlora/internal/bufpool"
+
+// Capture mirrors the radio/sdr capture idiom: the buffer is stored and
+// Release (defined in another file of this multi-file fixture) puts it
+// back later.
+type Capture struct{ IQ []complex128 }
+
+// Release returns the capture's buffer to the pool.
+func (c *Capture) Release() { bufpool.Put(c.IQ) }
+
+// handedOffStruct stores the buffer in a Capture: ownership transfers.
+func handedOffStruct(n int) *Capture {
+	buf := bufpool.GetUninit(n)
+	return &Capture{IQ: buf}
+}
+
+// handedOffReturn returns the buffer itself.
+func handedOffReturn(n int) []complex128 {
+	buf := bufpool.Get(n)
+	return buf
+}
+
+// handedOffCall passes the buffer to a consumer that owns it.
+func handedOffCall(n int) {
+	buf := bufpool.Get(n)
+	park(buf)
+}
+
+var parked []complex128
+
+func park(buf []complex128) { parked = buf }
+
+// readsAreNotHandoffs takes an element and a length — neither transfers
+// ownership, so the missing Put is still a leak.
+func readsAreNotHandoffs(n int) (float64, int) {
+	buf := bufpool.Get(n) // want `bufpool\.Get result "buf" is never Put back or handed off`
+	return real(buf[0]), len(buf)
+}
+
+// fallsOffEnd puts only on one branch and ends without a return.
+func fallsOffEnd(n int, f bool) {
+	buf := bufpool.Get(n)
+	if f {
+		bufpool.Put(buf)
+	}
+} // want `function can end without bufpool\.Put\(buf\)`

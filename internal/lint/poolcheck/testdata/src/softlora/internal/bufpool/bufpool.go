@@ -1,0 +1,8 @@
+// Package bufpool is a fixture stub sharing the real pool's import path,
+// so the poolcheck analyzer resolves Get/GetUninit/Put exactly as it does
+// against the repo.
+package bufpool
+
+func Get(n int) []complex128       { return make([]complex128, n) }
+func GetUninit(n int) []complex128 { return make([]complex128, n) }
+func Put(buf []complex128)         {}

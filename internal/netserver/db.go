@@ -166,7 +166,7 @@ type Config struct {
 // never blocks reads of the other 63.
 type shard struct {
 	mu      sync.RWMutex
-	devices map[string]*core.BiasRecord
+	devices map[string]*core.BiasRecord //softlora:guarded-by mu
 	// dirty marks the shard as modified since its last successful
 	// snapshot flush. Set by every mutation, cleared by the flusher with
 	// Swap(false); a mutation racing the flush re-marks it so the next
@@ -252,7 +252,7 @@ func New(cfg Config) *NetworkServer {
 		shards: make([]shard, pow),
 	}
 	for i := range s.shards {
-		s.shards[i].devices = make(map[string]*core.BiasRecord)
+		s.shards[i].devices = make(map[string]*core.BiasRecord) //softlora:lock-ok constructor; the server is not shared yet
 	}
 	if cfg.Window.Hold > 0 {
 		s.win = newWindow(cfg.Window)
@@ -265,6 +265,8 @@ func New(cfg Config) *NetworkServer {
 
 // fnv32a is an inlined allocation-free FNV-1a over the device ID —
 // hash/fnv's New32a would heap-allocate on the per-frame Check hot path.
+//
+//softlora:hotpath
 func fnv32a(s string) uint32 {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
@@ -276,6 +278,8 @@ func fnv32a(s string) uint32 {
 }
 
 // shardFor maps a device ID onto its partition.
+//
+//softlora:hotpath
 func (s *NetworkServer) shardFor(deviceID string) *shard {
 	return &s.shards[fnv32a(deviceID)&uint32(len(s.shards)-1)]
 }
@@ -286,6 +290,8 @@ func (s *NetworkServer) shardFor(deviceID string) *shard {
 // still touches LastSeen: the device is demonstrably of interest, and
 // evicting a record mid-attack would let the attacker re-enroll as the
 // device it is impersonating.
+//
+//softlora:hotpath
 func (s *NetworkServer) checkDevice(deviceID string, fbHz, now float64) core.Verdict {
 	sh := s.shardFor(deviceID)
 	sh.mu.Lock()
@@ -658,6 +664,7 @@ func (s *NetworkServer) EvictExpired(now, ttl float64) int {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		n := 0
+		//softlora:nondeterministic-ok per-record predicate; the surviving set and count are order-independent
 		for id, rec := range sh.devices {
 			if rec.LastSeen == 0 {
 				rec.LastSeen = now
@@ -696,6 +703,7 @@ func (s *NetworkServer) snapshotShard(i int, dst map[string]core.BiasRecord) map
 	if dst == nil {
 		dst = make(map[string]core.BiasRecord, len(sh.devices))
 	}
+	//softlora:nondeterministic-ok copies into a map; encodeSnapshot sorts IDs before encoding
 	for id, rec := range sh.devices {
 		dst[id] = *rec
 	}
@@ -714,6 +722,7 @@ func (s *NetworkServer) installShards(devices map[string]*core.BiasRecord) {
 	for i := range staged {
 		staged[i] = make(map[string]*core.BiasRecord)
 	}
+	//softlora:nondeterministic-ok re-hashing into maps; shard assignment is a pure function of the ID
 	for id, rec := range devices {
 		staged[fnv32a(id)&uint32(len(s.shards)-1)][id] = rec
 	}
@@ -739,6 +748,7 @@ func (s *NetworkServer) Save(w io.Writer) error {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
+		//softlora:nondeterministic-ok merges into a map; encoding/json sorts map keys
 		for id, rec := range sh.devices {
 			cp := *rec
 			merged[id] = &cp

@@ -157,4 +157,6 @@
 // backoff — a shard stays dirty until some flush of it succeeds, so I/O
 // errors defer durability but never corrupt or drop state. Close stops
 // the loop and flushes what is still dirty.
+//
+//softlora:deterministic
 package netserver

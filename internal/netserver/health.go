@@ -273,6 +273,7 @@ func (h *healthTracker) Quarantined() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var ids []string
+	//softlora:nondeterministic-ok collected IDs are sorted before return
 	for id, g := range h.gws {
 		if g.quarantined {
 			ids = append(ids, id)

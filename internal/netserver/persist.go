@@ -69,6 +69,7 @@ type snapHeader struct {
 // equal states encode to equal bytes (flush determinism is testable).
 func encodeSnapshot(kind, shard uint32, gen uint64, records map[string]core.BiasRecord) ([]byte, error) {
 	ids := make([]string, 0, len(records))
+	//softlora:nondeterministic-ok keys are sorted before encoding
 	for id := range records {
 		ids = append(ids, id)
 	}
@@ -525,7 +526,18 @@ func (sn *Snapshotter) Load(s *NetworkServer) (RecoveryStats, error) {
 	}
 	man, haveMan := sn.readManifest()
 	all := make(map[string]*core.BiasRecord)
-	for shard, gens := range byShard {
+	// Walk shards in ascending order: stale files from a different
+	// shard-count era can hold the same device ID under two shard
+	// numbers, and last-write-wins into all must not depend on map
+	// iteration order.
+	shardNums := make([]int, 0, len(byShard))
+	//softlora:nondeterministic-ok keys are sorted before use
+	for shard := range byShard {
+		shardNums = append(shardNums, shard)
+	}
+	sort.Ints(shardNums)
+	for _, shard := range shardNums {
+		gens := byShard[shard]
 		sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 		recovered := false
 		for gi, gen := range gens {
@@ -543,6 +555,7 @@ func (sn *Snapshotter) Load(s *NetworkServer) (RecoveryStats, error) {
 				sn.quarantine(name, &stats)
 				continue
 			}
+			//softlora:nondeterministic-ok IDs are unique within one shard file; merge into a map
 			for id, rec := range records {
 				cp := rec
 				all[id] = &cp
@@ -603,6 +616,7 @@ const LegacyDatabaseName = "biasdb.json"
 // maxLastSeen scans loaded records for the newest observation stamp.
 func maxLastSeen(devices map[string]*core.BiasRecord) float64 {
 	latest := math.Inf(-1)
+	//softlora:nondeterministic-ok max over values is order-independent
 	for _, rec := range devices {
 		if rec.LastSeen > latest {
 			latest = rec.LastSeen
@@ -679,6 +693,7 @@ func (s *NetworkServer) LoadFile(fsys vfs.FS, path string) error {
 			return fmt.Errorf("%w: %s is not a single-file snapshot", ErrBadSnapshot, path)
 		}
 		devices := make(map[string]*core.BiasRecord, len(records))
+		//softlora:nondeterministic-ok map-to-map copy; IDs are unique
 		for id, rec := range records {
 			cp := rec
 			devices[id] = &cp

@@ -224,6 +224,7 @@ func (s *NetworkServer) DrainWindow() []FrameVerdict {
 	defer s.winMu.Unlock()
 	w := s.win
 	all := make([]*pendingFrame, 0, len(w.pending))
+	//softlora:nondeterministic-ok entries are sorted into canonical commit order below
 	for _, e := range w.pending {
 		all = append(all, e)
 	}

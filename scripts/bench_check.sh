@@ -67,6 +67,17 @@ END {
 	for (name in names) {
 		if (!guarded(name)) continue
 		old = ns[1, name]; new = ns[2, name]
+		# A guarded benchmark present in only one snapshot (just added,
+		# renamed, or retired) has no pair to diff: note it and move on
+		# rather than erroring or comparing against zero.
+		if (old <= 0 && new > 0) {
+			printf "%-55s only in newer snapshot; skipping (no baseline yet)\n", name
+			continue
+		}
+		if (old > 0 && new <= 0) {
+			printf "%-55s only in older snapshot; skipping (absent from newer)\n", name
+			continue
+		}
 		if (old <= 0 || new <= 0) continue
 		checked++
 		pct = (new - old) / old * 100
