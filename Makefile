@@ -17,10 +17,14 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the softlora contract analyzers (internal/lint): determinism,
-# hotpath, complex64 widening, bufpool ownership, lock/shard discipline.
+# hotpath, allocfree, complex64 widening, bufpool ownership, lock/shard
+# discipline — interprocedurally, over the call graph of the whole load.
+# -tests extends the load to each package's test variants, so contract
+# regressions in _test.go helpers are caught too (package-wide directives
+# still scope only to non-test files).
 # See "Static contracts" in ROADMAP.md for the directives they understand.
 lint:
-	$(GO) run ./cmd/softlora-lint ./...
+	$(GO) run ./cmd/softlora-lint -tests ./...
 
 build:
 	$(GO) build ./...

@@ -1,18 +1,25 @@
 // Command softlora-lint is the multichecker for the repo's static
-// contracts (see internal/lint): determinism, hotpath, complexlane,
-// poolcheck and lockshard run over every matched package and any finding
-// fails the run.
+// contracts (see internal/lint): determinism, hotpath, allocfree,
+// complexlane, poolcheck and lockshard run over every matched package and
+// any finding fails the run.
 //
 // Usage:
 //
-//	softlora-lint [-only name,name] [-list] [packages...]
+//	softlora-lint [-only name,name] [-tests] [-json] [-list] [packages...]
 //
-// Packages default to ./... in the current directory. Diagnostics print
-// as path:line:col: message (analyzer), sorted by position, and the exit
-// status is 1 when any were reported.
+// Packages default to ./... in the current directory and are analyzed in
+// dependency order, so analyzer facts for a package are always computed
+// (and sealed through their gob round-trip) before any dependee imports
+// them. With -tests, each package's test variants are loaded and checked
+// too. Diagnostics print as path:line:col: message (analyzer), sorted by
+// position; -json emits them as a JSON array instead (one object per
+// finding, with the interprocedural chain when the finding has one). The
+// exit status is 1 when any findings were reported, 2 on usage or load
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +29,15 @@ import (
 
 	"softlora/internal/lint"
 	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/callgraph"
 	"softlora/internal/lint/load"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	tests := flag.Bool("tests", false, "also load and check test files and external test packages")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -37,36 +47,111 @@ func main() {
 		}
 		return
 	}
-	if *only != "" {
-		keep := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
-			keep[strings.TrimSpace(name)] = true
-		}
-		var filtered []*analysis.Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name] {
-				filtered = append(filtered, a)
-			}
-		}
-		if len(filtered) == 0 {
-			fmt.Fprintf(os.Stderr, "softlora-lint: no analyzer matches -only=%s\n", *only)
-			os.Exit(2)
-		}
-		analyzers = filtered
-	}
-
-	pkgs, err := load.Load(".", flag.Args()...)
+	analyzers, err := selectAnalyzers(analyzers, *only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "softlora-lint: %v\n", err)
 		os.Exit(2)
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		msg       string
-		analyzer  string
+	pkgs, err := load.LoadPackages(".", load.Options{Tests: *tests}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "softlora-lint: %v\n", err)
+		os.Exit(2)
 	}
+
+	findings, err := runAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "softlora-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "softlora-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "softlora-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers filters the suite by a -only value. Every name must
+// match a known analyzer: a typo that silently dropped one check has
+// historically meant a contract went unenforced for months, so unknown
+// names are an error even when other names matched.
+func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	known := make(map[string]bool, len(all))
+	var names []string
+	for _, a := range all {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
+	keep := make(map[string]bool)
+	var unknown []string
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			unknown = append(unknown, name)
+			continue
+		}
+		keep[name] = true
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown analyzer(s) in -only: %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(names, ", "))
+	}
+	var filtered []*analysis.Analyzer
+	for _, a := range all {
+		if keep[a.Name] {
+			filtered = append(filtered, a)
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, fmt.Errorf("no analyzer matches -only=%s", only)
+	}
+	return filtered, nil
+}
+
+// finding is one diagnostic, shaped for both text and -json output.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// runAnalyzers drives the suite over pkgs (already in dependency order):
+// the whole-load call graph is built once, then each analyzer runs per
+// package with the shared fact store bound, and the package's facts are
+// sealed before any dependee runs.
+func runAnalyzers(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]finding, error) {
+	cgPkgs := make([]*callgraph.Package, len(pkgs))
+	for i, pkg := range pkgs {
+		cgPkgs[i] = &callgraph.Package{Fset: pkg.Fset, Files: pkg.Syntax, Pkg: pkg.Types, Info: pkg.TypesInfo}
+	}
+	graph := callgraph.Build(cgPkgs)
+	store := analysis.NewStore(analyzers)
+	cwd, _ := os.Getwd()
+
 	var findings []finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -76,38 +161,54 @@ func main() {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				ForTest:   pkg.ForTest,
+				CallGraph: graph,
 			}
+			store.Bind(a, pass)
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
 				p := pkg.Fset.Position(d.Pos)
 				file := p.Filename
-				if rel, err := filepath.Rel(".", file); err == nil && !strings.HasPrefix(rel, "..") {
-					file = rel
+				if cwd != "" {
+					if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+						file = rel
+					}
 				}
-				findings = append(findings, finding{file, p.Line, p.Column, d.Message, name})
+				findings = append(findings, finding{file, p.Line, p.Column, name, d.Message, d.Chain})
 			}
 			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "softlora-lint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
-				os.Exit(2)
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			if err := store.Seal(a, pkg.PkgPath); err != nil {
+				return nil, err
 			}
 		}
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
 	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	// A package analyzed both plain and as a test variant repeats its
+	// regular files; drop the exact duplicates that produces.
+	dedup := findings[:0]
+	var prev finding
+	for i, f := range findings {
+		if i > 0 && f.File == prev.File && f.Line == prev.Line && f.Col == prev.Col &&
+			f.Analyzer == prev.Analyzer && f.Message == prev.Message {
+			continue
+		}
+		dedup = append(dedup, f)
+		prev = f
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "softlora-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
+	return dedup, nil
 }

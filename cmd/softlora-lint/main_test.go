@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"softlora/internal/lint"
+	"softlora/internal/lint/analysis"
+)
+
+func names(as []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func TestSelectAnalyzersEmptyKeepsAll(t *testing.T) {
+	all := lint.Analyzers()
+	got, err := selectAnalyzers(all, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Errorf("empty -only filtered the suite: %v", names(got))
+	}
+}
+
+func TestSelectAnalyzersFilters(t *testing.T) {
+	all := lint.Analyzers()
+	got, err := selectAnalyzers(all, "hotpath, determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := names(got)
+	if len(n) != 2 || n[0] == n[1] {
+		t.Fatalf("filtered = %v", n)
+	}
+	for _, name := range n {
+		if name != "hotpath" && name != "determinism" {
+			t.Errorf("unexpected analyzer %q in filtered suite", name)
+		}
+	}
+	// Suite order is preserved, not -only order.
+	if idx(all, n[0]) > idx(all, n[1]) {
+		t.Errorf("filtered suite reordered: %v", n)
+	}
+}
+
+func idx(all []*analysis.Analyzer, name string) int {
+	for i, a := range all {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSelectAnalyzersUnknownNameErrors(t *testing.T) {
+	all := lint.Analyzers()
+	_, err := selectAnalyzers(all, "hotpath,hotpaths,determinsm")
+	if err == nil {
+		t.Fatal("unknown analyzer names silently dropped")
+	}
+	msg := err.Error()
+	// Both typos are listed, as are the known names for correction.
+	for _, want := range []string{"hotpaths", "determinsm", "allocfree"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	// The valid name must not be reported as unknown: the unknown list
+	// comes before the "(known: ...)" suffix.
+	if pre, _, ok := strings.Cut(msg, "(known:"); ok {
+		if strings.Contains(pre, "hotpath,") || strings.Contains(strings.TrimSuffix(pre, " "), " hotpath ") {
+			t.Errorf("valid name listed among unknowns: %q", pre)
+		}
+	} else {
+		t.Errorf("error %q lacks the known-analyzers suffix", msg)
+	}
+}
+
+func TestSelectAnalyzersAllUnknown(t *testing.T) {
+	if _, err := selectAnalyzers(lint.Analyzers(), "nope"); err == nil {
+		t.Error("entirely unknown -only accepted")
+	}
+}
+
+func TestSelectAnalyzersOnlyCommasErrors(t *testing.T) {
+	// Stray separators with no names select nothing; that must be loud,
+	// not a no-op run that reports success.
+	if _, err := selectAnalyzers(lint.Analyzers(), ", ,"); err == nil {
+		t.Error("-only with no usable names accepted")
+	}
+}

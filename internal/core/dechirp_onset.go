@@ -256,6 +256,8 @@ func aliasPairMaxSq(magSq []float64, wBins int) float64 {
 // while a partially filled window scales with its fill. This is the anchor
 // metric; the candidate-tone peak of refineApex is the apex-refinement
 // metric.
+//
+//softlora:allocfree
 func (d *DechirpOnsetDetector) fillMag(iq []complex128, start, n int, sampleRate float64) float64 {
 	spec := d.dechirpWindow(iq, start, n)
 	if spec == nil {
@@ -279,6 +281,8 @@ func (d *DechirpOnsetDetector) fillMag(iq []complex128, start, n int, sampleRate
 // bin powers match the full-rate transform's across the band. The decimated
 // grid keeps the alias-pair geometry because bin widths in Hz are
 // preserved: W/(rate/dec)·(nfft/dec) = W/rate·nfft.
+//
+//softlora:allocfree
 func (d *DechirpOnsetDetector) fillMagDec(iq []complex128, start, n int, sampleRate float64, dec int) float64 {
 	if start < 0 || start+n > len(iq) {
 		return 0

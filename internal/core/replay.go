@@ -156,6 +156,7 @@ func CheckRecord(rec *BiasRecord, fbHz, toleranceHz, devMultiplier, alpha float6
 		return VerdictReplay, rec
 	}
 	if rec == nil {
+		//softlora:allocfree-ok enrollment of a first-seen device: one record per device lifetime, never on the steady-state verdict path
 		return VerdictEnrolling, &BiasRecord{Mean: fbHz, Min: fbHz, Max: fbHz, Count: 1}
 	}
 	if rec.Count < enrollFrames {

@@ -84,6 +84,8 @@ func (g *GaussianSource) next() uint64 {
 // read; every gaussBlock draws the buffer refills in one tight block. pos
 // counts remaining buffered values, so the zero value (pos == 0) refills on
 // first use instead of leaking an all-zeros buffer.
+//
+//softlora:allocfree
 func (g *GaussianSource) Norm() float64 {
 	if g.pos == 0 {
 		return g.normRefill()

@@ -97,6 +97,7 @@ func (o *Oscillator32) Next() complex64 {
 // Fill writes the next len(dst) samples into dst.
 //
 //softlora:hotpath
+//softlora:allocfree
 func (o *Oscillator32) Fill(dst []complex64) {
 	for len(dst) > 0 {
 		n := o.chunk(len(dst))

@@ -97,6 +97,7 @@ func (p *Plan) Transform(dst, src []complex128) {
 // equal the plan size.
 //
 //softlora:hotpath
+//softlora:allocfree
 func (p *Plan) TransformInPlace(buf []complex128) {
 	p.checkLen(buf)
 	p.run(buf, p.fwd, false)
@@ -113,6 +114,7 @@ func (p *Plan) TransformInPlace(buf []complex128) {
 // on that block.
 //
 //softlora:hotpath
+//softlora:allocfree
 func (p *Plan) TransformMany(slab []complex128) {
 	if len(slab)%p.n != 0 {
 		//softlora:hotpath-ok panic path, cold by definition
@@ -355,8 +357,10 @@ func (s *DechirpScratch[K]) DechirpDecimated(seg []complex128, d int) []complex1
 	}
 	m := s.n / d
 	if s.decFactor != d {
+		//softlora:allocfree-ok geometry rebuild on a decimation-factor change; steady state reuses the cached plan
 		s.decPlan = PlanFor(m)
 		if cap(s.decBuf) < s.decPlan.Size() {
+			//softlora:allocfree-ok same geometry rebuild; the buffer is reused until the factor changes again
 			s.decBuf = make([]complex128, s.decPlan.Size())
 		}
 		s.decBuf = s.decBuf[:s.decPlan.Size()]

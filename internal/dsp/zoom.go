@@ -88,6 +88,8 @@ func (z *ZoomDFT) Points() int { return z.points }
 // Transform evaluates the grid X_k = Σ x[i]·e^{−j(omega0+k·dω)i} into
 // dst[:points]. len(x) must equal the Init m; len(dst) must be at least
 // points. It allocates nothing.
+//
+//softlora:allocfree
 func (z *ZoomDFT) Transform(dst, x []complex128, omega0 float64) {
 	m := z.m
 	if len(x) != m {

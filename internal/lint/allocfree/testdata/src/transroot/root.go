@@ -1,0 +1,22 @@
+// Package transroot exercises cross-package transitive allocfree
+// checking, including the allocating-stdlib external model two hops down.
+package transroot
+
+import "transleaf"
+
+//softlora:allocfree
+func root() string {
+	return transleaf.Mid() // want `allocfree function reaches an allocation: transroot\.root → transleaf\.Mid → transleaf\.stamp → strings\.Repeat: strings\.Repeat is modeled as allocating \(package strings\)`
+}
+
+//softlora:allocfree
+func viaHatched() string {
+	// No diagnostic: the chain is cut inside transleaf.
+	return transleaf.Hatched()
+}
+
+//softlora:allocfree
+func edgeHatch() string {
+	//softlora:allocfree-ok fixture: root edge accepts the callee's allocation
+	return transleaf.Mid()
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Store is the driver-side fact database: per analyzer, per owning
+// package, a set of (object, fact) pairs. The driver runs packages in
+// dependency order; after an analyzer finishes a package the driver
+// calls Seal, which serializes that package's facts with encoding/gob
+// and replaces the live values with their decoded round-trip — the same
+// discipline x/tools' facts layer enforces between compilation units, so
+// every fact type is proven serializable on every run, not just when a
+// hypothetical out-of-process driver would need it.
+type Store struct {
+	// facts[analyzer][ownerPath][objKey] = fact
+	facts map[string]map[string]map[string]Fact
+	// sealedBytes records each sealed package's encoded size (debug
+	// surface; also keeps the encoder honest about actually running).
+	sealedBytes map[string]int
+}
+
+// NewStore returns an empty fact store and registers the analyzers' fact
+// types with gob.
+func NewStore(analyzers []*Analyzer) *Store {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+	return &Store{
+		facts:       make(map[string]map[string]map[string]Fact),
+		sealedBytes: make(map[string]int),
+	}
+}
+
+// objectKey is the stable cross-universe identity facts are keyed by:
+// the owning package's normalized path, the receiver type name for
+// methods, and the object name. It intentionally matches
+// callgraph.ObjectKey for functions.
+func objectKey(obj types.Object) (owner, key string) {
+	if fn, ok := obj.(*types.Func); ok {
+		k := funcKey(fn)
+		return ownerOf(obj), k
+	}
+	return ownerOf(obj), "\x00" + obj.Name()
+}
+
+func ownerOf(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return normPath(obj.Pkg().Path())
+}
+
+func normPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func funcKey(fn *types.Func) string {
+	fn = fn.Origin()
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		} else {
+			recv = t.String()
+		}
+	}
+	return recv + "\x00" + fn.Name()
+}
+
+func (s *Store) bucket(analyzer, owner string) map[string]Fact {
+	byOwner := s.facts[analyzer]
+	if byOwner == nil {
+		byOwner = make(map[string]map[string]Fact)
+		s.facts[analyzer] = byOwner
+	}
+	m := byOwner[owner]
+	if m == nil {
+		m = make(map[string]Fact)
+		byOwner[owner] = m
+	}
+	return m
+}
+
+// Export attaches a fact to obj under the analyzer's namespace. A second
+// export of the same fact type to the same object replaces the first.
+func (s *Store) Export(a *Analyzer, obj types.Object, fact Fact) {
+	owner, key := objectKey(obj)
+	// One fact per (object, concrete type): key by type name too.
+	s.bucket(a.Name, owner)[key+"\x00"+factTypeName(fact)] = fact
+}
+
+// Import copies the fact of fact's concrete type attached to obj into
+// fact, reporting whether one was found.
+func (s *Store) Import(a *Analyzer, obj types.Object, fact Fact) bool {
+	owner, key := objectKey(obj)
+	byOwner := s.facts[a.Name]
+	if byOwner == nil {
+		return false
+	}
+	stored, ok := byOwner[owner][key+"\x00"+factTypeName(fact)]
+	if !ok {
+		return false
+	}
+	dv, sv := reflect.ValueOf(fact), reflect.ValueOf(stored)
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Ptr {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+func factTypeName(f Fact) string {
+	return reflect.TypeOf(f).String()
+}
+
+// sealedFact is the gob wire shape of one (object, fact) pair.
+type sealedFact struct {
+	Key  string
+	Fact Fact
+}
+
+// Seal serializes the facts an analyzer has exported for the objects of
+// pkgPath, then replaces the live values with the decoded copy. Called
+// once per (analyzer, package) after the analyzer's run; a test variant
+// sealing the same normalized path later re-seals the union.
+func (s *Store) Seal(a *Analyzer, pkgPath string) error {
+	owner := normPath(pkgPath)
+	m := s.facts[a.Name][owner]
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	wire := make([]sealedFact, 0, len(keys))
+	for _, k := range keys {
+		wire = append(wire, sealedFact{Key: k, Fact: m[k]})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return fmt.Errorf("sealing %s facts for %s: %v", a.Name, owner, err)
+	}
+	s.sealedBytes[a.Name+"\x00"+owner] = buf.Len()
+	var decoded []sealedFact
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		return fmt.Errorf("unsealing %s facts for %s: %v", a.Name, owner, err)
+	}
+	fresh := make(map[string]Fact, len(decoded))
+	for _, sf := range decoded {
+		fresh[sf.Key] = sf.Fact
+	}
+	s.facts[a.Name][owner] = fresh
+	return nil
+}
+
+// SealedBytes returns the encoded size of an analyzer's facts for a
+// package after its Seal (0 when none were exported) — a debugging and
+// test surface.
+func (s *Store) SealedBytes(a *Analyzer, pkgPath string) int {
+	return s.sealedBytes[a.Name+"\x00"+normPath(pkgPath)]
+}
+
+// Bind wires a pass to this store for the given analyzer.
+func (s *Store) Bind(a *Analyzer, pass *Pass) {
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) { s.Export(a, obj, fact) }
+	pass.ImportObjectFact = func(obj types.Object, fact Fact) bool { return s.Import(a, obj, fact) }
+}

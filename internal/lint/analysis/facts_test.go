@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// markFact is a minimal serializable fact for the store tests.
+type markFact struct {
+	Detail string
+	Chain  []string
+}
+
+func (*markFact) AFact() {}
+
+// otherFact shares no type with markFact; imports of one must never see
+// the other.
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+// badFact cannot round-trip through gob (function fields are not
+// encodable), so Seal must fail loudly rather than drop it.
+type badFact struct{ F func() }
+
+func (*badFact) AFact() {}
+
+func newFunc(pkg *types.Package, name string) *types.Func {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func newMethod(pkg *types.Package, recvType, name string) *types.Func {
+	tn := types.NewTypeName(token.NoPos, pkg, recvType, nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "r", named)
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func testAnalyzer(facts ...Fact) *Analyzer {
+	return &Analyzer{Name: "testcheck", FactTypes: facts}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	a := testAnalyzer(new(markFact))
+	s := NewStore([]*Analyzer{a})
+	pkg := types.NewPackage("example/p", "p")
+	fn := newFunc(pkg, "F")
+
+	s.Export(a, fn, &markFact{Detail: "calls time.Now", Chain: []string{"p.g"}})
+
+	var got markFact
+	if !s.Import(a, fn, &got) {
+		t.Fatal("Import found no fact after Export")
+	}
+	if got.Detail != "calls time.Now" || len(got.Chain) != 1 || got.Chain[0] != "p.g" {
+		t.Errorf("imported fact = %+v", got)
+	}
+
+	// A different fact type on the same object is absent.
+	var other otherFact
+	if s.Import(a, fn, &other) {
+		t.Error("Import matched a fact of a different concrete type")
+	}
+	// A different object is absent.
+	var miss markFact
+	if s.Import(a, newFunc(pkg, "G"), &miss) {
+		t.Error("Import matched a fact on the wrong object")
+	}
+}
+
+func TestImportAcrossTypeUniverses(t *testing.T) {
+	// The exporting side sees the function through a test-variant package
+	// path; the importing side sees a distinct types object from the plain
+	// path. The string key must unify them.
+	a := testAnalyzer(new(markFact))
+	s := NewStore([]*Analyzer{a})
+	variant := types.NewPackage("example/p [example/p.test]", "p")
+	plain := types.NewPackage("example/p", "p")
+
+	s.Export(a, newMethod(variant, "T", "M"), &markFact{Detail: "allocates"})
+
+	var got markFact
+	if !s.Import(a, newMethod(plain, "T", "M"), &got) {
+		t.Fatal("fact did not cross the test-variant/plain universe boundary")
+	}
+	if got.Detail != "allocates" {
+		t.Errorf("imported fact = %+v", got)
+	}
+	// Same name on a different receiver must not match.
+	var wrongRecv markFact
+	if s.Import(a, newMethod(plain, "U", "M"), &wrongRecv) {
+		t.Error("fact leaked across receiver types")
+	}
+}
+
+func TestSealRoundTripsAndReplaces(t *testing.T) {
+	a := testAnalyzer(new(markFact))
+	s := NewStore([]*Analyzer{a})
+	pkg := types.NewPackage("example/p", "p")
+	fn := newFunc(pkg, "F")
+
+	live := &markFact{Detail: "ranges over a map", Chain: []string{"p.h", "p.k"}}
+	s.Export(a, fn, live)
+	if err := s.Seal(a, "example/p"); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if s.SealedBytes(a, "example/p") == 0 {
+		t.Error("SealedBytes == 0 after sealing a non-empty package")
+	}
+
+	// Mutating the originally exported value must not affect the store:
+	// Seal replaced it with the decoded copy.
+	live.Detail = "mutated"
+	var got markFact
+	if !s.Import(a, fn, &got) {
+		t.Fatal("fact lost by Seal")
+	}
+	if got.Detail != "ranges over a map" {
+		t.Errorf("sealed fact shares memory with the live value: %+v", got)
+	}
+	if len(got.Chain) != 2 || got.Chain[1] != "p.k" {
+		t.Errorf("chain did not survive the gob round-trip: %+v", got)
+	}
+}
+
+func TestSealEmptyPackageIsNoop(t *testing.T) {
+	a := testAnalyzer(new(markFact))
+	s := NewStore([]*Analyzer{a})
+	if err := s.Seal(a, "example/empty"); err != nil {
+		t.Fatalf("Seal of factless package: %v", err)
+	}
+	if s.SealedBytes(a, "example/empty") != 0 {
+		t.Error("SealedBytes nonzero for a factless package")
+	}
+}
+
+func TestSealFailsOnUnencodableFact(t *testing.T) {
+	a := testAnalyzer(new(badFact))
+	s := NewStore([]*Analyzer{a})
+	pkg := types.NewPackage("example/p", "p")
+	s.Export(a, newFunc(pkg, "F"), &badFact{F: func() {}})
+	if err := s.Seal(a, "example/p"); err == nil {
+		t.Error("Seal silently accepted a gob-unencodable fact")
+	}
+}
+
+func TestBindWiresPass(t *testing.T) {
+	a := testAnalyzer(new(markFact))
+	s := NewStore([]*Analyzer{a})
+	pkg := types.NewPackage("example/p", "p")
+	fn := newFunc(pkg, "F")
+
+	var pass Pass
+	s.Bind(a, &pass)
+	pass.ExportObjectFact(fn, &markFact{Detail: "boxes int into any"})
+	var got markFact
+	if !pass.ImportObjectFact(fn, &got) || got.Detail != "boxes int into any" {
+		t.Errorf("Bind round-trip = %+v", got)
+	}
+}

@@ -11,6 +11,15 @@
 // testdata/src, so a fixture tree can stub a real import path such as
 // softlora/internal/bufpool) and the standard library (resolved from
 // build-cache export data via `go list -export`).
+//
+// Run mirrors the softlora-lint driver's interprocedural machinery: the
+// call graph is built over the named package and every fixture package it
+// (transitively) imports, the analyzer first runs over those dependencies
+// in dependency order — diagnostics discarded, object facts exported and
+// sealed through their gob round-trip — and only then over the named
+// package, whose diagnostics are checked. A fixture tree can therefore
+// exercise cross-package fact propagation exactly as the real driver
+// performs it.
 package analysistest
 
 import (
@@ -32,6 +41,7 @@ import (
 	"testing"
 
 	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/callgraph"
 	"softlora/internal/lint/load"
 )
 
@@ -79,7 +89,12 @@ type fixtureImporter struct {
 	testdata string
 	fset     *token.FileSet
 	cache    map[string]*loaded
-	std      types.ImporterFrom
+	// order lists fixture package paths in completion order: a package is
+	// appended after every fixture package it imports (type-checking a
+	// package drives its imports to completion first), i.e. dependency
+	// order.
+	order []string
+	std   types.ImporterFrom
 }
 
 type loaded struct {
@@ -138,7 +153,9 @@ func (imp *fixtureImporter) load(path string) *loaded {
 	l.pkg, err = conf.Check(path, imp.fset, l.files, l.info)
 	if err != nil {
 		l.err = fmt.Errorf("type-checking fixture %q: %v", path, err)
+		return l
 	}
+	imp.order = append(imp.order, path)
 	return l
 }
 
@@ -206,9 +223,10 @@ func splitPatterns(t *testing.T, s string) []string {
 	return pats
 }
 
-// Run loads each fixture package under testdata/src, applies the analyzer,
-// and checks every diagnostic against the `// want` expectations (and vice
-// versa).
+// Run loads each fixture package under testdata/src, applies the analyzer
+// — over the package's fixture dependencies first, facts flowing forward
+// exactly as under the real driver — and checks every diagnostic against
+// the `// want` expectations (and vice versa).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	for _, path := range pkgPaths {
@@ -220,17 +238,41 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 				t.Fatal(l.err)
 			}
 
-			var diags []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      fset,
-				Files:     l.files,
-				Pkg:       l.pkg,
-				TypesInfo: l.info,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			// The whole fixture universe: the target and every fixture
+			// package it pulled in, in dependency order.
+			var cgPkgs []*callgraph.Package
+			for _, p := range imp.order {
+				dl := imp.cache[p]
+				cgPkgs = append(cgPkgs, &callgraph.Package{Fset: fset, Files: dl.files, Pkg: dl.pkg, Info: dl.info})
 			}
-			if _, err := a.Run(pass); err != nil {
-				t.Fatalf("analyzer %s: %v", a.Name, err)
+			graph := callgraph.Build(cgPkgs)
+			store := analysis.NewStore([]*analysis.Analyzer{a})
+
+			var diags []analysis.Diagnostic
+			for _, p := range imp.order {
+				dl := imp.cache[p]
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      fset,
+					Files:     dl.files,
+					Pkg:       dl.pkg,
+					TypesInfo: dl.info,
+					CallGraph: graph,
+				}
+				store.Bind(a, pass)
+				if p == path {
+					pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+				} else {
+					// Dependency run: facts only, diagnostics dropped (they
+					// are checked when the dependency is named directly).
+					pass.Report = func(analysis.Diagnostic) {}
+				}
+				if _, err := a.Run(pass); err != nil {
+					t.Fatalf("analyzer %s on %s: %v", a.Name, p, err)
+				}
+				if err := store.Seal(a, p); err != nil {
+					t.Fatal(err)
+				}
 			}
 
 			wants := make(map[string]map[int][]*expectation)

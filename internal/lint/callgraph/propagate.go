@@ -1,0 +1,150 @@
+package callgraph
+
+import (
+	"strings"
+)
+
+// An Offense is one contract violation somewhere down a call chain: what
+// the offending function does (Detail, e.g. "calls time.Now") and the
+// chain of display names from — exclusive — the function the offense is
+// attributed to, down to the offender. A direct offense has an empty
+// Chain; a function whose callee g offends directly carries
+// Chain = [g]; and so on.
+type Offense struct {
+	// Kind tags the violation class so a multi-fact analyzer can pick
+	// the fact type to export (e.g. "wallclock" vs "maprange"). Carried
+	// unchanged through propagation.
+	Kind string
+	// Detail describes the primitive violation, phrased after the
+	// offender's name: "calls time.Now", "allocates with make".
+	Detail string
+	// Chain is the path of DisplayName strings from the attributed
+	// function (exclusive) to the offender (inclusive). Empty for a
+	// direct offense.
+	Chain []string
+}
+
+// Offender returns the display name of the function that commits the
+// primitive violation: the chain's last element, or fallback (the
+// attributed function itself) when the offense is direct.
+func (o *Offense) Offender(fallback string) string {
+	if len(o.Chain) == 0 {
+		return fallback
+	}
+	return o.Chain[len(o.Chain)-1]
+}
+
+// Format renders the canonical chain diagnostic,
+// "a → b → c: c calls time.Now", for an offense observed from root
+// through its callee (the edge's target).
+func (o *Offense) Format(root, callee string) string {
+	parts := append([]string{root, callee}, o.Chain...)
+	offender := o.Offender(callee)
+	return strings.Join(parts, " → ") + ": " + offender + " " + o.Detail
+}
+
+// A Rule parameterizes offense propagation for one analyzer over one
+// package: which body operations offend directly, what is known about
+// callees outside the package, and which call edges the analyzer's escape
+// hatch silences.
+type Rule struct {
+	Graph *Graph
+	// Direct scans a node's own body (Decl is non-nil) and returns its
+	// first primitive offense, hatch-filtered, or nil.
+	Direct func(n *Node) *Offense
+	// External models callees with no syntax anywhere in the load
+	// (standard library, packages outside the lint run). nil is "assumed
+	// clean".
+	External func(n *Node) *Offense
+	// Imported consults facts for callees declared in other loaded
+	// packages (already analyzed, dependency order). nil when no fact.
+	Imported func(n *Node) *Offense
+	// EdgeOK reports whether an escape hatch at the call site silences
+	// propagation across this edge.
+	EdgeOK func(e *Edge) bool
+}
+
+// A Solution is the fixpoint result of propagating a Rule over one
+// package's functions.
+type Solution struct {
+	rule  *Rule
+	local map[string]*Offense // key -> offense for in-package nodes
+}
+
+// Solve computes, for every node in nodes (one package's declared
+// functions), whether it transitively commits an offense: directly in its
+// body, or through any un-hatched call edge to an offending callee.
+// Callees inside the set resolve through the fixpoint; callees outside
+// resolve through Imported (loaded packages, analyzed earlier) or
+// External (no syntax). The iteration order is the deterministic node
+// order, so chain attribution is stable across runs.
+func (r *Rule) Solve(nodes []*Node) *Solution {
+	s := &Solution{rule: r, local: make(map[string]*Offense, len(nodes))}
+	inSet := make(map[string]bool, len(nodes))
+	direct := make(map[string]*Offense, len(nodes))
+	for _, n := range nodes {
+		inSet[n.Key] = true
+		if r.Direct != nil && n.Decl != nil {
+			direct[n.Key] = r.Direct(n)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if s.local[n.Key] != nil {
+				continue
+			}
+			var off *Offense
+			if d := direct[n.Key]; d != nil {
+				off = d
+			} else {
+				for _, e := range n.Out {
+					if e.InPanic || (r.EdgeOK != nil && r.EdgeOK(e)) {
+						continue
+					}
+					var sub *Offense
+					if inSet[e.Callee.Key] {
+						sub = s.local[e.Callee.Key]
+					} else {
+						sub = s.Lookup(e.Callee)
+					}
+					if sub != nil {
+						off = &Offense{
+							Kind:   sub.Kind,
+							Detail: sub.Detail,
+							Chain:  append([]string{DisplayName(e.Callee.Func)}, sub.Chain...),
+						}
+						break
+					}
+				}
+			}
+			if off != nil {
+				s.local[n.Key] = off
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// Lookup resolves a callee's offense from wherever it is known: the
+// package fixpoint for in-package callees, Imported facts for loaded
+// ones, the External model otherwise.
+func (s *Solution) Lookup(callee *Node) *Offense {
+	if off, ok := s.local[callee.Key]; ok {
+		return off
+	}
+	if callee.Decl != nil {
+		if s.rule.Imported != nil {
+			return s.rule.Imported(callee)
+		}
+		return nil
+	}
+	if s.rule.External != nil {
+		return s.rule.External(callee)
+	}
+	return nil
+}
+
+// Offense returns the solved (or looked-up) offense for a node.
+func (s *Solution) Offense(n *Node) *Offense { return s.Lookup(n) }

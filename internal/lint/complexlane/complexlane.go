@@ -6,9 +6,12 @@
 // operand, which PR 8 measured at 3x slower than the component form.
 //
 // Scope: every package carrying a //softlora:float32-lanes package
-// directive (internal/dsp). Constructing values with complex(re, im),
-// reading real()/imag(), comparisons and conversions are all fine; only
-// the arithmetic operators widen.
+// directive (internal/dsp). The package directive does not reach
+// _test.go files — reference implementations in tests widen through
+// complex64 on purpose, as the readable cross-check the contract is
+// validated against. Constructing values with complex(re, im), reading
+// real()/imag(), comparisons and conversions are all fine; only the
+// arithmetic operators widen.
 //
 // Flagged:
 //   - binary +, -, *, / where the result type is complex64
@@ -22,6 +25,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"softlora/internal/lint/analysis"
 	"softlora/internal/lint/directive"
@@ -48,10 +52,13 @@ var arithAssign = map[token.Token]token.Token{
 
 func run(pass *analysis.Pass) (any, error) {
 	ix := directive.NewIndex(pass.Fset, pass.Files)
-	if !ix.PackageHas("float32-lanes") {
+	if !ix.PackageHasNonTest("float32-lanes") {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go") {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BinaryExpr:

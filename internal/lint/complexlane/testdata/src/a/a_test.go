@@ -1,0 +1,9 @@
+package a
+
+// Test files never inherit the package's float32-lanes directive: a
+// reference implementation may use builtin complex64 arithmetic to check
+// the component-math kernels against. No diagnostics expected here.
+
+func refMul(a, b complex64) complex64 {
+	return a * b
+}

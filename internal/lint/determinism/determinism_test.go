@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a", "b")
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a", "b", "transroot", "transleaf")
 }

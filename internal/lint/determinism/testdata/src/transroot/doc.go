@@ -1,0 +1,6 @@
+// Package transroot exercises cross-package transitive determinism: the
+// package is scoped, its offenses live two un-annotated hops away in
+// package transleaf.
+//
+//softlora:deterministic
+package transroot

@@ -1,0 +1,12 @@
+package transroot
+
+import "time"
+
+// The package-level //softlora:deterministic directive must not reach
+// _test.go files: no diagnostic here.
+func helperClock() int64 { return time.Now().UnixNano() }
+
+//softlora:deterministic
+func annotatedTestHelper() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now in deterministic code`
+}

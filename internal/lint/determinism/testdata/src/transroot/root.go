@@ -1,0 +1,17 @@
+package transroot
+
+import "transleaf"
+
+func commitDeep() float64 {
+	return transleaf.Mid() // want `deterministic code reaches nondeterminism: transroot\.commitDeep → transleaf\.Mid → transleaf\.Stamp: transleaf\.Stamp calls time\.Now`
+}
+
+func viaHatched() float64 {
+	// No diagnostic: the chain is cut inside transleaf.
+	return transleaf.Hatched()
+}
+
+func hatchAtRoot() float64 {
+	//softlora:nondeterministic-ok fixture: root-edge hatch accepts the callee
+	return transleaf.Mid()
+}

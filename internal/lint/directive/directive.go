@@ -113,6 +113,20 @@ func (ix *Index) PackageHas(name string) bool {
 	return false
 }
 
+// PackageHasNonTest is PackageHas restricted to directives living in
+// non-_test.go files. Test-variant loads include the package's regular
+// files, so a doc.go package directive would otherwise leak its scope
+// onto test functions; analyzers use this form for package-wide opt-ins
+// so test code participates only through explicit function annotations.
+func (ix *Index) PackageHasNonTest(name string) bool {
+	for _, d := range ix.byName[name] {
+		if d.PackageLevel && !strings.HasSuffix(d.File, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
 // FromComments returns the first directive with the given name in a
 // comment group (a FuncDecl doc, a field doc or trailing comment), if any.
 func FromComments(cg *ast.CommentGroup, name string) (Directive, bool) {

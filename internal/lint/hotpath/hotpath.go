@@ -6,7 +6,7 @@
 // level, before a benchmark has to catch the regression.
 //
 // Scope: functions annotated //softlora:hotpath (the annotation is the
-// opt-in; un-annotated functions are never checked).
+// opt-in; un-annotated functions are never checked directly).
 //
 // Flagged inside hotpath functions:
 //   - any call into package fmt (formatting allocates; error paths should
@@ -21,6 +21,15 @@
 //     assignments: a concrete value passed where an interface is expected
 //     escapes to the heap
 //
+// The check is also interprocedural: every loaded function is scanned for
+// the same construct classes (offenses inside panic(...) arguments are
+// excluded — panicking paths are cold by definition), the result is
+// exported as an Allocates object fact, and a hotpath function whose call
+// edge reaches — through any number of hops, across packages — an
+// offending callee is flagged at that edge with the chain spelled out
+// ("a → b → c: c calls fmt.Sprintf"). An escape hatch at any hop cuts the
+// chain.
+//
 // A deliberate exception (a cold error branch, a boxing the compiler
 // provably stack-allocates) is silenced with //softlora:hotpath-ok <why>
 // on the line or the line above.
@@ -32,35 +41,157 @@ import (
 	"go/types"
 
 	"softlora/internal/lint/analysis"
+	"softlora/internal/lint/callgraph"
 	"softlora/internal/lint/directive"
 )
 
 // Analyzer is the hot-path allocation-discipline check.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotpath",
-	Doc:  "flag fmt/fnv calls, loop allocation, un-presized append and interface boxing in //softlora:hotpath functions",
-	Run:  run,
+	Name:      "hotpath",
+	Doc:       "flag fmt/fnv calls, loop allocation, un-presized append and interface boxing in //softlora:hotpath functions, transitively through the call graph",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(Allocates)},
 }
 
 // EscapeHatch silences one diagnostic when placed on or above the line.
 const EscapeHatch = "hotpath-ok"
 
+// Allocates marks a function that (transitively) commits one of the
+// hot-path allocation classes outside a panic argument. Chain is the call
+// path below the function, offender last.
+type Allocates struct {
+	Detail string
+	Chain  []string
+}
+
+// AFact marks the type as a serializable analyzer fact.
+func (*Allocates) AFact() {}
+
 func run(pass *analysis.Pass) (any, error) {
 	ix := directive.NewIndex(pass.Fset, pass.Files)
+
+	// Classic intra-function check: every construct-class violation
+	// inside an annotated function reports at its own site.
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !directive.FuncHas(fn, "hotpath") {
 				continue
 			}
-			c := &checker{pass: pass, ix: ix, presized: presizedSlices(pass.TypesInfo, fn)}
-			if obj, okf := pass.TypesInfo.Defs[fn.Name].(*types.Func); okf {
-				c.sig, _ = obj.Type().(*types.Signature)
+			c := newChecker(pass.Fset, pass.TypesInfo, ix, fn, false)
+			c.emit = func(pos token.Pos, classic, detail string) bool {
+				pass.Reportf(pos, "%s", classic)
+				return true
 			}
 			c.stmts(fn.Body.List, 0)
 		}
 	}
+
+	if pass.CallGraph == nil {
+		return nil, nil
+	}
+	propagate(pass, ix)
 	return nil, nil
+}
+
+func propagate(pass *analysis.Pass, ix *directive.Index) {
+	nodes := packageNodes(pass)
+	rule := &callgraph.Rule{
+		Graph: pass.CallGraph,
+		Direct: func(n *callgraph.Node) *callgraph.Offense {
+			if n.Decl.Body == nil {
+				return nil
+			}
+			var off *callgraph.Offense
+			// Fact scans skip panic(...) arguments: a panicking path is
+			// cold and its formatting cost is irrelevant to steady-state
+			// allocation floors.
+			c := newChecker(n.Fset, n.Info, ix, n.Decl, true)
+			c.emit = func(pos token.Pos, classic, detail string) bool {
+				off = &callgraph.Offense{Detail: detail}
+				return false
+			}
+			c.stmts(n.Decl.Body.List, 0)
+			return off
+		},
+		// External: fmt/fnv calls and the other construct classes are
+		// syntactic in the caller, so loaded code is fully covered by
+		// Direct scans; unloaded callees are assumed clean.
+		External: nil,
+		Imported: func(n *callgraph.Node) *callgraph.Offense {
+			if pass.ImportObjectFact == nil {
+				return nil
+			}
+			var a Allocates
+			if pass.ImportObjectFact(n.Func, &a) {
+				return &callgraph.Offense{Detail: a.Detail, Chain: a.Chain}
+			}
+			return nil
+		},
+		EdgeOK: func(e *callgraph.Edge) bool { return ix.OKAt(e.Pos, EscapeHatch) },
+	}
+	sol := rule.Solve(nodes)
+
+	for _, n := range nodes {
+		if off := sol.Offense(n); off != nil && pass.ExportObjectFact != nil {
+			pass.ExportObjectFact(n.Func, &Allocates{Detail: off.Detail, Chain: off.Chain})
+		}
+	}
+
+	// Chain reporting at annotated roots: direct violations were already
+	// reported by the classic check, so only callee offenses are raised.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !directive.FuncHas(fn, "hotpath") {
+				continue
+			}
+			tfn, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			n := pass.CallGraph.Node(tfn)
+			if n == nil {
+				continue
+			}
+			root := callgraph.DisplayName(tfn)
+			for _, e := range n.Out {
+				if e.InPanic || ix.OKAt(e.Pos, EscapeHatch) {
+					continue
+				}
+				sub := sol.Lookup(e.Callee)
+				if sub == nil {
+					continue
+				}
+				callee := callgraph.DisplayName(e.Callee.Func)
+				chain := append([]string{root, callee}, sub.Chain...)
+				pass.ReportChain(e.Pos, chain,
+					"hotpath reaches an allocating path: %s", sub.Format(root, callee))
+			}
+		}
+	}
+}
+
+// packageNodes returns the call-graph nodes of this pass's declared
+// functions in deterministic order.
+func packageNodes(pass *analysis.Pass) []*callgraph.Node {
+	want := make(map[*callgraph.Node]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			tfn, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if n := pass.CallGraph.Node(tfn); n != nil {
+				want[n] = true
+			}
+		}
+	}
+	var nodes []*callgraph.Node
+	for _, n := range pass.CallGraph.Nodes() {
+		if want[n] {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 // presizedSlices collects the objects assigned from a three-argument
@@ -100,20 +231,51 @@ func objOf(info *types.Info, id *ast.Ident) types.Object {
 }
 
 type checker struct {
-	pass     *analysis.Pass
+	fset     *token.FileSet
+	info     *types.Info
 	ix       *directive.Index
 	presized map[types.Object]bool
 	sig      *types.Signature
+	// emit receives each un-hatched violation (classic diagnostic text +
+	// chain-detail form); returning false stops the walk.
+	emit func(pos token.Pos, classic, detail string) bool
+	// skipPanicArgs excludes offenses inside panic(...) arguments (fact
+	// scans: panicking paths are cold).
+	skipPanicArgs bool
+	stopped       bool
+}
+
+func newChecker(fset *token.FileSet, info *types.Info, ix *directive.Index, fn *ast.FuncDecl, skipPanicArgs bool) *checker {
+	c := &checker{fset: fset, info: info, ix: ix, presized: presizedSlices(info, fn), skipPanicArgs: skipPanicArgs}
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		c.sig, _ = obj.Type().(*types.Signature)
+	}
+	return c
+}
+
+func (c *checker) report(pos token.Pos, classic, detail string) {
+	if c.stopped {
+		return
+	}
+	if !c.emit(pos, classic, detail) {
+		c.stopped = true
+	}
 }
 
 // stmts walks a statement list tracking loop nesting depth.
 func (c *checker) stmts(list []ast.Stmt, loopDepth int) {
 	for _, s := range list {
+		if c.stopped {
+			return
+		}
 		c.stmt(s, loopDepth)
 	}
 }
 
 func (c *checker) stmt(s ast.Stmt, loopDepth int) {
+	if c.stopped {
+		return
+	}
 	switch s := s.(type) {
 	case *ast.ForStmt:
 		if s.Init != nil {
@@ -184,20 +346,32 @@ func (c *checker) stmt(s ast.Stmt, loopDepth int) {
 	}
 }
 
+// isPanicCall reports whether call invokes the predeclared panic.
+func (c *checker) isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && c.info.Uses[id] == types.Universe.Lookup("panic")
+}
+
 // exprs inspects expressions for flagged calls at the given loop depth.
 // FuncLit bodies are walked at depth 0 — a closure's body is not "inside"
 // the enclosing loop.
 func (c *checker) exprs(loopDepth int, list ...ast.Expr) {
 	for _, e := range list {
-		if e == nil {
+		if e == nil || c.stopped {
 			continue
 		}
 		ast.Inspect(e, func(n ast.Node) bool {
+			if c.stopped {
+				return false
+			}
 			switch n := n.(type) {
 			case *ast.FuncLit:
 				c.stmts(n.Body.List, 0)
 				return false
 			case *ast.CallExpr:
+				if c.skipPanicArgs && c.isPanicCall(n) {
+					return false
+				}
 				c.checkCall(n, loopDepth)
 			}
 			return true
@@ -206,18 +380,22 @@ func (c *checker) exprs(loopDepth int, list ...ast.Expr) {
 }
 
 func (c *checker) checkCall(call *ast.CallExpr, loopDepth int) {
-	info := c.pass.TypesInfo
+	info := c.info
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		switch {
 		case info.Uses[fun] == types.Universe.Lookup("make"):
 			if loopDepth > 0 && !c.ok(call.Pos()) {
-				c.pass.Reportf(call.Pos(), "make inside a loop on a hotpath: hoist the allocation or reuse scratch")
+				c.report(call.Pos(),
+					"make inside a loop on a hotpath: hoist the allocation or reuse scratch",
+					"allocates with make inside a loop")
 			}
 			return
 		case info.Uses[fun] == types.Universe.Lookup("append"):
 			if loopDepth > 0 && !c.appendPresized(call) && !c.ok(call.Pos()) {
-				c.pass.Reportf(call.Pos(), "un-presized append inside a loop on a hotpath: presize with make(T, len, cap)")
+				c.report(call.Pos(),
+					"un-presized append inside a loop on a hotpath: presize with make(T, len, cap)",
+					"grows a slice with un-presized append in a loop")
 			}
 			return
 		}
@@ -226,12 +404,16 @@ func (c *checker) checkCall(call *ast.CallExpr, loopDepth int) {
 			switch obj.Pkg().Path() {
 			case "fmt":
 				if !c.ok(call.Pos()) {
-					c.pass.Reportf(call.Pos(), "call to fmt.%s on a hotpath: formatting allocates (use predeclared errors or move it off the hot function)", obj.Name())
+					c.report(call.Pos(),
+						"call to fmt."+obj.Name()+" on a hotpath: formatting allocates (use predeclared errors or move it off the hot function)",
+						"calls fmt."+obj.Name())
 				}
 				return
 			case "hash/fnv":
 				if !c.ok(call.Pos()) {
-					c.pass.Reportf(call.Pos(), "call to fnv.%s on a hotpath: hash/fnv allocates per call — inline the hash", obj.Name())
+					c.report(call.Pos(),
+						"call to fnv."+obj.Name()+" on a hotpath: hash/fnv allocates per call — inline the hash",
+						"calls fnv."+obj.Name())
 				}
 				return
 			}
@@ -250,14 +432,14 @@ func (c *checker) appendPresized(call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	obj := objOf(c.pass.TypesInfo, id)
+	obj := objOf(c.info, id)
 	return obj != nil && c.presized[obj]
 }
 
 // checkCallBoxing flags concrete arguments passed to interface-typed
 // parameters.
 func (c *checker) checkCallBoxing(call *ast.CallExpr) {
-	info := c.pass.TypesInfo
+	info := c.info
 	tv, ok := info.Types[call.Fun]
 	if !ok {
 		return
@@ -288,7 +470,7 @@ func (c *checker) checkAssignBoxing(as *ast.AssignStmt) {
 		return
 	}
 	for i, rhs := range as.Rhs {
-		c.checkBoxing(rhs, c.pass.TypesInfo.TypeOf(as.Lhs[i]))
+		c.checkBoxing(rhs, c.info.TypeOf(as.Lhs[i]))
 	}
 }
 
@@ -306,7 +488,7 @@ func (c *checker) checkSpecBoxing(vs *ast.ValueSpec) {
 	if vs.Type == nil || len(vs.Values) == 0 {
 		return
 	}
-	t := c.pass.TypesInfo.TypeOf(vs.Type)
+	t := c.info.TypeOf(vs.Type)
 	for _, v := range vs.Values {
 		c.checkBoxing(v, t)
 	}
@@ -318,8 +500,7 @@ func (c *checker) checkBoxing(expr ast.Expr, want types.Type) {
 	if want == nil || !types.IsInterface(want) {
 		return
 	}
-	info := c.pass.TypesInfo
-	tv, ok := info.Types[expr]
+	tv, ok := c.info.Types[expr]
 	if !ok || tv.Type == nil {
 		return
 	}
@@ -332,7 +513,9 @@ func (c *checker) checkBoxing(expr ast.Expr, want types.Type) {
 	if c.ok(expr.Pos()) {
 		return
 	}
-	c.pass.Reportf(expr.Pos(), "interface conversion on a hotpath: %s boxed into %s escapes to the heap", tv.Type, want)
+	c.report(expr.Pos(),
+		"interface conversion on a hotpath: "+tv.Type.String()+" boxed into "+want.String()+" escapes to the heap",
+		"boxes "+tv.Type.String()+" into "+want.String())
 }
 
 func (c *checker) ok(pos token.Pos) bool {

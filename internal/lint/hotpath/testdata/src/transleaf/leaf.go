@@ -1,0 +1,21 @@
+// Package transleaf is un-annotated helper code; hotpath callers inherit
+// its allocation through the fact propagation.
+package transleaf
+
+// Grow appends without presizing; the offense every caller inherits.
+func Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Mid adds one un-annotated hop to the chain.
+func Mid(n int) []int { return Grow(n) }
+
+// Hatched cuts the chain at its own call site.
+func Hatched(n int) []int {
+	//softlora:hotpath-ok fixture: hop-level hatch stops propagation here
+	return Grow(n)
+}

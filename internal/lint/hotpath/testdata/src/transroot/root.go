@@ -1,0 +1,26 @@
+// Package transroot exercises cross-package transitive hotpath checking.
+package transroot
+
+import "transleaf"
+
+//softlora:hotpath
+func hot(n int) int {
+	xs := transleaf.Mid(n) // want `hotpath reaches an allocating path: transroot\.hot → transleaf\.Mid → transleaf\.Grow: transleaf\.Grow grows a slice with un-presized append in a loop`
+	return len(xs)
+}
+
+//softlora:hotpath
+func hotViaHatched(n int) int {
+	// No diagnostic: the chain is cut inside transleaf.
+	return len(transleaf.Hatched(n))
+}
+
+//softlora:hotpath
+func hotEdgeHatch(n int) int {
+	//softlora:hotpath-ok fixture: root edge accepts the callee's allocation
+	xs := transleaf.Mid(n)
+	return len(xs)
+}
+
+// cold is un-annotated: it inherits a fact but reports nothing.
+func cold(n int) int { return len(transleaf.Mid(n)) }

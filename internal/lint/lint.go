@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"softlora/internal/lint/allocfree"
 	"softlora/internal/lint/analysis"
 	"softlora/internal/lint/complexlane"
 	"softlora/internal/lint/determinism"
@@ -14,6 +15,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		hotpath.Analyzer,
+		allocfree.Analyzer,
 		complexlane.Analyzer,
 		poolcheck.Analyzer,
 		lockshard.Analyzer,

@@ -1,0 +1,99 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// The load tests run `go list` against this module itself — the same way
+// the driver uses the package — so they exercise real export data and
+// real test-variant metadata.
+
+func TestLoadDependencyOrder(t *testing.T) {
+	pkgs, err := Load(".", "softlora/internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded %d packages, expected the lint tree", len(pkgs))
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		for _, imp := range p.Imports {
+			if strings.HasPrefix(imp, "softlora/") && hasPkg(pkgs, imp) && !seen[imp] {
+				t.Errorf("%s precedes its import %s", p.PkgPath, imp)
+			}
+		}
+		seen[p.PkgPath] = true
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	order := func() []string {
+		pkgs, err := Load(".", "softlora/internal/lint/directive", "softlora/internal/lint/callgraph", "softlora/internal/lint/analysis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.PkgPath)
+		}
+		return paths
+	}
+	first := order()
+	for i := 0; i < 2; i++ {
+		if got := order(); strings.Join(got, ",") != strings.Join(first, ",") {
+			t.Fatalf("load order unstable: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestLoadTestVariants(t *testing.T) {
+	pkgs, err := LoadPackages(".", Options{Tests: true}, "softlora/internal/lint/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var plain, variant *Package
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.PkgPath, ".test") {
+			t.Errorf("generated test main %s leaked into the load", p.PkgPath)
+		}
+		switch {
+		case p.PkgPath == "softlora/internal/lint/directive":
+			plain = p
+		case strings.HasPrefix(p.PkgPath, "softlora/internal/lint/directive ["):
+			variant = p
+		}
+	}
+	if plain == nil {
+		t.Fatal("plain package missing from -test load")
+	}
+	if plain.ForTest != "" {
+		t.Errorf("plain package has ForTest = %q", plain.ForTest)
+	}
+	if variant == nil {
+		t.Fatal("internal test variant missing from -test load")
+	}
+	if variant.ForTest != "softlora/internal/lint/directive" {
+		t.Errorf("variant ForTest = %q", variant.ForTest)
+	}
+	// The variant includes the package's regular files plus its _test.go
+	// files, type-checked under the plain path.
+	if len(variant.Syntax) <= len(plain.Syntax) {
+		t.Errorf("variant has %d files, plain has %d; expected test files on top",
+			len(variant.Syntax), len(plain.Syntax))
+	}
+	if got := variant.Types.Path(); got != "softlora/internal/lint/directive" {
+		t.Errorf("variant type-checked under %q, want the plain path", got)
+	}
+}
+
+func hasPkg(pkgs []*Package, path string) bool {
+	for _, p := range pkgs {
+		if p.PkgPath == path {
+			return true
+		}
+	}
+	return false
+}

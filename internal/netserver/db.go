@@ -292,6 +292,7 @@ func (s *NetworkServer) shardFor(deviceID string) *shard {
 // device it is impersonating.
 //
 //softlora:hotpath
+//softlora:allocfree
 func (s *NetworkServer) checkDevice(deviceID string, fbHz, now float64) core.Verdict {
 	sh := s.shardFor(deviceID)
 	sh.mu.Lock()

@@ -313,7 +313,10 @@ func TestShardsCoverManyDevices(t *testing.T) {
 	}
 	// Every shard should hold a reasonable share (FNV spreads uniformly).
 	for i := range s.shards {
-		if got := len(s.shards[i].devices); got < n/8/4 {
+		s.shards[i].mu.Lock()
+		got := len(s.shards[i].devices)
+		s.shards[i].mu.Unlock()
+		if got < n/8/4 {
 			t.Errorf("shard %d holds %d devices — hash badly skewed", i, got)
 		}
 	}
